@@ -1,0 +1,210 @@
+// Command csebench regenerates the paper's evaluation tables and figures
+// (§6) on the synthetic TPC-H database.
+//
+// Usage:
+//
+//	csebench -exp all -sf 0.05 -seed 42
+//	csebench -exp table1 -v
+//
+// Experiments: table1 (query batch Q1–Q3), table2 (stacked CSEs, Q1–Q4),
+// table3 (nested query), table4 (complex 8-table joins), figure8 (scale-up
+// sweep), viewmaint (§6.4), overhead (no-sharing optimizer overhead).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/csedb"
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|all")
+		sf      = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
+		seed    = flag.Int64("seed", 42, "data generation seed")
+		maxN    = flag.Int("figure8-max", 10, "largest batch size for figure8")
+		deltaN  = flag.Int("delta-rows", 200, "delta rows for view maintenance")
+		verbose = flag.Bool("v", false, "print candidate CSE details")
+		format  = flag.String("format", "text", "output format: text|csv")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{ScaleFactor: *sf, Seed: *seed}
+	fmt.Printf("csebench: TPC-H scale factor %g, seed %d\n\n", *sf, *seed)
+
+	run := func(name string) bool {
+		return *exp == "all" || *exp == name
+	}
+	failed := false
+	report := func(err error) {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		failed = true
+	}
+
+	if run("table1") {
+		tr, err := bench.RunTable(cfg, "Table 1: Query batch (Q1, Q2, Q3) of Example 1", bench.Table1SQL())
+		if err != nil {
+			report(err)
+		} else if *format == "csv" {
+			fmt.Printf("# table1\n%s", tr.CSV())
+		} else {
+			fmt.Println(tr.Format())
+			printCandidates(*verbose, tr)
+		}
+	}
+	if run("table2") {
+		tr, err := bench.RunTable(cfg, "Table 2: Query batch (Q1, Q2, Q3, Q4) — stacked CSEs (§6.2)", bench.Table2SQL())
+		if err != nil {
+			report(err)
+		} else {
+			fmt.Println(tr.Format())
+			printCandidates(*verbose, tr)
+		}
+	}
+	if run("table3") {
+		tr, err := bench.RunTable(cfg, "Table 3: Nested query (§6.3, TPC-H Q11-like)", bench.Table3SQL())
+		if err != nil {
+			report(err)
+		} else {
+			fmt.Println(tr.Format())
+			printCandidates(*verbose, tr)
+		}
+	}
+	if run("table4") {
+		tr, err := bench.RunTable(cfg, "Table 4: Complex joins — all 8 TPC-H tables (§6.5)", bench.Table4SQL())
+		if err != nil {
+			report(err)
+		} else {
+			fmt.Println(tr.Format())
+			printCandidates(*verbose, tr)
+		}
+	}
+	if run("figure8") {
+		points, err := bench.RunFigure8(cfg, *maxN)
+		if err != nil {
+			report(err)
+		} else if *format == "csv" {
+			fmt.Print(bench.CSVFigure8(points))
+		} else {
+			fmt.Println(bench.FormatFigure8(points))
+		}
+	}
+	if run("viewmaint") {
+		no, err := bench.RunViewMaintenance(cfg, bench.NoCSE, *deltaN)
+		if err != nil {
+			report(err)
+		} else if with, err := bench.RunViewMaintenance(cfg, bench.WithCSE, *deltaN); err != nil {
+			report(err)
+		} else {
+			fmt.Println(bench.FormatMaintenance(no, with))
+		}
+	}
+	if run("ablation") {
+		if err := runAblations(cfg); err != nil {
+			report(err)
+		}
+	}
+	if run("overhead") {
+		ov, err := bench.RunOverhead(cfg)
+		if err != nil {
+			report(err)
+		} else {
+			fmt.Printf("Overhead on a batch with no sharable subexpressions:\n")
+			fmt.Printf("  optimization time, CSE machinery off: %.4fs\n", ov.OptNoCSE.Seconds())
+			fmt.Printf("  optimization time, CSE machinery on:  %.4fs\n", ov.OptWithCSE.Seconds())
+			fmt.Printf("  candidates generated: %d\n\n", ov.Candidates)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printCandidates(verbose bool, tr *bench.TableRow) {
+	if !verbose {
+		return
+	}
+	for _, m := range tr.Runs[1:] {
+		fmt.Printf("  [%s] candidates:\n", m.Mode)
+		for i, l := range m.Labels {
+			used := ""
+			for _, u := range m.UsedCSEs {
+				if u == i {
+					used = "  (used in final plan)"
+				}
+			}
+			fmt.Printf("    E%d: %s%s\n", i+1, strings.TrimSpace(l), used)
+		}
+	}
+	fmt.Println()
+}
+
+// runAblations times the optimizer-effort knobs of DESIGN.md on Table 1's
+// no-heuristics run and Table 2's heuristics run.
+func runAblations(cfg bench.Config) error {
+	measure := func(label, sql string, tweak func(*core.Settings)) error {
+		s := core.DefaultSettings()
+		tweak(&s)
+		db := csedb.Open(csedb.Options{CSE: &s})
+		if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
+			return err
+		}
+		var best time.Duration
+		var opts int
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			out, _, err := db.Optimize(sql)
+			if err != nil {
+				return err
+			}
+			d := time.Since(start)
+			if i == 0 || d < best {
+				best = d
+			}
+			opts = out.Stats.CSEOptimizations
+		}
+		fmt.Printf("  %-44s %10.4fs  [%d reoptimizations]\n", label, best.Seconds(), opts)
+		return nil
+	}
+	fmt.Println("Ablations (optimization time, min of 3):")
+	cases := []struct {
+		label, sql string
+		tweak      func(*core.Settings)
+	}{
+		{"subset pruning: exhaustive 2^N-1", bench.Table1SQL(), func(s *core.Settings) {
+			s.Heuristics = false
+			s.SubsetPruning = false
+		}},
+		{"subset pruning: Propositions 5.4-5.6", bench.Table1SQL(), func(s *core.Settings) {
+			s.Heuristics = false
+		}},
+		{"subset pruning: interval rule (extension)", bench.Table1SQL(), func(s *core.Settings) {
+			s.Heuristics = false
+			s.ExtendedSubsetPruning = true
+		}},
+		{"history reuse on (§5.4)", bench.Table1SQL(), func(s *core.Settings) {
+			s.Heuristics = false
+		}},
+		{"history reuse off", bench.Table1SQL(), func(s *core.Settings) {
+			s.Heuristics = false
+			s.NoHistoryReuse = true
+		}},
+		{"charge at common dominator (§5.2 LCA)", bench.Table2SQL(), func(s *core.Settings) {}},
+		{"charge at batch root", bench.Table2SQL(), func(s *core.Settings) {
+			s.ChargeAtRoot = true
+		}},
+	}
+	for _, c := range cases {
+		if err := measure(c.label, c.sql, c.tweak); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,222 @@
+// Command csedb is an interactive shell and batch runner for the engine.
+//
+// Usage:
+//
+//	csedb -sf 0.05                       # interactive shell on TPC-H data
+//	csedb -sf 0.05 -f queries.sql        # run a SQL file as one batch
+//	csedb -sf 0.05 -e "select ...; ..."  # run a batch from the command line
+//	csedb -explain -e "..."              # show the plan instead of rows
+//
+// Shell meta-commands:
+//
+//	\explain <sql...>   show the optimized plan (terminate with ;)
+//	\describe           show the next batch's CSE candidates and decisions
+//	\cse on|off         toggle CSE optimization
+//	\heuristics on|off  toggle the §4.3 pruning heuristics
+//	\tables             list tables
+//	\q                  quit
+//
+// Input accumulates until a line containing only "go" (SQL Server style),
+// which runs everything buffered as ONE optimized batch — the way to
+// exercise multi-query optimization interactively. Separate statements
+// within the batch with semicolons.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/csedb"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.05, "TPC-H scale factor")
+		seed    = flag.Int64("seed", 42, "data generation seed")
+		file    = flag.String("f", "", "SQL file to execute as one batch")
+		execSQL = flag.String("e", "", "SQL batch to execute")
+		explain = flag.Bool("explain", false, "print plans instead of executing")
+		noCSE   = flag.Bool("no-cse", false, "disable CSE optimization")
+		maxRows = flag.Int("max-rows", 20, "rows printed per statement")
+	)
+	flag.Parse()
+
+	settings := core.DefaultSettings()
+	settings.EnableCSE = !*noCSE
+	db := csedb.Open(csedb.Options{CSE: &settings})
+	fmt.Fprintf(os.Stderr, "loading TPC-H data (sf=%g, seed=%d)...\n", *sf, *seed)
+	if err := db.LoadTPCH(*sf, *seed); err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		runBatch(db, string(data), *explain, *maxRows)
+	case *execSQL != "":
+		runBatch(db, *execSQL, *explain, *maxRows)
+	default:
+		repl(db, *maxRows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "csedb: %v\n", err)
+	os.Exit(1)
+}
+
+func runBatch(db *csedb.DB, sql string, explain bool, maxRows int) {
+	if explain {
+		plan, err := db.Explain(sql)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(plan)
+		return
+	}
+	res, err := db.Run(sql)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res, maxRows)
+}
+
+func printResult(res *csedb.BatchResult, maxRows int) {
+	for i, st := range res.Statements {
+		if len(res.Statements) > 1 {
+			fmt.Printf("-- statement %d (%d rows)\n", i+1, len(st.Rows))
+		}
+		fmt.Println(strings.Join(st.Names, "\t"))
+		for r, row := range st.Rows {
+			if r >= maxRows {
+				fmt.Printf("... (%d more rows)\n", len(st.Rows)-maxRows)
+				break
+			}
+			fmt.Println(row.String())
+		}
+	}
+	fmt.Printf("-- optimized in %v (est cost %.2f", res.OptimizeTime, res.EstimatedCost)
+	if res.Stats.Candidates > 0 {
+		fmt.Printf(", %d CSE candidates, %d used", res.Stats.Candidates, len(res.Stats.UsedCSEs))
+	}
+	fmt.Printf("), executed in %v\n", res.ExecTime)
+}
+
+func repl(db *csedb.DB, maxRows int) {
+	fmt.Println("csedb shell — separate statements with ';', run the buffered batch with 'go', quit with \\q")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	explainNext := false
+	describeNext := false
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("csedb> ")
+		} else {
+			fmt.Print("   ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if handleMeta(db, trimmed, &explainNext, &describeNext) {
+				return
+			}
+			prompt()
+			continue
+		}
+		isGo := strings.EqualFold(trimmed, "go")
+		if !isGo {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		}
+		if isGo {
+			sql := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if sql == "" {
+				prompt()
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						fmt.Fprintf(os.Stderr, "internal error: %v\n", r)
+					}
+				}()
+				if explainNext {
+					plan, err := db.Explain(sql)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "error: %v\n", err)
+					} else {
+						fmt.Println(plan)
+					}
+					explainNext = false
+					return
+				}
+				if describeNext {
+					out, _, err := db.Optimize(sql)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "error: %v\n", err)
+					} else {
+						// The memo is reachable through the optimizer.
+						fmt.Println(out.Describe(out.Optimizer.M))
+					}
+					describeNext = false
+					return
+				}
+				res, err := db.Run(sql)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+					return
+				}
+				printResult(res, maxRows)
+			}()
+		}
+		prompt()
+	}
+}
+
+// handleMeta processes a meta-command; it returns true to quit.
+func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext *bool) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\explain":
+		*explainNext = true
+		fmt.Println("next batch will be explained, not executed")
+	case "\\describe":
+		*describeNext = true
+		fmt.Println("next batch's CSE decisions will be described, not executed")
+	case "\\tables":
+		for _, name := range db.Catalog().Names() {
+			fmt.Println(name)
+		}
+	case "\\cse", "\\heuristics":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintf(os.Stderr, "usage: %s on|off\n", fields[0])
+			break
+		}
+		s := db.Settings()
+		on := fields[1] == "on"
+		if fields[0] == "\\cse" {
+			s.EnableCSE = on
+		} else {
+			s.Heuristics = on
+		}
+		db.SetSettings(s)
+		fmt.Printf("%s %s\n", strings.TrimPrefix(fields[0], "\\"), fields[1])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown meta-command %s\n", fields[0])
+	}
+	return false
+}

@@ -1,0 +1,390 @@
+// Package csedb is the public API of the engine: an in-memory SQL database
+// with a transformation-based optimizer that detects and exploits similar
+// subexpressions (covering subexpressions, CSEs) across a query batch,
+// within nested queries, and during materialized-view maintenance —
+// reproducing Zhou, Larson, Freytag & Lehner, "Efficient Exploitation of
+// Similar Subexpressions for Query Processing" (SIGMOD 2007).
+//
+// Basic usage:
+//
+//	db := csedb.Open(csedb.Options{})
+//	if err := db.LoadTPCH(0.01, 1); err != nil { ... }
+//	res, err := db.Run("select ...; select ...;")
+//
+// A batch of statements separated by semicolons is optimized as one unit, so
+// similar subexpressions among the statements are computed once and reused.
+package csedb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/views"
+)
+
+// Options configures a database.
+type Options struct {
+	// CSE configures the covering-subexpression phase; the zero value means
+	// core.DefaultSettings() (CSE on, heuristics on).
+	CSE *core.Settings
+}
+
+// DB is an in-memory database instance. Read-only queries (Run on SELECT
+// batches, Optimize, Explain) are safe to call concurrently: every call
+// builds its own metadata, memo, optimizer, and execution context, and the
+// row store takes a read lock. DDL (CreateTable, CREATE MATERIALIZED VIEW)
+// and mutations (Insert, InsertWithViewMaintenance) must be serialized by
+// the caller and must not overlap reads.
+type DB struct {
+	cat      *catalog.Catalog
+	store    *storage.Store
+	settings core.Settings
+	views    *views.Manager
+	deltaSeq int
+}
+
+// Row re-exports the value tuple type for insertion APIs.
+type Row = sqltypes.Row
+
+// Open returns an empty database.
+func Open(opts Options) *DB {
+	settings := core.DefaultSettings()
+	if opts.CSE != nil {
+		settings = *opts.CSE
+	}
+	return &DB{
+		cat:      catalog.New(),
+		store:    storage.NewStore(),
+		settings: settings,
+		views:    views.NewManager(),
+	}
+}
+
+// Settings returns the current CSE settings.
+func (db *DB) Settings() core.Settings { return db.settings }
+
+// SetSettings replaces the CSE settings.
+func (db *DB) SetSettings(s core.Settings) { db.settings = s }
+
+// Catalog exposes the schema catalog (read-only use expected).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Store exposes the row store (read-only use expected).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// LoadTPCH generates the TPC-H-shaped benchmark database at the given scale
+// factor with a deterministic seed.
+func (db *DB) LoadTPCH(scaleFactor float64, seed int64) error {
+	for _, tab := range tpch.Schemas() {
+		if err := db.cat.Add(tab); err != nil {
+			return err
+		}
+	}
+	return tpch.Generate(tpch.Config{ScaleFactor: scaleFactor, Seed: seed}, db.cat, db.store)
+}
+
+// CreateTable registers an empty table.
+func (db *DB) CreateTable(name string, cols []catalog.Column) error {
+	if err := db.cat.Add(&catalog.Table{Name: name, Cols: cols}); err != nil {
+		return err
+	}
+	db.store.Create(name)
+	return nil
+}
+
+// Insert appends rows to a table and refreshes its statistics. It does not
+// maintain materialized views; use InsertWithViewMaintenance for that.
+func (db *DB) Insert(table string, rows []Row) error {
+	ctab, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := db.checkRows(ctab, rows); err != nil {
+		return err
+	}
+	db.store.Insert(table, rows)
+	// Appended rows void any physical ordering guarantee.
+	ctab.OrderedBy = nil
+	stab, err := db.store.Table(table)
+	if err != nil {
+		return err
+	}
+	storage.AnalyzeTable(ctab, stab)
+	return nil
+}
+
+func (db *DB) checkRows(ctab *catalog.Table, rows []Row) error {
+	for i, r := range rows {
+		if len(r) != len(ctab.Cols) {
+			return fmt.Errorf("row %d has %d values, table %s has %d columns", i, len(r), ctab.Name, len(ctab.Cols))
+		}
+	}
+	return nil
+}
+
+// BatchResult is the outcome of running a statement batch.
+type BatchResult struct {
+	// Statements holds per-statement output (empty Rows for DDL).
+	Statements []*exec.StatementResult
+
+	// Stats reports what the CSE phase did.
+	Stats core.Stats
+
+	// OptimizeTime and ExecTime are wall-clock measurements.
+	OptimizeTime time.Duration
+	ExecTime     time.Duration
+
+	// EstimatedCost is the chosen plan's cost in optimizer units.
+	EstimatedCost float64
+
+	// SpoolRows reports, per CSE id, the number of rows materialized into
+	// its work table; every CSE is computed exactly once per batch.
+	SpoolRows map[int]int
+
+	// Explain is the physical plan rendering.
+	Explain string
+}
+
+// Run parses, optimizes, and executes a batch of statements. Queries in the
+// batch are optimized together; CREATE MATERIALIZED VIEW statements execute
+// their defining query and materialize the result.
+func (db *DB) Run(sql string) (*BatchResult, error) {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.runStatements(stmts)
+}
+
+// Optimize parses and optimizes a batch without executing it. It returns
+// the optimizer output and the bound metadata for plan inspection.
+func (db *DB) Optimize(sql string) (*core.Output, *logical.Metadata, error) {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	batch, err := logical.BuildBatch(stmts, db.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := memo.Build(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := core.Optimize(m, db.settings)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, batch.Metadata, nil
+}
+
+// Explain returns the physical plan for a batch, including any CSE plans.
+func (db *DB) Explain(sql string) (string, error) {
+	out, md, err := db.Optimize(sql)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	if len(out.Stats.CandidateLabels) > 0 {
+		fmt.Fprintf(&sb, "CSE candidates considered: %d [%d reoptimizations]\n",
+			out.Stats.Candidates, out.Stats.CSEOptimizations)
+		for i, l := range out.Stats.CandidateLabels {
+			fmt.Fprintf(&sb, "  E%d: %s\n", i+1, l)
+		}
+	}
+	sb.WriteString(out.Result.Format(md))
+	return sb.String(), nil
+}
+
+func (db *DB) runStatements(stmts []parser.Statement) (*BatchResult, error) {
+	batch, err := logical.BuildBatch(stmts, db.cat)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	m, err := memo.Build(batch)
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.Optimize(m, db.settings)
+	if err != nil {
+		return nil, err
+	}
+	optTime := time.Since(start)
+
+	start = time.Now()
+	results, spoolRows, err := exec.RunWithStats(out.Result, batch.Metadata, db.store)
+	if err != nil {
+		return nil, err
+	}
+	execTime := time.Since(start)
+
+	// Materialize any views defined by the batch.
+	for i, st := range batch.Statements {
+		if st.ViewName == "" {
+			continue
+		}
+		if err := db.materializeView(st, stmts[i], batch.Metadata, results[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	return &BatchResult{
+		Statements:    results,
+		Stats:         out.Stats,
+		OptimizeTime:  optTime,
+		ExecTime:      execTime,
+		EstimatedCost: out.Result.Cost,
+		SpoolRows:     spoolRows,
+		Explain:       out.Result.Format(batch.Metadata),
+	}, nil
+}
+
+func (db *DB) materializeView(st *logical.Statement, astStmt parser.Statement, md *logical.Metadata, res *exec.StatementResult) error {
+	cv, ok := astStmt.(*parser.CreateViewStmt)
+	if !ok {
+		return fmt.Errorf("statement for view %s is not CREATE MATERIALIZED VIEW", st.ViewName)
+	}
+	view, backing, err := views.Define(st.ViewName, cv.Select, st.Block, md)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.Add(backing); err != nil {
+		return err
+	}
+	vt := db.store.Create(backing.Name)
+	for _, r := range res.Rows {
+		vt.Append(r)
+	}
+	storage.AnalyzeTable(backing, vt)
+	db.views.Add(view)
+	return nil
+}
+
+// MaintenanceResult reports a view-maintenance run (§6.4).
+type MaintenanceResult struct {
+	// ViewsMaintained lists the affected materialized views.
+	ViewsMaintained []string
+
+	Stats         core.Stats
+	OptimizeTime  time.Duration
+	ExecTime      time.Duration
+	EstimatedCost float64
+}
+
+// InsertWithViewMaintenance appends rows to a base table and maintains every
+// materialized view referencing it: the inserted rows become a delta table,
+// one maintenance query per affected view is generated, and the whole batch
+// is optimized together — so similar subexpressions among the maintenance
+// expressions are detected and shared exactly like a user query batch.
+func (db *DB) InsertWithViewMaintenance(table string, rows []Row) (*MaintenanceResult, error) {
+	ctab, err := db.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.checkRows(ctab, rows); err != nil {
+		return nil, err
+	}
+	affected := db.views.Affected(table)
+
+	// Register the delta work table; the optimizer treats it as a regular
+	// (small) table whose name is shared by every maintenance expression,
+	// which is what makes their signatures match.
+	db.deltaSeq++
+	deltaName := fmt.Sprintf("delta_%s_%d", strings.ToLower(table), db.deltaSeq)
+	delta := &catalog.Table{Name: deltaName, Cols: append([]catalog.Column(nil), ctab.Cols...)}
+	if err := db.cat.Add(delta); err != nil {
+		return nil, err
+	}
+	dt := db.store.Create(deltaName)
+	for _, r := range rows {
+		dt.Append(r)
+	}
+	storage.AnalyzeTable(delta, dt)
+	defer func() {
+		db.store.Drop(deltaName)
+		_ = db.cat.Drop(deltaName)
+	}()
+
+	// Apply the base-table insert itself.
+	db.store.Insert(table, rows)
+	ctab.OrderedBy = nil
+	stab, err := db.store.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	storage.AnalyzeTable(ctab, stab)
+
+	out := &MaintenanceResult{}
+	if len(affected) == 0 {
+		return out, nil
+	}
+
+	stmts := make([]parser.Statement, len(affected))
+	for i, v := range affected {
+		stmts[i] = v.MaintenanceStmt(table, deltaName)
+		out.ViewsMaintained = append(out.ViewsMaintained, v.Name)
+	}
+	res, err := db.runStatements(stmts)
+	if err != nil {
+		return nil, fmt.Errorf("maintaining views: %w", err)
+	}
+	out.Stats = res.Stats
+	out.OptimizeTime = res.OptimizeTime
+	out.ExecTime = res.ExecTime
+	out.EstimatedCost = res.EstimatedCost
+
+	start := time.Now()
+	for i, v := range affected {
+		if err := db.applyDelta(v, res.Statements[i].Rows); err != nil {
+			return nil, err
+		}
+	}
+	out.ExecTime += time.Since(start)
+	return out, nil
+}
+
+// applyDelta merges a view's delta result into its backing table.
+func (db *DB) applyDelta(v *views.View, deltaRows []Row) error {
+	backing, err := db.cat.Table(v.BackingName())
+	if err != nil {
+		return err
+	}
+	vt, err := db.store.Table(v.BackingName())
+	if err != nil {
+		return err
+	}
+	if err := v.Merge(vt, deltaRows); err != nil {
+		return err
+	}
+	storage.AnalyzeTable(backing, vt)
+	return nil
+}
+
+// QueryView reads a materialized view's current contents.
+func (db *DB) QueryView(name string) ([]Row, error) {
+	v := db.views.ByName(name)
+	if v == nil {
+		return nil, fmt.Errorf("materialized view %q does not exist", name)
+	}
+	vt, err := db.store.Table(v.BackingName())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(vt.Rows))
+	for i, r := range vt.Rows {
+		out[i] = r.Clone()
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package csedb_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/csedb"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/sqltypes"
+)
+
+// ExampleDB_Run shows batch optimization sharing a covering subexpression
+// between two similar queries over a tiny hand-made dataset.
+func ExampleDB_Run() {
+	db := csedb.Open(csedb.Options{})
+	if err := db.CreateTable("sales", []catalog.Column{
+		{Name: "region", Type: sqltypes.KindString},
+		{Name: "product", Type: sqltypes.KindString},
+		{Name: "amount", Type: sqltypes.KindFloat},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	rows := []csedb.Row{
+		{sqltypes.NewString("east"), sqltypes.NewString("widget"), sqltypes.NewFloat(10)},
+		{sqltypes.NewString("east"), sqltypes.NewString("gadget"), sqltypes.NewFloat(20)},
+		{sqltypes.NewString("west"), sqltypes.NewString("widget"), sqltypes.NewFloat(5)},
+	}
+	if err := db.Insert("sales", rows); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Run(`
+select region, sum(amount) as total from sales group by region order by region;
+select product, sum(amount) as total from sales group by product order by product;
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range res.Statements {
+		for _, r := range st.Rows {
+			fmt.Println(r.String())
+		}
+	}
+	// Output:
+	// east	30
+	// west	5
+	// gadget	20
+	// widget	15
+}
+
+// ExampleDB_Explain renders a physical plan.
+func ExampleDB_Explain() {
+	s := core.DefaultSettings()
+	s.EnableCSE = false
+	db := csedb.Open(csedb.Options{CSE: &s})
+	if err := db.CreateTable("t", []catalog.Column{{Name: "a", Type: sqltypes.KindInt}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Insert("t", []csedb.Row{{sqltypes.NewInt(1)}}); err != nil {
+		log.Fatal(err)
+	}
+	plan, err := db.Explain("select a from t where a > 0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(plan) > 0)
+	// Output:
+	// true
+}
+
+// ExampleDB_InsertWithViewMaintenance maintains a materialized view through
+// an insert-delta, sharing maintenance work across views when several are
+// affected.
+func ExampleDB_InsertWithViewMaintenance() {
+	db := csedb.Open(csedb.Options{})
+	if err := db.CreateTable("events", []catalog.Column{
+		{Name: "kind", Type: sqltypes.KindString},
+		{Name: "n", Type: sqltypes.KindInt},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Insert("events", []csedb.Row{
+		{sqltypes.NewString("click"), sqltypes.NewInt(3)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Run(`create materialized view totals as
+select kind, sum(n) as total from events group by kind`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.InsertWithViewMaintenance("events", []csedb.Row{
+		{sqltypes.NewString("click"), sqltypes.NewInt(4)},
+		{sqltypes.NewString("view"), sqltypes.NewInt(1)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := db.QueryView("totals")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r.String())
+	}
+	// Unordered output:
+	// click	7
+	// view	1
+}

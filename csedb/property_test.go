@@ -1,0 +1,167 @@
+package csedb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// queryGen builds random similar SPJG queries over the TPC-H tables: random
+// subsets of grouping columns, random predicate ranges, optional nation /
+// region joins — the shapes the CSE machinery targets. Queries within one
+// batch deliberately overlap so covering subexpressions exist.
+type queryGen struct {
+	rng *rand.Rand
+}
+
+func (g *queryGen) query() string {
+	var sb strings.Builder
+	joinsNation := g.rng.Intn(3) == 0
+	joinsRegion := joinsNation && g.rng.Intn(2) == 0
+
+	groupChoices := [][2]string{
+		{"c_nationkey", ""},
+		{"c_nationkey", "c_mktsegment"},
+		{"c_mktsegment", ""},
+	}
+	gc := groupChoices[g.rng.Intn(len(groupChoices))]
+	if joinsNation {
+		gc = [2]string{"n_name", ""}
+	}
+	if joinsRegion {
+		gc = [2]string{"r_name", ""}
+	}
+	groupCols := gc[0]
+	if gc[1] != "" {
+		groupCols += ", " + gc[1]
+	}
+
+	aggChoices := []string{
+		"sum(l_extendedprice)",
+		"sum(l_quantity)",
+		"count(*)",
+		"max(l_extendedprice)",
+		"min(l_discount)",
+	}
+	nAggs := 1 + g.rng.Intn(2)
+	var aggs []string
+	for i := 0; i < nAggs; i++ {
+		aggs = append(aggs, fmt.Sprintf("%s as a%d", aggChoices[g.rng.Intn(len(aggChoices))], i))
+	}
+
+	sb.WriteString("select " + groupCols + ", " + strings.Join(aggs, ", "))
+	sb.WriteString("\nfrom customer, orders, lineitem")
+	if joinsNation {
+		sb.WriteString(", nation")
+	}
+	if joinsRegion {
+		sb.WriteString(", region")
+	}
+	sb.WriteString("\nwhere c_custkey = o_custkey and o_orderkey = l_orderkey")
+	if joinsNation {
+		sb.WriteString(" and c_nationkey = n_nationkey")
+	}
+	if joinsRegion {
+		sb.WriteString(" and n_regionkey = r_regionkey")
+	}
+	// The shared date window plus a random nation-key range.
+	sb.WriteString(" and o_orderdate < '1996-07-01'")
+	lo := g.rng.Intn(10)
+	hi := 15 + g.rng.Intn(10)
+	sb.WriteString(fmt.Sprintf(" and c_nationkey > %d and c_nationkey < %d", lo, hi))
+	sb.WriteString("\ngroup by " + groupCols)
+	return sb.String()
+}
+
+// TestRandomWorkloadsCSEEquivalence is the central correctness property: on
+// randomly generated similar-query batches, the CSE-optimized plans must
+// return exactly the same results as plain per-query optimization.
+func TestRandomWorkloadsCSEEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random workload sweep skipped in -short mode")
+	}
+	dbOff := openTPCH(t, noCSE())
+	dbOn := openTPCH(t, withCSE())
+	dbNoH := openTPCH(t, noHeuristics())
+
+	const rounds = 12
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(1000 + round)))
+		g := &queryGen{rng: rng}
+		n := 2 + rng.Intn(3)
+		qs := make([]string, n)
+		for i := range qs {
+			qs[i] = g.query()
+		}
+		sql := strings.Join(qs, ";\n") + ";"
+
+		off, err := dbOff.Run(sql)
+		if err != nil {
+			t.Fatalf("round %d no-CSE: %v\n%s", round, err, sql)
+		}
+		on, err := dbOn.Run(sql)
+		if err != nil {
+			t.Fatalf("round %d CSE: %v\n%s", round, err, sql)
+		}
+		noH, err := dbNoH.Run(sql)
+		if err != nil {
+			t.Fatalf("round %d no-heuristics: %v\n%s", round, err, sql)
+		}
+		for i := range off.Statements {
+			a := canonical(off.Statements[i].Rows)
+			b := canonical(on.Statements[i].Rows)
+			c := canonical(noH.Statements[i].Rows)
+			if !equalStrings(a, b) {
+				t.Fatalf("round %d stmt %d: CSE results differ\nbatch:\n%s\nno-CSE: %v\nCSE:    %v",
+					round, i+1, sql, a, b)
+			}
+			if !equalStrings(a, c) {
+				t.Fatalf("round %d stmt %d: no-heuristics results differ\nbatch:\n%s", round, i+1, sql)
+			}
+		}
+	}
+}
+
+// TestRandomWorkloadsCostNeverWorse: enabling CSEs never yields a plan the
+// optimizer believes is more expensive — the phase is purely additive.
+func TestRandomWorkloadsCostNeverWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random workload sweep skipped in -short mode")
+	}
+	dbOff := openTPCH(t, noCSE())
+	dbOn := openTPCH(t, withCSE())
+	for round := 0; round < 8; round++ {
+		rng := rand.New(rand.NewSource(int64(7700 + round)))
+		g := &queryGen{rng: rng}
+		n := 2 + rng.Intn(3)
+		qs := make([]string, n)
+		for i := range qs {
+			qs[i] = g.query()
+		}
+		sql := strings.Join(qs, ";\n") + ";"
+		if _, _, err := dbOff.Optimize(sql); err != nil {
+			t.Fatal(err)
+		}
+		on, _, err := dbOn.Optimize(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.Stats.FinalCost > on.Stats.BaseCost {
+			t.Errorf("round %d: CSE phase made the plan worse: %.2f > %.2f",
+				round, on.Stats.FinalCost, on.Stats.BaseCost)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

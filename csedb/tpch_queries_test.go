@@ -1,0 +1,131 @@
+package csedb_test
+
+import (
+	"testing"
+)
+
+// Adapted TPC-H queries (restricted to the engine's SQL subset: inner joins,
+// SPJG, HAVING with scalar subqueries, ORDER BY, LIMIT). They broaden
+// integration coverage with realistic shapes and verify the CSE phase is
+// harmless on queries with little or no sharing.
+var tpchLike = map[string]string{
+	// Q1: pricing summary report.
+	"q1": `
+select l_returnflag, sum(l_quantity) as sum_qty, sum(l_extendedprice) as sum_base,
+       avg(l_discount) as avg_disc, count(*) as count_order
+from lineitem
+where l_shipdate <= '1998-09-02'
+group by l_returnflag
+order by l_returnflag`,
+
+	// Q3: shipping priority.
+	"q3": `
+select o_orderkey, sum(l_extendedprice) as revenue, o_orderdate
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING' and c_custkey = o_custkey and l_orderkey = o_orderkey
+  and o_orderdate < '1995-03-15' and l_shipdate > '1995-03-15'
+group by o_orderkey, o_orderdate
+order by revenue desc, o_orderdate
+limit 10`,
+
+	// Q5: local supplier volume.
+	"q5": `
+select n_name, sum(l_extendedprice) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey and l_orderkey = o_orderkey and l_suppkey = s_suppkey
+  and c_nationkey = s_nationkey and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey and r_name = 'ASIA'
+  and o_orderdate >= '1994-01-01' and o_orderdate < '1995-01-01'
+group by n_name
+order by revenue desc`,
+
+	// Q6: forecast revenue change (single table, scalar aggregate).
+	"q6": `
+select sum(l_extendedprice) as revenue
+from lineitem
+where l_shipdate >= '1994-01-01' and l_shipdate < '1995-01-01'
+  and l_discount between 0.05 and 0.07 and l_quantity < 24`,
+
+	// Q10: returned item reporting.
+	"q10": `
+select c_custkey, c_name, sum(l_extendedprice) as revenue, n_name
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey and l_orderkey = o_orderkey
+  and o_orderdate >= '1993-10-01' and o_orderdate < '1994-04-01'
+  and l_returnflag = 'R' and c_nationkey = n_nationkey
+group by c_custkey, c_name, n_name
+order by revenue desc
+limit 20`,
+
+	// Q19-ish: quantity bands via OR (exercises OR selectivity + residuals).
+	"q19": `
+select sum(l_extendedprice) as revenue
+from lineitem, part
+where p_partkey = l_partkey
+  and (l_quantity >= 1 and l_quantity <= 11 and p_size between 1 and 5
+    or l_quantity >= 10 and l_quantity <= 20 and p_size between 1 and 10)`,
+}
+
+// TestTPCHLikeQueriesRunIdenticallyUnderCSE runs each adapted query under
+// both optimizer modes and compares results row for row.
+func TestTPCHLikeQueriesRunIdenticallyUnderCSE(t *testing.T) {
+	dbOff := openTPCH(t, noCSE())
+	dbOn := openTPCH(t, withCSE())
+	for name, sql := range tpchLike {
+		t.Run(name, func(t *testing.T) {
+			off, err := dbOff.Run(sql + ";")
+			if err != nil {
+				t.Fatalf("no-CSE: %v", err)
+			}
+			on, err := dbOn.Run(sql + ";")
+			if err != nil {
+				t.Fatalf("CSE: %v", err)
+			}
+			compareResults(t, off, on)
+			if len(off.Statements[0].Rows) == 0 && name != "q19" {
+				t.Errorf("%s returned no rows — workload too small or predicate broken", name)
+			}
+		})
+	}
+}
+
+// TestTPCHLikeBatch runs all adapted queries as one batch — a realistic
+// mixed workload where only some pairs share subexpressions.
+func TestTPCHLikeBatch(t *testing.T) {
+	var batch string
+	for _, name := range []string{"q1", "q3", "q5", "q6", "q10", "q19"} {
+		batch += tpchLike[name] + ";\n"
+	}
+	off, on := runBoth(t, batch)
+	if on.EstimatedCost > off.EstimatedCost {
+		t.Errorf("CSE phase must never worsen the estimate: %.2f vs %.2f",
+			on.EstimatedCost, off.EstimatedCost)
+	}
+	t.Logf("mixed batch: est %.2f -> %.2f, candidates %d, used %v",
+		off.EstimatedCost, on.EstimatedCost, on.Stats.Candidates, on.Stats.UsedCSEs)
+}
+
+// TestTPCHOrderByDescLimitStable: Q3's ORDER BY revenue DESC LIMIT 10 must
+// agree across modes even at the row-order level for the sorted prefix keys.
+func TestTPCHOrderByDescLimitStable(t *testing.T) {
+	dbOff := openTPCH(t, noCSE())
+	dbOn := openTPCH(t, withCSE())
+	off, err := dbOff.Run(tpchLike["q3"] + ";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := dbOn.Run(tpchLike["q3"] + ";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := off.Statements[0].Rows, on.Statements[0].Rows
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// Revenue column must be identical in order.
+		if a[i][1].Float() != b[i][1].Float() {
+			t.Errorf("row %d revenue %v vs %v", i, a[i][1], b[i][1])
+		}
+	}
+}

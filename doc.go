@@ -1,0 +1,12 @@
+// Package repro reproduces Zhou, Larson, Freytag & Lehner, "Efficient
+// Exploitation of Similar Subexpressions for Query Processing" (SIGMOD
+// 2007): a transformation-based SQL optimizer extended with a covering-
+// subexpression (CSE) phase that detects similar SPJG subexpressions via
+// table signatures, constructs candidate covering expressions with
+// cost-bound pruning heuristics, and selects among them cost-based — over a
+// from-scratch memo optimizer, executor, and TPC-H-shaped data generator.
+//
+// The public API lives in the csedb subpackage; the paper's contribution is
+// implemented in internal/core. See README.md for the layout and
+// EXPERIMENTS.md for the reproduced evaluation.
+package repro

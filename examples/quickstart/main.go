@@ -1,0 +1,64 @@
+// Quickstart: open a database, load data, run a batch, and see what the
+// covering-subexpression optimizer did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/csedb"
+)
+
+func main() {
+	// Open an in-memory database with default settings (CSE optimization
+	// and heuristic pruning on) and load a small TPC-H-shaped dataset.
+	db := csedb.Open(csedb.Options{})
+	if err := db.LoadTPCH(0.01, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two similar queries submitted together: both join customer, orders,
+	// and lineitem with the same date filter but different aggregations.
+	// The optimizer detects the shared subexpression, builds one covering
+	// aggregate, computes it once, and answers both queries from it.
+	batch := `
+select c_mktsegment, sum(l_extendedprice) as revenue
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-01-01'
+group by c_mktsegment;
+
+select c_nationkey, sum(l_extendedprice) as revenue, sum(l_quantity) as volume
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-01-01'
+group by c_nationkey;
+`
+	res, err := db.Run(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, st := range res.Statements {
+		fmt.Printf("-- statement %d\n", i+1)
+		for _, row := range st.Rows {
+			fmt.Println(row.String())
+		}
+	}
+
+	fmt.Printf("\nCSE candidates considered: %d, used in final plan: %d\n",
+		res.Stats.Candidates, len(res.Stats.UsedCSEs))
+	for i, label := range res.Stats.CandidateLabels {
+		fmt.Printf("  E%d: %s\n", i+1, label)
+	}
+	fmt.Printf("estimated cost %.2f (plain optimization would cost %.2f)\n",
+		res.Stats.FinalCost, res.Stats.BaseCost)
+
+	// EXPLAIN shows the shared spool and the per-query compensation.
+	plan, err := db.Explain(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan:")
+	fmt.Println(plan)
+}

@@ -1,0 +1,161 @@
+// Package catalog holds table schemas and statistics. The optimizer reads
+// statistics from here; the storage layer registers table data alongside the
+// schema objects.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type sqltypes.Kind
+}
+
+// ColStat summarizes one column for cardinality estimation.
+type ColStat struct {
+	Distinct float64        // estimated number of distinct values
+	Min, Max sqltypes.Datum // value range for range-predicate selectivity
+	NullFrac float64        // fraction of NULL values
+}
+
+// TableStats summarizes a table for cardinality estimation.
+type TableStats struct {
+	RowCount float64
+	Cols     []ColStat // parallel to Table.Cols
+}
+
+// Table is a schema object: a base table or the backing table of a
+// materialized view.
+type Table struct {
+	Name  string
+	Cols  []Column
+	Stats TableStats
+
+	// AvgRowSize is the estimated width of a full row in bytes; derived from
+	// column kinds unless set explicitly by the statistics builder.
+	AvgRowSize float64
+
+	// OrderedBy lists column ordinals the stored rows are physically sorted
+	// by (ascending, in sequence), or nil when no order is guaranteed. The
+	// optimizer uses it to elide sorts, enable merge joins, and stream
+	// aggregation. Unordered inserts clear it.
+	OrderedBy []int
+
+	// Indexes declares secondary single-column indexes. The storage layer
+	// materializes them as sorted permutations when the table is analyzed.
+	Indexes []Index
+}
+
+// Index is a secondary index over one column.
+type Index struct {
+	// Col is the indexed column's ordinal.
+	Col int
+}
+
+// HasIndexOn reports whether an index on the given ordinal is declared.
+func (t *Table) HasIndexOn(col int) bool {
+	for _, ix := range t.Indexes {
+		if ix.Col == col {
+			return true
+		}
+	}
+	return false
+}
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column, or an error naming the table.
+func (t *Table) Column(name string) (int, *Column, error) {
+	i := t.ColIndex(name)
+	if i < 0 {
+		return 0, nil, fmt.Errorf("column %q does not exist in table %q", name, t.Name)
+	}
+	return i, &t.Cols[i], nil
+}
+
+// ColWidth returns the estimated byte width of column i.
+func (t *Table) ColWidth(i int) float64 {
+	return float64(sqltypes.KindSize(t.Cols[i].Type))
+}
+
+// ColStat returns the statistics for column i, substituting a conservative
+// default when statistics have not been collected.
+func (t *Table) ColStat(i int) ColStat {
+	if i < len(t.Stats.Cols) {
+		return t.Stats.Cols[i]
+	}
+	d := t.Stats.RowCount
+	if d <= 0 {
+		d = 1000
+	}
+	return ColStat{Distinct: d}
+}
+
+// Catalog is a named collection of tables. It is not safe for concurrent
+// mutation; the engine serializes DDL.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table. It returns an error if the name is taken.
+func (c *Catalog) Add(t *Table) error {
+	key := strings.ToLower(t.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("table %q already exists", t.Name)
+	}
+	if t.AvgRowSize == 0 {
+		for i := range t.Cols {
+			t.AvgRowSize += t.ColWidth(i)
+		}
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Drop removes a table by name.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Table resolves a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Names returns all table names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,118 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Name: "Sample",
+		Cols: []Column{
+			{Name: "id", Type: sqltypes.KindInt},
+			{Name: "name", Type: sqltypes.KindString},
+			{Name: "price", Type: sqltypes.KindFloat},
+		},
+	}
+}
+
+func TestAddAndResolve(t *testing.T) {
+	c := New()
+	if err := c.Add(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sample", "SAMPLE", "Sample"} {
+		if _, err := c.Table(name); err != nil {
+			t.Errorf("lookup %q failed: %v", name, err)
+		}
+	}
+	if _, err := c.Table("other"); err == nil {
+		t.Error("missing table must error")
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	c := New()
+	if err := c.Add(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	dup := sampleTable()
+	dup.Name = "SAMPLE"
+	if err := c.Add(dup); err == nil {
+		t.Error("case-insensitive duplicate must be rejected")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := New()
+	if err := c.Add(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("sample"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("sample"); err == nil {
+		t.Error("dropped table still resolvable")
+	}
+	if err := c.Drop("sample"); err == nil {
+		t.Error("double drop must error")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		tab := sampleTable()
+		tab.Name = n
+		if err := c.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestColIndexAndColumn(t *testing.T) {
+	tab := sampleTable()
+	if tab.ColIndex("NAME") != 1 {
+		t.Error("ColIndex must be case-insensitive")
+	}
+	if tab.ColIndex("missing") != -1 {
+		t.Error("missing column index must be -1")
+	}
+	i, col, err := tab.Column("price")
+	if err != nil || i != 2 || col.Type != sqltypes.KindFloat {
+		t.Errorf("Column = %d,%v,%v", i, col, err)
+	}
+	if _, _, err := tab.Column("nope"); err == nil {
+		t.Error("missing column must error")
+	}
+}
+
+func TestAvgRowSizeDerived(t *testing.T) {
+	c := New()
+	tab := sampleTable()
+	if err := c.Add(tab); err != nil {
+		t.Fatal(err)
+	}
+	// int(8) + string(16) + float(8)
+	if tab.AvgRowSize != 32 {
+		t.Errorf("AvgRowSize = %g, want 32", tab.AvgRowSize)
+	}
+}
+
+func TestColStatDefault(t *testing.T) {
+	tab := sampleTable()
+	tab.Stats = TableStats{RowCount: 500}
+	cs := tab.ColStat(1)
+	if cs.Distinct != 500 {
+		t.Errorf("default distinct = %g, want row count", cs.Distinct)
+	}
+	tab.Stats.Cols = []ColStat{{Distinct: 7}}
+	if tab.ColStat(0).Distinct != 7 {
+		t.Error("collected stats must be returned")
+	}
+}

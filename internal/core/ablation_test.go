@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// ablate runs Example 1's batch under a tweaked configuration and returns
+// the stats.
+func ablate(t *testing.T, tweak func(*core.Settings)) core.Stats {
+	t.Helper()
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL)
+	s := core.DefaultSettings()
+	tweak(&s)
+	out, err := core.Optimize(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Stats
+}
+
+// TestChargeAtRootSamePlanQuality: charging initial costs at the batch root
+// instead of the common dominator must not change the chosen plan's cost —
+// only the optimizer's work (§5.2's point is efficiency, not plan quality).
+func TestChargeAtRootSamePlanQuality(t *testing.T) {
+	base := ablate(t, func(s *core.Settings) {})
+	atRoot := ablate(t, func(s *core.Settings) { s.ChargeAtRoot = true })
+	if base.FinalCost != atRoot.FinalCost {
+		t.Errorf("charge-at-root changed plan cost: %.2f vs %.2f", atRoot.FinalCost, base.FinalCost)
+	}
+	if len(atRoot.UsedCSEs) != len(base.UsedCSEs) {
+		t.Errorf("charge-at-root changed CSE usage: %v vs %v", atRoot.UsedCSEs, base.UsedCSEs)
+	}
+}
+
+// TestNoHistoryReuseSamePlanQuality: disabling §5.4's history reuse is a
+// pure performance ablation.
+func TestNoHistoryReuseSamePlanQuality(t *testing.T) {
+	base := ablate(t, func(s *core.Settings) { s.Heuristics = false })
+	noHist := ablate(t, func(s *core.Settings) { s.Heuristics = false; s.NoHistoryReuse = true })
+	if base.FinalCost != noHist.FinalCost {
+		t.Errorf("disabling history reuse changed plan cost: %.2f vs %.2f", noHist.FinalCost, base.FinalCost)
+	}
+}
+
+// TestExtendedSubsetPruningFewerOpts: the interval rule must cut
+// reoptimizations below plain Propositions 5.4–5.6 while finding the same
+// plan.
+func TestExtendedSubsetPruningFewerOpts(t *testing.T) {
+	plain := ablate(t, func(s *core.Settings) { s.Heuristics = false })
+	ext := ablate(t, func(s *core.Settings) { s.Heuristics = false; s.ExtendedSubsetPruning = true })
+	if ext.FinalCost != plain.FinalCost {
+		t.Errorf("extended pruning changed plan cost: %.2f vs %.2f", ext.FinalCost, plain.FinalCost)
+	}
+	if ext.CSEOptimizations >= plain.CSEOptimizations {
+		t.Errorf("extended pruning did not reduce optimizations: %d vs %d",
+			ext.CSEOptimizations, plain.CSEOptimizations)
+	}
+	t.Logf("reoptimizations: plain Props 5.4-5.6 = %d, interval rule = %d",
+		plain.CSEOptimizations, ext.CSEOptimizations)
+}
+
+// TestSubsetPruningOffExhaustive: without Propositions 5.4–5.6 every subset
+// of the 5 Figure-6 candidates is optimized (2^5−1 = 31), and the plan is
+// unchanged.
+func TestSubsetPruningOffExhaustive(t *testing.T) {
+	pruned := ablate(t, func(s *core.Settings) { s.Heuristics = false })
+	exhaustive := ablate(t, func(s *core.Settings) { s.Heuristics = false; s.SubsetPruning = false })
+	if exhaustive.CSEOptimizations != 31 {
+		t.Errorf("exhaustive optimizations = %d, want 31", exhaustive.CSEOptimizations)
+	}
+	if pruned.CSEOptimizations >= exhaustive.CSEOptimizations {
+		t.Errorf("propositions did not prune: %d vs %d", pruned.CSEOptimizations, exhaustive.CSEOptimizations)
+	}
+	if pruned.FinalCost != exhaustive.FinalCost {
+		t.Errorf("pruning changed plan cost: %.2f vs %.2f", pruned.FinalCost, exhaustive.FinalCost)
+	}
+}
+
+// TestMinQueryCostGate: a high threshold skips the CSE phase entirely.
+func TestMinQueryCostGate(t *testing.T) {
+	gated := ablate(t, func(s *core.Settings) { s.MinQueryCost = 1e12 })
+	if gated.Candidates != 0 || gated.FinalCost != gated.BaseCost {
+		t.Errorf("CSE phase ran despite the cost gate: %+v", gated)
+	}
+}
+
+// TestMaxCSEOptimizationsCap bounds the subset enumeration.
+func TestMaxCSEOptimizationsCap(t *testing.T) {
+	capped := ablate(t, func(s *core.Settings) {
+		s.Heuristics = false
+		s.SubsetPruning = false
+		s.MaxCSEOptimizations = 5
+	})
+	if capped.CSEOptimizations > 5 {
+		t.Errorf("cap ignored: %d optimizations", capped.CSEOptimizations)
+	}
+	// The descending-size order tries the full set first, which finds the
+	// sharing plan even under a tight cap.
+	if capped.FinalCost >= capped.BaseCost {
+		t.Error("capped enumeration should still find the sharing plan")
+	}
+}

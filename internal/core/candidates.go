@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memo"
+	"repro/internal/opt"
+	"repro/internal/scalar"
+)
+
+// detectSets queries the CSE manager's signature table for signatures
+// referenced by two or more expressions from different parts of the query
+// (Step 2's first half). Single-table ungrouped signatures are skipped:
+// spooling a base-table selection shares no computation worth materializing.
+func detectSets(m *memo.Memo) [][]memo.GroupID {
+	index := m.SignatureGroups()
+	keys := make([]string, 0, len(index))
+	for k := range index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out [][]memo.GroupID
+	for _, k := range keys {
+		groups := index[k]
+		var eligible []memo.GroupID
+		for _, gid := range groups {
+			g := m.Group(gid)
+			if g.StmtIdx < 0 {
+				continue // candidate-expression groups join in round 2 only
+			}
+			if !g.Sig.Grouped && len(g.Sig.Tables) < 2 {
+				continue
+			}
+			eligible = append(eligible, gid)
+		}
+		if len(eligible) >= 2 {
+			out = append(out, eligible)
+		}
+	}
+	return out
+}
+
+// compatClasses partitions a signature set into join-compatible classes
+// (Definition 4.1): within a class the intersection of all members'
+// equivalence classes induces a connected equijoin graph.
+func compatClasses(m *memo.Memo, set []memo.GroupID) [][]memo.GroupID {
+	type class struct {
+		members []memo.GroupID
+		inter   *baseEquiv
+		tables  []string
+	}
+	var classes []*class
+outer:
+	for _, gid := range set {
+		g := m.Group(gid)
+		eq := equivOf(m.Md, g)
+		for _, cl := range classes {
+			inter := intersectEquiv(cl.inter, eq)
+			if inter.connectedOver(cl.tables) {
+				cl.members = append(cl.members, gid)
+				cl.inter = inter
+				continue outer
+			}
+		}
+		classes = append(classes, &class{
+			members: []memo.GroupID{gid},
+			inter:   eq,
+			tables:  g.Sig.Tables,
+		})
+	}
+	var out [][]memo.GroupID
+	for _, cl := range classes {
+		out = append(out, cl.members)
+	}
+	return out
+}
+
+// generator runs candidate generation (§4.3) for one optimization.
+type generator struct {
+	m   *memo.Memo
+	o   *opt.Optimizer
+	set Settings
+	cq  float64 // cost of the best plan found before CSE optimization
+
+	stats *Stats
+}
+
+// lowerOf returns a group's lower cost bound.
+func (g *generator) lowerOf(gid memo.GroupID) (float64, error) {
+	w, err := g.o.Winner(gid)
+	if err != nil {
+		return 0, err
+	}
+	return w.Lower, nil
+}
+
+// upperOf returns a group's upper cost bound.
+func (g *generator) upperOf(gid memo.GroupID) (float64, error) {
+	w, err := g.o.Winner(gid)
+	if err != nil {
+		return 0, err
+	}
+	return w.Upper, nil
+}
+
+// heuristic1 (§4.3.1): the consumers' maximum possible contribution must be
+// a significant fraction of the whole-query cost.
+func (g *generator) heuristic1(consumers []memo.GroupID) (bool, error) {
+	sum := 0.0
+	for _, cid := range consumers {
+		lo, err := g.lowerOf(cid)
+		if err != nil {
+			return false, err
+		}
+		sum += lo
+	}
+	return sum >= g.set.Alpha*g.cq, nil
+}
+
+// heuristic2 (§4.3.2) drops consumers whose results are cheap to compute but
+// expensive to materialize and read.
+func (g *generator) heuristic2(consumers []memo.GroupID) ([]memo.GroupID, error) {
+	n := float64(len(consumers))
+	var kept []memo.GroupID
+	for _, cid := range consumers {
+		grp := g.m.Group(cid)
+		upper, err := g.upperOf(cid)
+		if err != nil {
+			return nil, err
+		}
+		bytes := grp.Rows * grp.RowSize
+		cw := opt.SpoolWriteCost(grp.Rows, bytes)
+		cr := opt.SpoolReadCost(grp.Rows, bytes)
+		if upper < cr+(upper+cw)/n {
+			continue // discard consumer
+		}
+		kept = append(kept, cid)
+	}
+	return kept, nil
+}
+
+// costUsing estimates the total contribution of using a candidate spec:
+// C_E + C_W + Σ C_R, with C_E approximated from below by the highest of the
+// consumers' lower bounds (§4.3.3). A trivial (single-consumer) spec costs
+// what computing the consumer directly costs — no spool.
+func (g *generator) costUsing(s *spec) (float64, error) {
+	if len(s.consumers) == 1 {
+		return g.lowerOf(s.consumers[0])
+	}
+	ce := 0.0
+	for _, cid := range s.consumers {
+		lo, err := g.lowerOf(cid)
+		if err != nil {
+			return 0, err
+		}
+		if lo > ce {
+			ce = lo
+		}
+	}
+	cw := opt.SpoolWriteCost(s.rows, s.bytes)
+	cr := opt.SpoolReadCost(s.rows, s.bytes)
+	return ce + cw + cr*float64(len(s.consumers)), nil
+}
+
+// algorithm1 is the paper's greedy candidate generation: start from trivial
+// CSEs and merge while the Δ benefit (§4.3.3, Heuristic 3) is positive.
+func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
+	r := make([]*spec, 0, len(consumers))
+	for _, cid := range consumers {
+		s, err := buildSpec(g.m, []memo.GroupID{cid})
+		if err != nil {
+			continue // e.g. self-join alignment failure: not coverable
+		}
+		r = append(r, s)
+	}
+	var out []*spec
+	for len(r) > 1 {
+		cur := r[0]
+		r = r[1:]
+		isCandidate := false
+		for len(r) > 0 {
+			bestIdx := -1
+			var bestMerged *spec
+			bestDelta := 0.0
+			curCost, err := g.costUsing(cur)
+			if err != nil {
+				return nil, err
+			}
+			for i, m := range r {
+				merged, err := buildSpec(g.m, append(append([]memo.GroupID(nil), cur.consumers...), m.consumers...))
+				if err != nil {
+					continue
+				}
+				mCost, err := g.costUsing(m)
+				if err != nil {
+					return nil, err
+				}
+				mergedCost, err := g.costUsing(merged)
+				if err != nil {
+					return nil, err
+				}
+				delta := curCost + mCost - mergedCost
+				if delta > bestDelta {
+					bestDelta = delta
+					bestIdx = i
+					bestMerged = merged
+				}
+			}
+			if bestIdx < 0 {
+				break // no more beneficial merging exists
+			}
+			r = append(r[:bestIdx], r[bestIdx+1:]...)
+			cur = bestMerged
+			isCandidate = true
+		}
+		if isCandidate {
+			out = append(out, cur)
+		}
+	}
+	return out, nil
+}
+
+// generate runs detection and candidate generation, returning final specs.
+func (g *generator) generate() ([]*spec, error) {
+	sets := detectSets(g.m)
+	g.stats.SignatureSets = len(sets)
+	var specs []*spec
+	for _, set := range sets {
+		if g.set.Heuristics {
+			ok, err := g.heuristic1(set)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		for _, class := range compatClasses(g.m, set) {
+			if len(class) < 2 {
+				continue
+			}
+			if g.set.Heuristics {
+				ok, err := g.heuristic1(class)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				var err2 error
+				class, err2 = g.heuristic2(class)
+				if err2 != nil {
+					return nil, err2
+				}
+				if len(class) < 2 {
+					continue
+				}
+				classSpecs, err := g.algorithm1(class)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, classSpecs...)
+			} else {
+				// Without heuristics: one candidate covering the whole
+				// class, as in the paper's "no heuristics" experiments.
+				s, err := buildSpec(g.m, class)
+				if err != nil {
+					continue
+				}
+				specs = append(specs, s)
+			}
+		}
+	}
+	if g.set.Heuristics {
+		specs = g.containmentPrune(specs)
+	}
+	if g.set.MaxCandidates > 0 && len(specs) > g.set.MaxCandidates {
+		// Keep the candidates with the largest potential contribution.
+		sort.Slice(specs, func(i, j int) bool {
+			return potentialOf(g, specs[i]) > potentialOf(g, specs[j])
+		})
+		specs = specs[:g.set.MaxCandidates]
+	}
+	return specs, nil
+}
+
+func potentialOf(g *generator, s *spec) float64 {
+	sum := 0.0
+	for _, cid := range s.consumers {
+		if lo, err := g.lowerOf(cid); err == nil {
+			sum += lo
+		}
+	}
+	return sum
+}
+
+// containmentPrune applies Heuristic 4 (§4.3.4): a candidate contained in
+// another (tables a subset, every consumer a descendant of a container
+// consumer) is discarded unless its result is meaningfully smaller.
+func (g *generator) containmentPrune(specs []*spec) []*spec {
+	// Order by estimated bytes descending so large contained candidates go
+	// first and small containers survive to prune them.
+	sort.Slice(specs, func(i, j int) bool { return specs[i].bytes > specs[j].bytes })
+	discarded := make([]bool, len(specs))
+	closures := make(map[memo.GroupID]map[memo.GroupID]bool)
+	closureOf := func(gid memo.GroupID) map[memo.GroupID]bool {
+		if c, ok := closures[gid]; ok {
+			return c
+		}
+		c := g.m.DescendantClosure(gid)
+		closures[gid] = c
+		return c
+	}
+	contained := func(c, p *spec) bool {
+		if !tableSubset(c.tables, p.tables) {
+			return false
+		}
+		for _, cc := range c.consumers {
+			found := false
+			for _, pc := range p.consumers {
+				if closureOf(pc)[cc] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	for i, c := range specs {
+		for j, p := range specs {
+			if i == j || discarded[j] {
+				continue
+			}
+			if contained(c, p) && c.bytes > g.set.Beta*p.bytes {
+				discarded[i] = true
+				break
+			}
+		}
+	}
+	var out []*spec
+	for i, s := range specs {
+		if !discarded[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func tableSubset(a, b []string) bool {
+	set := make(map[string]bool, len(b))
+	for _, t := range b {
+		set[t] = true
+	}
+	for _, t := range a {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize materializes surviving specs as memo groups and opt.Candidates.
+func (g *generator) finalize(specs []*spec) ([]*opt.Candidate, error) {
+	var cands []*opt.Candidate
+	for i, s := range specs {
+		blk := s.block()
+		exprGroup, err := g.m.AddBlock(blk, -2-i)
+		if err != nil {
+			return nil, fmt.Errorf("materializing candidate %d: %w", i, err)
+		}
+		eg := g.m.Group(exprGroup)
+		cand := &opt.Candidate{
+			ID:        i,
+			ExprGroup: exprGroup,
+			SpoolCols: eg.OutCols,
+			Subs:      make(map[memo.GroupID]*opt.Substitute, len(s.consumers)),
+			Stmts:     make(map[int]bool),
+			Rows:      eg.Rows,
+			Bytes:     eg.Rows * eg.RowSize,
+			Tables:    s.tables,
+			Grouped:   s.grouped,
+			Label:     s.label(),
+		}
+		for _, cid := range s.sortedConsumers() {
+			sub, err := s.substituteFor(cid)
+			if err != nil {
+				return nil, fmt.Errorf("substitute for consumer G%d of candidate %d: %w", cid, i, err)
+			}
+			if err := validateSub(sub, eg.OutCols); err != nil {
+				return nil, fmt.Errorf("candidate %d consumer G%d: %w", i, cid, err)
+			}
+			cand.Consumers = append(cand.Consumers, cid)
+			cand.Subs[cid] = sub
+			cand.Stmts[g.m.Group(cid).StmtIdx] = true
+		}
+		cands = append(cands, cand)
+	}
+	return cands, nil
+}
+
+// validateSub checks that everything the substitute reads exists in the
+// spool layout (re-aggregation outputs are produced by the substitute
+// itself and are exempt).
+func validateSub(sub *opt.Substitute, spoolCols []scalar.ColID) error {
+	avail := scalar.MakeColSet(spoolCols...)
+	if sub.Residual != nil && !sub.Residual.Cols().SubsetOf(avail) {
+		return fmt.Errorf("residual references columns outside the spool")
+	}
+	produced := avail.Copy()
+	for _, gc := range sub.GroupCols {
+		if !avail.Contains(gc) {
+			return fmt.Errorf("re-aggregation group column @%d not in spool", gc)
+		}
+	}
+	for _, a := range sub.Aggs {
+		if a.Arg != nil && !a.Arg.Cols().SubsetOf(avail) {
+			return fmt.Errorf("re-aggregation argument references columns outside the spool")
+		}
+		produced.Add(a.Out)
+	}
+	for _, rn := range sub.Renames {
+		if !produced.Contains(rn.From) {
+			return fmt.Errorf("rename source @%d not available", rn.From)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package core implements the paper's contribution: detection of potentially
+// sharable SPJG subexpressions through table signatures, join-compatibility
+// analysis, construction of covering subexpressions (CSEs), the greedy
+// candidate-generation algorithm with its four cost-based pruning heuristics
+// (§4), stacked CSEs (§5.5), and the cost-based optimization over candidate
+// subsets with Propositions 5.4–5.6 (§5.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/scalar"
+)
+
+// baseKey identifies a column independently of table instance: base table
+// name (lower case) plus column ordinal. CSE construction aligns columns of
+// different consumers through base keys.
+type baseKey struct {
+	table string
+	ord   int
+}
+
+// colMapper translates between a consumer's column space and the candidate's
+// canonical column space (the first consumer's).
+type colMapper struct {
+	md *logical.Metadata
+	// relByTable maps a base table name to the consumer's instance.
+	relByTable map[string]*logical.RelInfo
+}
+
+func newColMapper(md *logical.Metadata, g *memo.Group) (*colMapper, error) {
+	cm := &colMapper{md: md, relByTable: make(map[string]*logical.RelInfo)}
+	for rid := 0; rid < md.NumRels(); rid++ {
+		if g.Rels&(1<<uint(rid)) == 0 {
+			continue
+		}
+		rel := md.Rel(logical.RelID(rid))
+		name := strings.ToLower(rel.Tab.Name)
+		if _, dup := cm.relByTable[name]; dup {
+			return nil, fmt.Errorf("self-join on %q cannot be covered", name)
+		}
+		cm.relByTable[name] = rel
+	}
+	return cm, nil
+}
+
+// baseOf returns the base key of a column; ok is false for synthesized
+// columns.
+func (cm *colMapper) baseOf(c scalar.ColID) (baseKey, bool) {
+	t, ord, ok := cm.md.BaseCol(c)
+	if !ok {
+		return baseKey{}, false
+	}
+	return baseKey{table: strings.ToLower(t), ord: ord}, true
+}
+
+// colFor returns this space's column for a base key.
+func (cm *colMapper) colFor(k baseKey) (scalar.ColID, bool) {
+	rel, ok := cm.relByTable[k.table]
+	if !ok {
+		return 0, false
+	}
+	return rel.ColID(k.ord), true
+}
+
+// translate rewrites an expression from the src space into the dst space,
+// column by column via base keys. Synthesized columns cannot be translated.
+func translate(e *scalar.Expr, src, dst *colMapper) (*scalar.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if e.Op == scalar.OpCol {
+		k, ok := src.baseOf(e.Col)
+		if !ok {
+			return nil, fmt.Errorf("column @%d is synthesized and cannot be translated", e.Col)
+		}
+		to, ok := dst.colFor(k)
+		if !ok {
+			return nil, fmt.Errorf("no instance of table %q in target space", k.table)
+		}
+		return scalar.Col(to), nil
+	}
+	if len(e.Args) == 0 {
+		return e, nil
+	}
+	args := make([]*scalar.Expr, len(e.Args))
+	for i, a := range e.Args {
+		na, err := translate(a, src, dst)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = na
+	}
+	out := *e
+	out.Args = args
+	return &out, nil
+}
+
+// baseEquiv maintains equivalence classes over base keys (§4.1).
+type baseEquiv struct {
+	parent map[baseKey]baseKey
+}
+
+func newBaseEquiv() *baseEquiv { return &baseEquiv{parent: make(map[baseKey]baseKey)} }
+
+func (be *baseEquiv) find(k baseKey) baseKey {
+	p, ok := be.parent[k]
+	if !ok {
+		be.parent[k] = k
+		return k
+	}
+	if p == k {
+		return k
+	}
+	root := be.find(p)
+	be.parent[k] = root
+	return root
+}
+
+func (be *baseEquiv) add(a, b baseKey) {
+	ra, rb := be.find(a), be.find(b)
+	if ra != rb {
+		be.parent[rb] = ra
+	}
+}
+
+func (be *baseEquiv) equal(a, b baseKey) bool {
+	if a == b {
+		return true
+	}
+	if _, ok := be.parent[a]; !ok {
+		return false
+	}
+	if _, ok := be.parent[b]; !ok {
+		return false
+	}
+	return be.find(a) == be.find(b)
+}
+
+// classes returns classes with two or more members, deterministically sorted.
+func (be *baseEquiv) classes() [][]baseKey {
+	byRoot := make(map[baseKey][]baseKey)
+	keys := make([]baseKey, 0, len(be.parent))
+	for k := range be.parent {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessBase(keys[i], keys[j]) })
+	for _, k := range keys {
+		r := be.find(k)
+		byRoot[r] = append(byRoot[r], k)
+	}
+	var out [][]baseKey
+	for _, class := range byRoot {
+		if len(class) >= 2 {
+			out = append(out, class)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessBase(out[i][0], out[j][0]) })
+	return out
+}
+
+func lessBase(a, b baseKey) bool {
+	if a.table != b.table {
+		return a.table < b.table
+	}
+	return a.ord < b.ord
+}
+
+// equivOf extracts the base-space equivalence classes induced by a group's
+// column-equality conjuncts.
+func equivOf(md *logical.Metadata, g *memo.Group) *baseEquiv {
+	cm := colMapperOrNil(md, g)
+	be := newBaseEquiv()
+	if cm == nil {
+		return be
+	}
+	for _, c := range g.Conjuncts {
+		if a, b, ok := c.IsColEqCol(); ok {
+			ka, okA := cm.baseOf(a)
+			kb, okB := cm.baseOf(b)
+			if okA && okB {
+				be.add(ka, kb)
+			}
+		}
+	}
+	return be
+}
+
+func colMapperOrNil(md *logical.Metadata, g *memo.Group) *colMapper {
+	cm, err := newColMapper(md, g)
+	if err != nil {
+		return nil
+	}
+	return cm
+}
+
+// intersectEquiv intersects two base-space class collections in the natural
+// way (§4.1).
+func intersectEquiv(a, b *baseEquiv) *baseEquiv {
+	out := newBaseEquiv()
+	for _, ca := range a.classes() {
+		inA := make(map[baseKey]bool, len(ca))
+		for _, k := range ca {
+			inA[k] = true
+		}
+		for _, cb := range b.classes() {
+			var common []baseKey
+			for _, k := range cb {
+				if inA[k] {
+					common = append(common, k)
+				}
+			}
+			for i := 1; i < len(common); i++ {
+				out.add(common[0], common[i])
+			}
+		}
+	}
+	return out
+}
+
+// connectedOver reports whether the equijoin graph induced by the classes is
+// connected over the given tables (Definition 4.1).
+func (be *baseEquiv) connectedOver(tables []string) bool {
+	if len(tables) <= 1 {
+		return true
+	}
+	idx := make(map[string]int, len(tables))
+	for i, t := range tables {
+		idx[t] = i
+	}
+	parent := make([]int, len(tables))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, class := range be.classes() {
+		first := -1
+		for _, k := range class {
+			ti, ok := idx[k.table]
+			if !ok {
+				continue
+			}
+			if first < 0 {
+				first = ti
+				continue
+			}
+			ra, rb := find(first), find(ti)
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	root := find(0)
+	for i := 1; i < len(tables); i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetOfEquiv reports whether every equality of a holds in b.
+func subsetOfEquiv(a, b *baseEquiv) bool {
+	for _, class := range a.classes() {
+		for i := 1; i < len(class); i++ {
+			if !b.equal(class[0], class[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

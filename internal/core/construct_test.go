@@ -1,0 +1,385 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/scalar"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func whiteboxMemo(t testing.TB, sql string) *memo.Memo {
+	t.Helper()
+	cat := catalog.New()
+	for _, tab := range tpch.Schemas() {
+		if err := cat.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := storage.NewStore()
+	if err := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 3}, cat, st); err != nil {
+		t.Fatal(err)
+	}
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := logical.BuildBatch(stmts, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := memo.Build(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBaseEquivUnionFind(t *testing.T) {
+	be := newBaseEquiv()
+	a := baseKey{"r", 0}
+	b := baseKey{"s", 1}
+	c := baseKey{"t", 2}
+	be.add(a, b)
+	be.add(b, c)
+	if !be.equal(a, c) {
+		t.Error("transitivity")
+	}
+	if be.equal(a, baseKey{"x", 0}) {
+		t.Error("unrelated keys are not equal")
+	}
+	classes := be.classes()
+	if len(classes) != 1 || len(classes[0]) != 3 {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+// TestIntersectEquivPaperExample2 replays the paper's Example 2 at the
+// base-column level.
+func TestIntersectEquivPaperExample2(t *testing.T) {
+	ra, rb, rc := baseKey{"r", 0}, baseKey{"r", 1}, baseKey{"r", 2}
+	sd, se, sf := baseKey{"s", 0}, baseKey{"s", 1}, baseKey{"s", 2}
+
+	e1 := newBaseEquiv() // R.a=S.d, R.b=S.e
+	e1.add(ra, sd)
+	e1.add(rb, se)
+	e2 := newBaseEquiv() // R.a=S.d, R.c=S.f
+	e2.add(ra, sd)
+	e2.add(rc, sf)
+	inter := intersectEquiv(e1, e2)
+	if !inter.equal(ra, sd) {
+		t.Error("R.a = S.d must survive the intersection")
+	}
+	if inter.equal(rb, se) || inter.equal(rc, sf) {
+		t.Error("non-common equalities must not survive")
+	}
+	// The equijoin graph over {r, s} is connected: join compatible.
+	if !inter.connectedOver([]string{"r", "s"}) {
+		t.Error("expressions of Example 2 are join compatible")
+	}
+
+	// Second part: R ⋈a=d,b=e S vs R ⋈c=f S: intersection empty → graph
+	// disconnected → not join compatible.
+	e3 := newBaseEquiv()
+	e3.add(rc, sf)
+	inter2 := intersectEquiv(e1, e3)
+	if inter2.connectedOver([]string{"r", "s"}) {
+		t.Error("expressions with no common join must not be join compatible")
+	}
+}
+
+func TestConnectedOverSingleTable(t *testing.T) {
+	be := newBaseEquiv()
+	if !be.connectedOver([]string{"r"}) {
+		t.Error("one table is trivially connected")
+	}
+	if !be.connectedOver(nil) {
+		t.Error("zero tables is trivially connected")
+	}
+}
+
+func TestSubsetOfEquiv(t *testing.T) {
+	a := newBaseEquiv()
+	a.add(baseKey{"r", 0}, baseKey{"s", 0})
+	b := newBaseEquiv()
+	b.add(baseKey{"r", 0}, baseKey{"s", 0})
+	b.add(baseKey{"r", 1}, baseKey{"s", 1})
+	if !subsetOfEquiv(a, b) {
+		t.Error("a's single equality holds in b")
+	}
+	if subsetOfEquiv(b, a) {
+		t.Error("b has an equality missing from a")
+	}
+}
+
+func TestCompatClassesSplit(t *testing.T) {
+	// Two pairs of queries over orders⋈lineitem: the first pair joins on
+	// o_orderkey = l_orderkey, the second "joins" on an unrelated equality
+	// (o_custkey = l_suppkey); they are not mutually join compatible.
+	m := whiteboxMemo(t, `
+select o_orderkey from orders, lineitem where o_orderkey = l_orderkey and o_totalprice > 10;
+select o_orderkey from orders, lineitem where o_orderkey = l_orderkey and o_totalprice > 20;
+select o_orderkey from orders, lineitem where o_custkey = l_suppkey;
+`)
+	sets := detectSets(m)
+	var olSet []memo.GroupID
+	for _, set := range sets {
+		if m.Group(set[0]).Sig.Key() == "F|lineitem,orders" {
+			olSet = set
+		}
+	}
+	if len(olSet) != 3 {
+		t.Fatalf("detection found %d {O,L} groups, want 3", len(olSet))
+	}
+	classes := compatClasses(m, olSet)
+	if len(classes) != 2 {
+		t.Fatalf("compatibility classes = %d, want 2", len(classes))
+	}
+	sizes := []int{len(classes[0]), len(classes[1])}
+	if !(sizes[0] == 2 && sizes[1] == 1) && !(sizes[0] == 1 && sizes[1] == 2) {
+		t.Errorf("class sizes = %v, want {2,1}", sizes)
+	}
+}
+
+func TestBuildSpecCoveringPredicate(t *testing.T) {
+	m := whiteboxMemo(t, `
+select c_name from customer, orders where c_custkey = o_custkey and c_nationkey < 10;
+select c_name from customer, orders where c_custkey = o_custkey and c_nationkey > 15;
+`)
+	var consumers []memo.GroupID
+	for _, set := range detectSets(m) {
+		if m.Group(set[0]).Sig.Key() == "F|customer,orders" {
+			consumers = set
+		}
+	}
+	if len(consumers) != 2 {
+		t.Fatalf("consumers = %d", len(consumers))
+	}
+	s, err := buildSpec(m, consumers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: the shared equijoin became the join predicate.
+	if len(s.joinConjuncts) != 1 {
+		t.Errorf("join conjuncts = %d, want 1", len(s.joinConjuncts))
+	}
+	// Step 3: the two different filters OR into the covering predicate.
+	if s.covering == nil || s.covering.Op != scalar.OpOr {
+		t.Fatalf("covering = %v, want OR", s.covering)
+	}
+	if len(s.shared) != 0 {
+		t.Errorf("no shared non-join conjuncts here, got %v", s.shared)
+	}
+	// Residuals per consumer are their own filters.
+	for _, cid := range consumers {
+		if scalar.IsTrue(s.residuals[cid]) {
+			t.Error("each consumer keeps a compensation residual")
+		}
+	}
+	// Output columns include the covering predicate's column.
+	nk := findColByName(m.Md, s.outCols, "c_nationkey")
+	if nk == 0 {
+		t.Error("covering predicate column must be in the CSE output")
+	}
+}
+
+func TestBuildSpecSharedConjunctFactoring(t *testing.T) {
+	m := whiteboxMemo(t, `
+select c_nationkey, sum(o_totalprice) as s from customer, orders
+where c_custkey = o_custkey and o_orderdate < '1996-07-01' and c_nationkey < 10
+group by c_nationkey;
+select c_nationkey, sum(o_totalprice) as s from customer, orders
+where c_custkey = o_custkey and o_orderdate < '1996-07-01' and c_nationkey > 15
+group by c_nationkey;
+`)
+	var consumers []memo.GroupID
+	for _, set := range detectSets(m) {
+		if m.Group(set[0]).Sig.Key() == "T|customer,orders" {
+			consumers = set
+		}
+	}
+	if len(consumers) < 2 {
+		t.Skip("no grouped consumers detected (eager-agg gate)")
+	}
+	s, err := buildSpec(m, consumers[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The common date filter is factored out as a shared conjunct, not
+	// OR'd — so o_orderdate must NOT become a grouping column.
+	if len(s.shared) != 1 {
+		t.Fatalf("shared conjuncts = %v, want the o_orderdate filter", s.shared)
+	}
+	for _, gc := range s.groupCols {
+		if name := m.Md.ColName(gc); name == "orders.o_orderdate" {
+			t.Error("shared conjunct columns must not join the grouping columns")
+		}
+	}
+}
+
+func TestBuildSpecGroupedUnion(t *testing.T) {
+	// Two grouped consumers with different grouping columns: CSE groups by
+	// the union, consumers re-aggregate.
+	m := whiteboxMemo(t, `
+select c_nationkey, c_mktsegment, sum(o_totalprice) as s from customer, orders
+where c_custkey = o_custkey group by c_nationkey, c_mktsegment;
+select c_nationkey, sum(o_totalprice) as s, count(*) as n from customer, orders
+where c_custkey = o_custkey group by c_nationkey;
+`)
+	var consumers []memo.GroupID
+	for _, set := range detectSets(m) {
+		if m.Group(set[0]).Sig.Key() == "T|customer,orders" {
+			consumers = set
+		}
+	}
+	if len(consumers) < 2 {
+		t.Fatal("grouped consumers not detected")
+	}
+	s, err := buildSpec(m, consumers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.grouped {
+		t.Fatal("spec must be grouped")
+	}
+	names := map[string]bool{}
+	for _, gc := range s.groupCols {
+		names[m.Md.ColName(gc)] = true
+	}
+	if !names["customer.c_nationkey"] || !names["customer.c_mktsegment"] {
+		t.Errorf("grouping columns = %v, want union of consumer groupings", names)
+	}
+	// Aggregates are deduplicated across consumers: sum appears once.
+	sums := 0
+	for _, a := range s.aggs {
+		if a.Kind == scalar.AggSum {
+			sums++
+		}
+	}
+	if sums != 1 {
+		t.Errorf("sum aggregates = %d, want 1 (deduplicated across consumers)", sums)
+	}
+}
+
+func TestSubstituteReaggregation(t *testing.T) {
+	m := whiteboxMemo(t, `
+select c_nationkey, c_mktsegment, sum(o_totalprice) as s from customer, orders
+where c_custkey = o_custkey group by c_nationkey, c_mktsegment;
+select c_nationkey, sum(o_totalprice) as s from customer, orders
+where c_custkey = o_custkey group by c_nationkey;
+`)
+	var consumers []memo.GroupID
+	for _, set := range detectSets(m) {
+		if m.Group(set[0]).Sig.Key() == "T|customer,orders" {
+			consumers = set
+		}
+	}
+	s, err := buildSpec(m, consumers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wide-grouping consumer (c_nationkey, c_mktsegment) matches the
+	// CSE grouping exactly: no re-aggregation.
+	wide := consumers[0]
+	if len(m.Group(wide).GroupCols) != 2 {
+		wide = consumers[1]
+	}
+	subWide, err := s.substituteFor(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subWide.GroupCols != nil || len(subWide.Aggs) != 0 {
+		t.Error("exact-grouping consumer needs no re-aggregation")
+	}
+	// The narrow consumer re-aggregates.
+	narrow := consumers[0] + consumers[1] - wide
+	subNarrow, err := s.substituteFor(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subNarrow.GroupCols) != 1 || len(subNarrow.Aggs) == 0 {
+		t.Errorf("narrow consumer must re-aggregate: %+v", subNarrow)
+	}
+	// Substitutes validate against the spool layout.
+	if err := validateSub(subWide, s.outCols); err != nil {
+		t.Error(err)
+	}
+	if err := validateSub(subNarrow, s.outCols); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	p1 := scalar.Cmp(scalar.OpLt, scalar.Col(1), scalar.ConstInt(10))
+	p2 := scalar.Cmp(scalar.OpGt, scalar.Col(1), scalar.ConstInt(5))
+	p3 := scalar.Cmp(scalar.OpEq, scalar.Col(2), scalar.ConstInt(1))
+
+	if !coveredBy([]*scalar.Expr{p1}, nil) {
+		t.Error("TRUE covering accepts everything")
+	}
+	// covering = p1 OR p3; conjunct set {p1} implies it via the p1 disjunct.
+	cov := scalar.Or(p1, p3)
+	if !coveredBy([]*scalar.Expr{p1, p2}, cov) {
+		t.Error("conjunct set containing a full disjunct implies the OR")
+	}
+	if coveredBy([]*scalar.Expr{p2}, cov) {
+		t.Error("no disjunct is implied")
+	}
+	// Conjunctive disjunct: covering = (p1 AND p2) OR p3.
+	cov2 := scalar.Or(scalar.And(p1, p2), p3)
+	if !coveredBy([]*scalar.Expr{p1, p2}, cov2) {
+		t.Error("all conjuncts of the first disjunct are present")
+	}
+	if coveredBy([]*scalar.Expr{p1}, cov2) {
+		t.Error("half a disjunct is not enough")
+	}
+}
+
+func TestSubsetRuleSkips(t *testing.T) {
+	// After optimizing S = R ∪ T (T independent), subsets keeping R and
+	// dropping part of T are skipped.
+	ru := subsetRule{r: 0b001, t: 0b110}
+	cases := []struct {
+		mask uint64
+		want bool
+	}{
+		{0b111, false}, // S itself: not skipped
+		{0b011, true},  // R + part of T
+		{0b101, true},
+		{0b001, true},   // R alone
+		{0b010, false},  // drops R
+		{0b1001, false}, // outside S
+		{0, false},
+	}
+	for _, c := range cases {
+		if got := ru.skips(c.mask); got != c.want {
+			t.Errorf("skips(%04b) = %v, want %v", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestTableSubset(t *testing.T) {
+	if !tableSubset([]string{"a", "b"}, []string{"a", "b", "c"}) {
+		t.Error("subset")
+	}
+	if tableSubset([]string{"a", "d"}, []string{"a", "b", "c"}) {
+		t.Error("not a subset")
+	}
+	if !tableSubset(nil, []string{"a"}) {
+		t.Error("empty set is a subset")
+	}
+}
+
+func findColByName(md *logical.Metadata, cols []scalar.ColID, suffix string) scalar.ColID {
+	for _, c := range cols {
+		name := md.ColName(c)
+		if len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memo"
+	"repro/internal/opt"
+)
+
+// Settings controls the CSE optimization phase.
+type Settings struct {
+	// EnableCSE turns the whole CSE phase on. Off reproduces the paper's
+	// "No CSE" baseline.
+	EnableCSE bool
+
+	// Heuristics enables the four pruning heuristics of §4.3 and Algorithm 1
+	// merging; when false, one candidate per join-compatible class covering
+	// all its consumers is generated (the paper's "no heuristics" columns).
+	Heuristics bool
+
+	// Alpha is Heuristic 1's threshold fraction of total query cost
+	// (paper: 10%).
+	Alpha float64
+
+	// Beta is Heuristic 4's containment size ratio (paper: 90%).
+	Beta float64
+
+	// SubsetPruning enables Propositions 5.4–5.6 when enumerating candidate
+	// subsets (§5.3); disabling it forces all 2^N−1 optimizations (ablation).
+	SubsetPruning bool
+
+	// StackedCSE enables §5.5 stacked covering subexpressions.
+	StackedCSE bool
+
+	// MaxCandidates caps the candidate count as a safety valve (0 = default).
+	MaxCandidates int
+
+	// MaxCSEOptimizations bounds the number of reoptimizations in the CSE
+	// phase. The paper's optimizer likewise gates optimization phases on
+	// elapsed time (§2.1); without heuristic pruning the 2^N−1 subset
+	// lattice can otherwise dominate. 0 means the default (256).
+	MaxCSEOptimizations int
+
+	// MinQueryCost gates the CSE phase: queries cheaper than this skip it
+	// (the paper enters the phase "only if the query is expensive").
+	MinQueryCost float64
+
+	// ChargeAtRoot (ablation) charges every candidate's initial cost at the
+	// batch root instead of the consumers' common dominator (§5.2).
+	ChargeAtRoot bool
+
+	// NoHistoryReuse (ablation) disables §5.4 optimization-history reuse
+	// across CSE reoptimizations.
+	NoHistoryReuse bool
+
+	// ExtendedSubsetPruning enables a sound strengthening of Proposition
+	// 5.6 (an extension beyond the paper): after optimizing with S enabled
+	// and observing the winner used S* ⊆ S, every set between S* and S is
+	// redundant — opt(S) explored a superset of opt(S')'s plans and its
+	// winner is feasible for any S' ⊇ S*, so it is optimal for all of them.
+	ExtendedSubsetPruning bool
+}
+
+// DefaultSettings returns the paper's configuration.
+func DefaultSettings() Settings {
+	return Settings{
+		EnableCSE:           true,
+		Heuristics:          true,
+		Alpha:               0.10,
+		Beta:                0.90,
+		SubsetPruning:       true,
+		StackedCSE:          true,
+		MaxCandidates:       64,
+		MaxCSEOptimizations: 256,
+	}
+}
+
+// Stats reports what the CSE phase did — the quantities the paper's tables
+// record.
+type Stats struct {
+	// SignatureSets is the number of signatures referenced by two or more
+	// expressions (detection hits).
+	SignatureSets int
+
+	// Candidates is the number of candidate CSEs given to the optimizer
+	// (the paper's "# of CSEs").
+	Candidates int
+
+	// CandidateLabels describes each candidate.
+	CandidateLabels []string
+
+	// CSEOptimizations is the number of reoptimizations performed in the
+	// CSE phase (the paper's bracketed "[CSE Opts]").
+	CSEOptimizations int
+
+	// BaseCost is the estimated cost of the best plan found by normal
+	// optimization (C_Q); FinalCost is the chosen plan's estimated cost.
+	BaseCost  float64
+	FinalCost float64
+
+	// UsedCSEs lists the candidate IDs the final plan actually uses.
+	UsedCSEs []int
+}
+
+// Output bundles everything the engine and harnesses need.
+type Output struct {
+	Result     *opt.Result
+	Base       *opt.Result
+	Stats      Stats
+	Candidates []*opt.Candidate
+	Optimizer  *opt.Optimizer
+}
+
+// Optimize runs normal optimization followed, when enabled and worthwhile,
+// by the CSE phase: signature-based detection, candidate generation with
+// heuristic pruning, and cost-based selection over candidate subsets. The
+// returned plan is the cheapest found; it may use no CSEs at all.
+func Optimize(m *memo.Memo, settings Settings) (*Output, error) {
+	o := opt.NewOptimizer(m)
+	base, err := o.OptimizeBase()
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Result: base, Base: base, Optimizer: o}
+	out.Stats.BaseCost = base.Cost
+	out.Stats.FinalCost = base.Cost
+	if !settings.EnableCSE || base.Cost < settings.MinQueryCost {
+		return out, nil
+	}
+
+	gen := &generator{m: m, o: o, set: settings, cq: base.Cost, stats: &out.Stats}
+	specs, err := gen.generate()
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return out, nil
+	}
+	cands, err := gen.finalize(specs)
+	if err != nil {
+		return nil, err
+	}
+	if settings.StackedCSE {
+		addStackedConsumers(m, specs, cands)
+	}
+	out.Candidates = cands
+	out.Stats.Candidates = len(cands)
+	for _, c := range cands {
+		out.Stats.CandidateLabels = append(out.Stats.CandidateLabels, c.Label)
+	}
+
+	maxOpts := settings.MaxCSEOptimizations
+	if maxOpts <= 0 {
+		maxOpts = 256
+	}
+	o.ChargeAtRoot = settings.ChargeAtRoot
+	o.NoHistoryReuse = settings.NoHistoryReuse
+	o.PrepareCSE(cands)
+	best, used, nOpts, err := optimizeSubsets(o, m, cands, subsetOpts{
+		pruning:  settings.SubsetPruning,
+		extended: settings.ExtendedSubsetPruning,
+		maxOpts:  maxOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Stats.CSEOptimizations = nOpts
+	if best != nil && best.Cost < base.Cost {
+		out.Result = best
+		out.Stats.FinalCost = best.Cost
+		out.Stats.UsedCSEs = used
+	}
+	// The CSE phase caches per-group plan alternatives for history reuse;
+	// the chosen plan no longer needs them.
+	o.ReleaseCaches()
+	return out, nil
+}
+
+// Describe renders the CSE phase's decisions for inspection and debugging:
+// per candidate, its covering expression, consumers, charge group, and
+// whether the final plan uses it.
+func (out *Output) Describe(m *memo.Memo) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "normal optimization cost: %.2f\n", out.Stats.BaseCost)
+	if len(out.Candidates) == 0 {
+		sb.WriteString("no candidate covering subexpressions\n")
+		return sb.String()
+	}
+	used := make(map[int]bool, len(out.Stats.UsedCSEs))
+	for _, id := range out.Stats.UsedCSEs {
+		used[id] = true
+	}
+	fmt.Fprintf(&sb, "candidates: %d, reoptimizations: %d, final cost: %.2f\n",
+		out.Stats.Candidates, out.Stats.CSEOptimizations, out.Stats.FinalCost)
+	for _, c := range out.Candidates {
+		marker := " "
+		if used[c.ID] {
+			marker = "*"
+		}
+		fmt.Fprintf(&sb, "%s E%d: %s\n", marker, c.ID+1, c.Label)
+		fmt.Fprintf(&sb, "    rows=%.0f bytes=%.0f grouped=%v stacked=%v charge=G%d\n",
+			c.Rows, c.Bytes, c.Grouped, c.StackUsed, c.ChargeGroup)
+		fmt.Fprintf(&sb, "    consumers:")
+		for _, g := range c.Consumers {
+			fmt.Fprintf(&sb, " G%d(stmt %d)", g, m.Group(g).StmtIdx)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("(* = used in the final plan)\n")
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func testCatalog(t testing.TB, sf float64) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, tab := range tpch.Schemas() {
+		if err := cat.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := storage.NewStore()
+	if err := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 7}, cat, st); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func buildMemo(t testing.TB, cat *catalog.Catalog, sql string) *memo.Memo {
+	t.Helper()
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	batch, err := logical.BuildBatch(stmts, cat)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	m, err := memo.Build(batch)
+	if err != nil {
+		t.Fatalf("memo: %v", err)
+	}
+	return m
+}
+
+const example1SQL = `
+select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, sum(l_quantity) as lq
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-07-01' and c_nationkey > 0 and c_nationkey < 20
+group by c_nationkey, c_mktsegment;
+
+select c_nationkey, sum(l_extendedprice) as le, sum(l_quantity) as lq
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-07-01' and c_nationkey > 5 and c_nationkey < 25
+group by c_nationkey;
+
+select n_regionkey, sum(l_extendedprice) as le, sum(l_quantity) as lq
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey and o_orderkey = l_orderkey and c_nationkey = n_nationkey
+  and o_orderdate < '1996-07-01' and c_nationkey > 2 and c_nationkey < 24
+group by n_regionkey;
+`
+
+func TestExample1WithHeuristics(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("base cost %.2f, final cost %.2f, candidates %d [%d opts], used %v",
+		out.Stats.BaseCost, out.Stats.FinalCost, out.Stats.Candidates,
+		out.Stats.CSEOptimizations, out.Stats.UsedCSEs)
+	for _, l := range out.Stats.CandidateLabels {
+		t.Logf("candidate: %s", l)
+	}
+	// The paper: with pruning, only E5 — the aggregation over the 3-way
+	// join — survives, and it is used in the final plan.
+	if out.Stats.Candidates != 1 {
+		t.Errorf("candidates = %d, want 1 (E5 only)", out.Stats.Candidates)
+	}
+	if len(out.Stats.UsedCSEs) != 1 {
+		t.Errorf("used CSEs = %v, want exactly one", out.Stats.UsedCSEs)
+	}
+	if out.Stats.FinalCost >= out.Stats.BaseCost {
+		t.Errorf("CSE plan cost %.2f not cheaper than base %.2f", out.Stats.FinalCost, out.Stats.BaseCost)
+	}
+	if len(out.Stats.CandidateLabels) > 0 && !strings.Contains(out.Stats.CandidateLabels[0], "customer") {
+		t.Errorf("surviving candidate should cover customer⋈orders⋈lineitem: %s", out.Stats.CandidateLabels[0])
+	}
+}
+
+func TestExample1NoHeuristics(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL)
+	settings := core.DefaultSettings()
+	settings.Heuristics = false
+	out, err := core.Optimize(m, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("candidates %d [%d opts], used %v, cost %.2f (base %.2f)",
+		out.Stats.Candidates, out.Stats.CSEOptimizations, out.Stats.UsedCSEs,
+		out.Stats.FinalCost, out.Stats.BaseCost)
+	for _, l := range out.Stats.CandidateLabels {
+		t.Logf("candidate: %s", l)
+	}
+	// Figure 6: five candidates without pruning (E1..E5).
+	if out.Stats.Candidates != 5 {
+		t.Errorf("candidates = %d, want 5 (Figure 6)", out.Stats.Candidates)
+	}
+	// Subset-lattice pruning should cut the 31 combinations well down.
+	if out.Stats.CSEOptimizations >= 31 {
+		t.Errorf("CSE optimizations = %d, want < 31 (Propositions 5.4-5.6)", out.Stats.CSEOptimizations)
+	}
+	if out.Stats.FinalCost >= out.Stats.BaseCost {
+		t.Errorf("CSE plan cost %.2f not cheaper than base %.2f", out.Stats.FinalCost, out.Stats.BaseCost)
+	}
+}
+
+func TestNoSharingNoCandidates(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, `
+select c_nationkey, count(*) as n from customer group by c_nationkey;
+select o_orderpriority, sum(o_totalprice) as v from orders group by o_orderpriority;
+`)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Candidates != 0 {
+		t.Errorf("candidates = %d, want 0 for unrelated queries", out.Stats.Candidates)
+	}
+	if out.Stats.FinalCost != out.Stats.BaseCost {
+		t.Errorf("plan changed despite no sharing opportunities")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := out.Describe(m)
+	for _, want := range []string{"candidates: 1", "E1:", "consumers:", "* = used"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+
+	// No-sharing case.
+	m2 := buildMemo(t, cat, "select c_nationkey, count(*) as n from customer group by c_nationkey")
+	out2, err := core.Optimize(m2, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.Describe(m2), "no candidate") {
+		t.Error("Describe must report the empty case")
+	}
+}

@@ -1,0 +1,338 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExample6SelectStarNotCovered reproduces the paper's Example 6
+// (Heuristic 2): Q4 selects every column of customer⋈orders, so
+// materializing and reading the covering result costs more than computing
+// the join from scratch — the consumer is discarded and, with only one
+// consumer left, no candidate survives.
+func TestExample6SelectStarNotCovered(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, `
+select * from customer, orders where c_custkey = o_custkey;
+select c_name, c_nationkey, o_totalprice from customer, orders where c_custkey = o_custkey;
+`)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.UsedCSEs) != 0 {
+		t.Errorf("no CSE should be used when one consumer needs all columns; used %v (labels %v)",
+			out.Stats.UsedCSEs, out.Stats.CandidateLabels)
+	}
+	if out.Stats.FinalCost != out.Stats.BaseCost {
+		t.Errorf("plan changed: %.2f vs %.2f", out.Stats.FinalCost, out.Stats.BaseCost)
+	}
+}
+
+// TestExample5CheapJoinPruned reproduces Example 5 (Heuristic 1): a cheap
+// shared join between two otherwise-expensive queries is not worth a
+// candidate. Here two queries share only the small nation⋈region join while
+// their real cost lives in separate big joins.
+func TestExample5CheapJoinPruned(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, `
+select n_name, sum(l_extendedprice) as s
+from nation, region, customer, orders, lineitem
+where n_regionkey = r_regionkey and c_nationkey = n_nationkey
+  and c_custkey = o_custkey and o_orderkey = l_orderkey and r_regionkey < 3
+group by n_name;
+select r_name, sum(ps_supplycost) as s
+from nation, region, supplier, partsupp
+where n_regionkey = r_regionkey and s_nationkey = n_nationkey
+  and ps_suppkey = s_suppkey and r_regionkey < 4
+group by r_name;
+`)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range out.Stats.CandidateLabels {
+		if strings.Contains(l, "(nation ⋈ region)") {
+			t.Errorf("the cheap nation⋈region join should be pruned by Heuristic 1: %s", l)
+		}
+	}
+}
+
+// TestExample9Containment reproduces Example 9 (Heuristic 4): both the join
+// customer⋈orders⋈lineitem (E1) and the aggregation on top of it (E2) are
+// sharable, E1 is contained by E2, and E2's result is smaller — so E1 is
+// discarded and the surviving candidate is the aggregation.
+func TestExample9Containment(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Candidates != 1 {
+		t.Fatalf("candidates = %d, want only the aggregation", out.Stats.Candidates)
+	}
+	if !strings.HasPrefix(out.Stats.CandidateLabels[0], "γ(") {
+		t.Errorf("surviving candidate must be the aggregation, got %s", out.Stats.CandidateLabels[0])
+	}
+}
+
+// TestStackedCSEMarked: in the Q1–Q4 batch the narrow γ(O⋈L) candidate is
+// consumed by the wide candidate's expression (stacked, §5.5), so the final
+// plan materializes both and the narrow spool is read by the wide plan.
+func TestStackedCSEMarked(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL+`
+select p_type, sum(p_availqty) as qty
+from part, orders, lineitem
+where p_partkey = l_partkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-07-01'
+group by p_type;
+`)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.UsedCSEs) != 2 {
+		t.Fatalf("stacked plan must use both candidates, used %v", out.Stats.UsedCSEs)
+	}
+	// One of the chosen CSE plans must read the other's spool.
+	stacked := false
+	for id, cse := range out.Result.CSEs {
+		used := map[int]bool{}
+		cse.Plan.UsedSpoolIDs(used)
+		for other := range used {
+			if other != id {
+				stacked = true
+			}
+		}
+	}
+	if !stacked {
+		t.Error("no CSE plan reads another CSE's spool — stacking lost")
+	}
+}
+
+// TestDisableStackedCSE: turning §5.5 off still produces a valid plan, just
+// without cross-candidate spool reads.
+func TestDisableStackedCSE(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL)
+	s := core.DefaultSettings()
+	s.StackedCSE = false
+	out, err := core.Optimize(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.FinalCost >= out.Stats.BaseCost {
+		t.Error("CSE sharing must still win without stacking")
+	}
+	for id, cse := range out.Result.CSEs {
+		used := map[int]bool{}
+		cse.Plan.UsedSpoolIDs(used)
+		for other := range used {
+			if other != id {
+				t.Error("stacking disabled but a CSE reads another's spool")
+			}
+		}
+	}
+}
+
+// TestExample7IndexedConsumerNotMerged reproduces the paper's Example 7
+// (Heuristic 3): Q6 selects a single order date served by an index and is
+// extremely cheap; Q7 needs everything after that date. Computing Q6 from a
+// merged covering result would mean scanning the whole spool, so the
+// Δ-benefit of merging is negative and no shared candidate is used.
+func TestExample7IndexedConsumerNotMerged(t *testing.T) {
+	cat := testCatalog(t, 0.02)
+	m := buildMemo(t, cat, `
+select o_orderkey, sum(l_extendedprice) as v
+from orders, lineitem
+where o_orderkey = l_orderkey and o_orderdate = '1995-01-01'
+group by o_orderkey;
+select o_orderkey, sum(l_extendedprice) as v
+from orders, lineitem
+where o_orderkey = l_orderkey and o_orderdate > '1995-01-01'
+group by o_orderkey;
+`)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.UsedCSEs) != 0 {
+		t.Errorf("merging an indexed point lookup with a huge range should not pay off; used %v (labels %v)",
+			out.Stats.UsedCSEs, out.Stats.CandidateLabels)
+	}
+}
+
+// TestSimilarRangesDoMerge is the counterpoint to Example 7: when both
+// consumers need similar, overlapping slices, merging pays.
+func TestSimilarRangesDoMerge(t *testing.T) {
+	cat := testCatalog(t, 0.02)
+	m := buildMemo(t, cat, `
+select o_orderkey, sum(l_extendedprice) as v
+from orders, lineitem
+where o_orderkey = l_orderkey and o_orderdate < '1996-07-01'
+group by o_orderkey;
+select o_orderkey, sum(l_quantity) as q
+from orders, lineitem
+where o_orderkey = l_orderkey and o_orderdate < '1996-01-01'
+group by o_orderkey;
+`)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.UsedCSEs) == 0 {
+		t.Errorf("overlapping range consumers should share; candidates %v", out.Stats.CandidateLabels)
+	}
+}
+
+// TestFigure7CandidateShapes: the nested query's no-heuristics candidate set
+// matches Figure 7's structure — the C⋈O⋈L join (E1), narrower two-table
+// joins (E2, E3), and the aggregation γ(C⋈O⋈L) (E4, the one used). With
+// pruning, only the aggregation survives and appears in the final plan.
+func TestFigure7CandidateShapes(t *testing.T) {
+	nested := `
+select c_nationkey, n_name, sum(l_discount) as totaldisc
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey and o_orderkey = l_orderkey and c_nationkey = n_nationkey
+group by c_nationkey, n_name
+having sum(l_discount) > (
+  select sum(l_discount) / 25
+  from customer, orders, lineitem
+  where c_custkey = o_custkey and o_orderkey = l_orderkey)
+order by totaldisc desc;`
+
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, nested)
+	s := core.DefaultSettings()
+	s.Heuristics = false
+	out, err := core.Optimize(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[string]bool{}
+	for _, l := range out.Stats.CandidateLabels {
+		shapes[labelShape(l)] = true
+	}
+	for _, want := range []string{
+		"(customer ⋈ lineitem ⋈ orders)",  // E1
+		"(customer ⋈ orders)",             // E2
+		"(lineitem ⋈ orders)",             // E3
+		"γ(customer ⋈ lineitem ⋈ orders)", // E4
+	} {
+		if !shapes[want] {
+			t.Errorf("Figure 7 candidate %q missing; have %v", want, shapes)
+		}
+	}
+
+	// With pruning: exactly the aggregation, used in the plan (paper: only
+	// E4 was generated and used).
+	m2 := buildMemo(t, testCatalog(t, 0.01), nested)
+	out2, err := core.Optimize(m2, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Stats.Candidates != 1 || len(out2.Stats.UsedCSEs) != 1 {
+		t.Fatalf("pruned candidates = %d used = %v, want 1/1",
+			out2.Stats.Candidates, out2.Stats.UsedCSEs)
+	}
+	if got := labelShape(out2.Stats.CandidateLabels[0]); got != "γ(customer ⋈ lineitem ⋈ orders)" {
+		t.Errorf("surviving candidate = %q, want the paper's E4", got)
+	}
+	// Both modes find the same plan cost (pruning misses nothing).
+	if out.Stats.FinalCost != out2.Stats.FinalCost {
+		t.Errorf("pruning changed the plan: %.2f vs %.2f", out2.Stats.FinalCost, out.Stats.FinalCost)
+	}
+}
+
+// labelShape strips the predicate/consumer decoration off a candidate label.
+func labelShape(label string) string {
+	if i := strings.Index(label, ")"); i >= 0 {
+		return label[:i+1]
+	}
+	return label
+}
+
+// TestStackedSharedBetweenTwoCSEs is §5.5's example shape: two covering
+// subexpressions over {C,O,L} and {O,L,P} share the smaller {O,L}
+// subexpression. With two consumer pairs per wide shape, the optimizer can
+// compute γ(O⋈L) once and feed both wider CSEs.
+func TestStackedSharedBetweenTwoCSEs(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, `
+select c_nationkey, sum(l_extendedprice) as v from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey and o_orderdate < '1996-07-01' and c_nationkey < 15
+group by c_nationkey;
+select c_mktsegment, sum(l_extendedprice) as v from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey and o_orderdate < '1996-07-01' and c_nationkey > 5
+group by c_mktsegment;
+select p_brand, sum(l_extendedprice) as v from part, orders, lineitem
+where p_partkey = l_partkey and o_orderkey = l_orderkey and o_orderdate < '1996-07-01' and p_size < 25
+group by p_brand;
+select p_mfgr, sum(l_quantity) as q from part, orders, lineitem
+where p_partkey = l_partkey and o_orderkey = l_orderkey and o_orderdate < '1996-07-01' and p_size > 10
+group by p_mfgr;
+`)
+	out, err := core.Optimize(m, core.DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("candidates: %v used: %v", out.Stats.CandidateLabels, out.Stats.UsedCSEs)
+	if len(out.Stats.UsedCSEs) < 2 {
+		t.Fatalf("expected multiple CSEs in the final plan, used %v of %v",
+			out.Stats.UsedCSEs, out.Stats.CandidateLabels)
+	}
+	// At least one used CSE's plan must read another used CSE's spool.
+	stackedReads := 0
+	for id, cse := range out.Result.CSEs {
+		used := map[int]bool{}
+		cse.Plan.UsedSpoolIDs(used)
+		for other := range used {
+			if other != id {
+				stackedReads++
+			}
+		}
+	}
+	if stackedReads < 1 {
+		t.Errorf("no stacked spool reads; plans:\n%s", out.Result.Format(m.Md))
+	}
+	if out.Stats.FinalCost >= out.Stats.BaseCost {
+		t.Error("stacked sharing must beat the baseline")
+	}
+}
+
+// TestFigure6CandidateShapes asserts the exact no-heuristics candidate
+// shapes of Example 1 (Figure 6): E1 C⋈O, E2 O⋈L, E3 C⋈O⋈L, E4 γ(O⋈L),
+// E5 γ(C⋈O⋈L).
+func TestFigure6CandidateShapes(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	m := buildMemo(t, cat, example1SQL)
+	s := core.DefaultSettings()
+	s.Heuristics = false
+	out, err := core.Optimize(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[string]bool{}
+	for _, l := range out.Stats.CandidateLabels {
+		shapes[labelShape(l)] = true
+	}
+	want := []string{
+		"(customer ⋈ orders)",             // E1
+		"(lineitem ⋈ orders)",             // E2
+		"(customer ⋈ lineitem ⋈ orders)",  // E3
+		"γ(lineitem ⋈ orders)",            // E4
+		"γ(customer ⋈ lineitem ⋈ orders)", // E5
+	}
+	for _, w := range want {
+		if !shapes[w] {
+			t.Errorf("Figure 6 candidate %q missing; have %v", w, shapes)
+		}
+	}
+	if len(out.Stats.CandidateLabels) != len(want) {
+		t.Errorf("candidates = %d, want exactly the 5 of Figure 6", len(out.Stats.CandidateLabels))
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// hullSimplify replaces an OR-of-range-conjunctions covering predicate with
+// its per-column bounding hull, the simplification visible in the paper's
+// E5: the union of (0,20), (5,25), (2,24) on c_nationkey becomes the single
+// range (0,25). Over-covering is sound — the spool may contain extra rows;
+// every consumer still applies its own compensation residual — and the hull
+// is cheaper to evaluate and to reason about (a plain conjunction instead of
+// a disjunction).
+//
+// The rewrite applies only when every conjunct of every disjunct is a
+// single-column comparison against a constant; otherwise the original
+// predicate is returned unchanged. A column missing from some disjunct is
+// unconstrained there, so it contributes no hull bound; if no bound
+// survives, the covering collapses to TRUE (nil).
+func hullSimplify(covering *scalar.Expr) *scalar.Expr {
+	if covering == nil || covering.Op != scalar.OpOr {
+		return covering
+	}
+	type bound struct {
+		lo, hi       sqltypes.Datum
+		loInc, hiInc bool
+		constrained  bool
+	}
+	// hull[col] accumulates across disjuncts; present tracks per-disjunct
+	// participation.
+	hull := make(map[scalar.ColID]*bound)
+	order := []scalar.ColID{}
+	nDisjuncts := len(covering.Args)
+	seenIn := make(map[scalar.ColID]int)
+
+	for _, disjunct := range covering.Args {
+		// Per-disjunct bounds.
+		local := make(map[scalar.ColID]*bound)
+		for _, c := range scalar.Conjuncts(disjunct) {
+			col, lo, hi, loInc, hiInc, ok := rangeOf(c)
+			if !ok {
+				return covering // not hull-able
+			}
+			b := local[col]
+			if b == nil {
+				b = &bound{}
+				local[col] = b
+			}
+			if !lo.IsNull() && (b.lo.IsNull() || sqltypes.Compare(lo, b.lo) > 0) {
+				b.lo, b.loInc = lo, loInc
+			}
+			if !hi.IsNull() && (b.hi.IsNull() || sqltypes.Compare(hi, b.hi) < 0) {
+				b.hi, b.hiInc = hi, hiInc
+			}
+			b.constrained = true
+		}
+		// Fold into the hull: widen bounds; a column absent from this
+		// disjunct becomes unconstrained overall.
+		for col, lb := range local {
+			hb := hull[col]
+			if hb == nil {
+				hb = &bound{lo: lb.lo, hi: lb.hi, loInc: lb.loInc, hiInc: lb.hiInc, constrained: true}
+				hull[col] = hb
+				order = append(order, col)
+			} else {
+				if hb.lo.IsNull() || lb.lo.IsNull() {
+					hb.lo = sqltypes.Null
+				} else if sqltypes.Compare(lb.lo, hb.lo) < 0 || (sqltypes.Compare(lb.lo, hb.lo) == 0 && lb.loInc) {
+					hb.lo, hb.loInc = lb.lo, lb.loInc
+				}
+				if hb.hi.IsNull() || lb.hi.IsNull() {
+					hb.hi = sqltypes.Null
+				} else if sqltypes.Compare(lb.hi, hb.hi) > 0 || (sqltypes.Compare(lb.hi, hb.hi) == 0 && lb.hiInc) {
+					hb.hi, hb.hiInc = lb.hi, lb.hiInc
+				}
+			}
+			seenIn[col]++
+		}
+	}
+
+	var conj []*scalar.Expr
+	for _, col := range order {
+		if seenIn[col] != nDisjuncts {
+			continue // unconstrained in some disjunct
+		}
+		b := hull[col]
+		if !b.lo.IsNull() {
+			op := scalar.OpGt
+			if b.loInc {
+				op = scalar.OpGe
+			}
+			conj = append(conj, scalar.Cmp(op, scalar.Col(col), scalar.Const(b.lo)))
+		}
+		if !b.hi.IsNull() {
+			op := scalar.OpLt
+			if b.hiInc {
+				op = scalar.OpLe
+			}
+			conj = append(conj, scalar.Cmp(op, scalar.Col(col), scalar.Const(b.hi)))
+		}
+	}
+	if len(conj) == 0 {
+		return nil // hull degenerated to TRUE; caller keeps the OR
+	}
+	return scalar.And(conj...)
+}
+
+// rangeOf decodes a single-column comparison against a constant into range
+// bounds. Equality pins both ends.
+func rangeOf(c *scalar.Expr) (col scalar.ColID, lo, hi sqltypes.Datum, loInc, hiInc, ok bool) {
+	if len(c.Args) != 2 {
+		return 0, sqltypes.Null, sqltypes.Null, false, false, false
+	}
+	l, r := c.Args[0], c.Args[1]
+	op := c.Op
+	if l.Op == scalar.OpConst && r.Op == scalar.OpCol {
+		l, r = r, l
+		switch op {
+		case scalar.OpLt:
+			op = scalar.OpGt
+		case scalar.OpLe:
+			op = scalar.OpGe
+		case scalar.OpGt:
+			op = scalar.OpLt
+		case scalar.OpGe:
+			op = scalar.OpLe
+		}
+	}
+	if l.Op != scalar.OpCol || r.Op != scalar.OpConst || r.Const.IsNull() {
+		return 0, sqltypes.Null, sqltypes.Null, false, false, false
+	}
+	v := r.Const
+	switch op {
+	case scalar.OpEq:
+		return l.Col, v, v, true, true, true
+	case scalar.OpLt:
+		return l.Col, sqltypes.Null, v, false, false, true
+	case scalar.OpLe:
+		return l.Col, sqltypes.Null, v, false, true, true
+	case scalar.OpGt:
+		return l.Col, v, sqltypes.Null, false, false, true
+	case scalar.OpGe:
+		return l.Col, v, sqltypes.Null, true, false, true
+	}
+	return 0, sqltypes.Null, sqltypes.Null, false, false, false
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func rng(col scalar.ColID, lo, hi int64) *scalar.Expr {
+	return scalar.And(
+		scalar.Cmp(scalar.OpGt, scalar.Col(col), scalar.ConstInt(lo)),
+		scalar.Cmp(scalar.OpLt, scalar.Col(col), scalar.ConstInt(hi)),
+	)
+}
+
+// TestHullSimplifyPaperE5 is the paper's E5 simplification verbatim:
+// (0,20) ∪ (2,24) ∪ (5,25) on c_nationkey → (0,25).
+func TestHullSimplifyPaperE5(t *testing.T) {
+	or := scalar.Or(rng(1, 0, 20), rng(1, 2, 24), rng(1, 5, 25))
+	h := hullSimplify(or)
+	if h == nil {
+		t.Fatal("hull degenerated")
+	}
+	got := scalar.Format(h, nil)
+	want := "@1 > 0 AND @1 < 25"
+	if got != want {
+		t.Errorf("hull = %q, want %q", got, want)
+	}
+}
+
+func TestHullSimplifyMultiColumn(t *testing.T) {
+	// (a<30 AND b>0 AND b<20) OR (a<40 AND b>3 AND b<24) → a<40 AND b>0 AND b<24.
+	d1 := scalar.And(scalar.Cmp(scalar.OpLt, scalar.Col(1), scalar.ConstInt(30)), rng(2, 0, 20))
+	d2 := scalar.And(scalar.Cmp(scalar.OpLt, scalar.Col(1), scalar.ConstInt(40)), rng(2, 3, 24))
+	h := hullSimplify(scalar.Or(d1, d2))
+	if h == nil {
+		t.Fatal("hull degenerated")
+	}
+	got := scalar.Format(h, nil)
+	if got != "@1 < 40 AND @2 > 0 AND @2 < 24" {
+		t.Errorf("hull = %q", got)
+	}
+}
+
+func TestHullDropsPartiallyPresentColumns(t *testing.T) {
+	// b constrained in only one disjunct: only a's hull survives.
+	d1 := scalar.And(scalar.Cmp(scalar.OpLt, scalar.Col(1), scalar.ConstInt(10)), rng(2, 0, 5))
+	d2 := scalar.Cmp(scalar.OpLt, scalar.Col(1), scalar.ConstInt(20))
+	h := hullSimplify(scalar.Or(d1, d2))
+	if got := scalar.Format(h, nil); got != "@1 < 20" {
+		t.Errorf("hull = %q", got)
+	}
+}
+
+func TestHullDegeneratesToNil(t *testing.T) {
+	// a < 10 OR a > 15: no common bound survives.
+	or := scalar.Or(
+		scalar.Cmp(scalar.OpLt, scalar.Col(1), scalar.ConstInt(10)),
+		scalar.Cmp(scalar.OpGt, scalar.Col(1), scalar.ConstInt(15)),
+	)
+	if h := hullSimplify(or); h != nil {
+		t.Errorf("expected degenerate hull, got %s", scalar.Format(h, nil))
+	}
+}
+
+func TestHullRejectsNonRangeDisjuncts(t *testing.T) {
+	// A LIKE conjunct is not hull-able: the original OR is kept.
+	or := scalar.Or(
+		rng(1, 0, 10),
+		scalar.Like(scalar.Col(2), scalar.ConstString("x%")),
+	)
+	if h := hullSimplify(or); h != or {
+		t.Error("non-range disjuncts must keep the original predicate")
+	}
+	// Column = column comparisons are not hull-able either.
+	or2 := scalar.Or(rng(1, 0, 10), scalar.Eq(scalar.Col(1), scalar.Col(2)))
+	if h := hullSimplify(or2); h != or2 {
+		t.Error("col=col disjuncts must keep the original predicate")
+	}
+}
+
+func TestHullEqualityPinsBothEnds(t *testing.T) {
+	// a = 5 OR a = 9 → a >= 5 AND a <= 9.
+	or := scalar.Or(
+		scalar.Eq(scalar.Col(1), scalar.ConstInt(5)),
+		scalar.Eq(scalar.Col(1), scalar.ConstInt(9)),
+	)
+	if got := scalar.Format(hullSimplify(or), nil); got != "@1 >= 5 AND @1 <= 9" {
+		t.Errorf("hull = %q", got)
+	}
+}
+
+// TestHullIsSoundOverApproximation: every row satisfying the OR satisfies
+// the hull (checked over a small grid).
+func TestHullIsSoundOverApproximation(t *testing.T) {
+	or := scalar.Or(rng(1, 0, 20), rng(1, 2, 24), rng(1, 5, 25))
+	h := hullSimplify(or)
+	layout := map[scalar.ColID]int{1: 0}
+	for v := int64(-5); v <= 30; v++ {
+		row := sqltypes.Row{sqltypes.NewInt(v)}
+		orHolds, err := scalar.EvalPredicate(or, layout, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hullHolds, err := scalar.EvalPredicate(h, layout, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orHolds && !hullHolds {
+			t.Fatalf("hull lost row %d covered by the OR", v)
+		}
+	}
+}
+
+// TestE5LabelMatchesPaperHull: end-to-end, the surviving Example 1 candidate
+// now shows the paper's exact hull predicate.
+func TestE5LabelMatchesPaperHull(t *testing.T) {
+	cat := testCatalogWB(t)
+	m := whiteboxMemo2(t, cat, example1WB)
+	out, err := Optimize(m, DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.CandidateLabels) != 1 {
+		t.Fatalf("labels = %v", out.Stats.CandidateLabels)
+	}
+	label := out.Stats.CandidateLabels[0]
+	if want := "customer.c_nationkey > 0 AND customer.c_nationkey < 25"; !containsStr(label, want) {
+		t.Errorf("E5 label %q missing the paper's hull %q", label, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+const example1WB = `
+select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, sum(l_quantity) as lq
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-07-01' and c_nationkey > 0 and c_nationkey < 20
+group by c_nationkey, c_mktsegment;
+select c_nationkey, sum(l_extendedprice) as le, sum(l_quantity) as lq
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-07-01' and c_nationkey > 5 and c_nationkey < 25
+group by c_nationkey;
+select n_regionkey, sum(l_extendedprice) as le, sum(l_quantity) as lq
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey and o_orderkey = l_orderkey and c_nationkey = n_nationkey
+  and o_orderdate < '1996-07-01' and c_nationkey > 2 and c_nationkey < 24
+group by n_regionkey;
+`
+
+func testCatalogWB(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, tab := range tpch.Schemas() {
+		if err := cat.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := storage.NewStore()
+	if err := tpch.Generate(tpch.Config{ScaleFactor: 0.01, Seed: 7}, cat, st); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func whiteboxMemo2(t testing.TB, cat *catalog.Catalog, sql string) *memo.Memo {
+	t.Helper()
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := logical.BuildBatch(stmts, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := memo.Build(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/memo"
+	"repro/internal/opt"
+	"repro/internal/scalar"
+)
+
+// addStackedConsumers implements §5.5: after candidate expressions are
+// materialized as memo groups, their subexpressions (join subsets and eager
+// partial aggregations, whose signatures were registered on insertion) can
+// themselves consume narrower candidates. A wider candidate's expression
+// that reads a narrower candidate's spool yields the paper's stacked plan:
+// compute E3 = B⋈C once, use it to compute E1 = A⋈B⋈C and E2 = B⋈C⋈D,
+// whose results feed the rest of the query.
+//
+// Candidates are processed narrow-to-wide, and a candidate may only consume
+// strictly narrower ones, so stacking is acyclic.
+func addStackedConsumers(m *memo.Memo, specs []*spec, cands []*opt.Candidate) {
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(cands[order[a]].Tables) < len(cands[order[b]].Tables)
+	})
+
+	for _, xi := range order {
+		x, xs := cands[xi], specs[xi]
+		key := sigKeyOf(xs)
+		for yi := range cands {
+			y := cands[yi]
+			if len(y.Tables) <= len(x.Tables) {
+				continue
+			}
+			stmtKey := -2 - y.ID
+			for _, grp := range m.Groups {
+				if grp.StmtIdx != stmtKey || !grp.Sig.Valid || grp.Sig.Key() != key {
+					continue
+				}
+				if sub, ok := tryStackedSubstitute(m, xs, grp); ok {
+					x.Consumers = append(x.Consumers, grp.ID)
+					x.Subs[grp.ID] = sub
+					x.StackUsed = true
+				}
+			}
+		}
+	}
+}
+
+func sigKeyOf(s *spec) string {
+	sig := memo.Signature{Valid: true, Grouped: s.grouped, Tables: s.tables}
+	return sig.Key()
+}
+
+// tryStackedSubstitute checks whether group grp (a subexpression of a wider
+// candidate) can be computed from candidate spec xs, and builds the
+// substitute if so. The checks mirror view matching:
+//
+//  1. every equality xs applies must hold in grp (otherwise the spool's join
+//     predicate is stronger than grp's and rows would be missing);
+//  2. grp's predicate must imply xs's covering predicate (the spool contains
+//     at least the rows grp needs);
+//  3. grp's residual compensation must be computable from the spool's
+//     output columns;
+//  4. for grouped candidates, grp's grouping columns must be a subset of the
+//     spool's and its aggregates must be covered.
+func tryStackedSubstitute(m *memo.Memo, xs *spec, grp *memo.Group) (*opt.Substitute, bool) {
+	cm, err := newColMapper(m.Md, grp)
+	if err != nil {
+		return nil, false
+	}
+	grEquiv := equivOf(m.Md, grp)
+	if !subsetOfEquiv(xs.equiv, grEquiv) {
+		return nil, false
+	}
+
+	// Translate grp's conjuncts into the candidate's canonical space.
+	var mapped []*scalar.Expr
+	for _, c := range grp.Conjuncts {
+		mc, err := translate(c, cm, xs.canonCM)
+		if err != nil {
+			return nil, false
+		}
+		mapped = append(mapped, mc)
+	}
+	have := make(map[string]bool, len(mapped))
+	for _, c := range mapped {
+		have[c.Fingerprint()] = true
+	}
+	// The spool's shared AND conjuncts and covering predicate must both be
+	// implied by grp's own predicate, or the spool is missing rows.
+	sharedFP := make(map[string]bool, len(xs.shared))
+	for _, c := range xs.shared {
+		fp := c.Fingerprint()
+		sharedFP[fp] = true
+		if !have[fp] {
+			return nil, false
+		}
+	}
+	if !coveredBy(mapped, xs.covering) {
+		return nil, false
+	}
+
+	// Compute the residual: conjuncts not implied by the spool's join
+	// predicate and not already applied as shared conjuncts, then register
+	// the group as a consumer on the spec so the shared substitute builder
+	// can run.
+	var resParts []*scalar.Expr
+	for i, c := range grp.Conjuncts {
+		if a, b, ok := c.IsColEqCol(); ok {
+			ka, okA := cm.baseOf(a)
+			kb, okB := cm.baseOf(b)
+			if okA && okB && xs.equiv.equal(ka, kb) {
+				continue
+			}
+		}
+		if sharedFP[mapped[i].Fingerprint()] {
+			continue
+		}
+		resParts = append(resParts, mapped[i])
+	}
+	res := scalar.And(resParts...)
+	if res.HasSubquery() {
+		// The stacked consumer lives inside another candidate's expression,
+		// which may materialize before the subquery's statement runs.
+		return nil, false
+	}
+
+	xs.mappers[grp.ID] = cm
+	xs.residuals[grp.ID] = res
+	sub, err := xs.substituteFor(grp.ID)
+	if err != nil {
+		delete(xs.mappers, grp.ID)
+		delete(xs.residuals, grp.ID)
+		return nil, false
+	}
+	if err := validateSub(sub, xs.outCols); err != nil {
+		delete(xs.mappers, grp.ID)
+		delete(xs.residuals, grp.ID)
+		return nil, false
+	}
+	if xs.grouped {
+		// Grouping columns must be a subset of the spool's grouping.
+		spoolGC := scalar.MakeColSet(xs.groupCols...)
+		for _, gc := range grp.GroupCols {
+			mc, err := mapCol(gc, cm, xs.canonCM)
+			if err != nil || !spoolGC.Contains(mc) {
+				delete(xs.mappers, grp.ID)
+				delete(xs.residuals, grp.ID)
+				return nil, false
+			}
+		}
+	}
+	return sub, true
+}
+
+// coveredBy reports whether the conjunct set implies the covering predicate:
+// trivially when covering is TRUE, otherwise when some disjunct's conjuncts
+// all appear (by fingerprint) in the set.
+func coveredBy(conjuncts []*scalar.Expr, covering *scalar.Expr) bool {
+	if scalar.IsTrue(covering) {
+		return true
+	}
+	have := make(map[string]bool, len(conjuncts))
+	for _, c := range conjuncts {
+		have[c.Fingerprint()] = true
+	}
+	disjuncts := []*scalar.Expr{covering}
+	if covering.Op == scalar.OpOr {
+		disjuncts = covering.Args
+	}
+	for _, d := range disjuncts {
+		all := true
+		for _, c := range scalar.Conjuncts(d) {
+			if !have[c.Fingerprint()] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/memo"
+	"repro/internal/opt"
+)
+
+// subsetRule encodes Proposition 5.5: after optimizing with S = R ∪ T where
+// every member of T is independent of all other members of S, any subset
+// that keeps R and drops part of T is redundant.
+type subsetRule struct {
+	r, t uint64
+}
+
+func (ru subsetRule) skips(mask uint64) bool {
+	full := ru.r | ru.t
+	return mask&^full == 0 && mask&ru.r == ru.r && mask != full && mask != 0
+}
+
+// maxLatticeCandidates bounds full subset-lattice enumeration; larger
+// candidate sets use the converging strategy below.
+const maxLatticeCandidates = 16
+
+// subsetOpts configures the §5.3 enumeration.
+type subsetOpts struct {
+	pruning  bool // Propositions 5.4–5.6
+	extended bool // interval strengthening of Proposition 5.6
+	maxOpts  int
+}
+
+// intervalRule skips every set strictly between lo and hi (inclusive of lo,
+// exclusive of hi): the optimizer already proved the plan using lo optimal
+// for all of them.
+type intervalRule struct {
+	lo, hi uint64
+}
+
+func (ru intervalRule) skips(mask uint64) bool {
+	return mask&^ru.hi == 0 && mask&ru.lo == ru.lo && mask != ru.hi && mask != 0
+}
+
+// optimizeSubsets runs the §5.3 procedure: enumerate candidate subsets in
+// descending size order, optimizing with each set enabled, applying
+// Propositions 5.4–5.6 (and optionally the interval strengthening) to skip
+// redundant combinations. It returns the best result found, the candidate
+// set it uses, and the number of optimizations performed.
+func optimizeSubsets(o *opt.Optimizer, m *memo.Memo, cands []*opt.Candidate, opts subsetOpts) (*opt.Result, []int, int, error) {
+	if len(cands) > maxLatticeCandidates {
+		return optimizeSubsetsLarge(o, m, cands, opts)
+	}
+	n := len(cands)
+	idOf := make([]int, n)
+	for i, c := range cands {
+		idOf[i] = c.ID
+	}
+
+	// Competing/independent classification (Definition 5.2) via the memo
+	// DAG ancestry of charge groups (the generalized LCAs).
+	closure := make([]map[memo.GroupID]bool, n)
+	for i, c := range cands {
+		closure[i] = m.DescendantClosure(c.ChargeGroup)
+	}
+	competing := func(i, j int) bool {
+		return closure[i][cands[j].ChargeGroup] || closure[j][cands[i].ChargeGroup]
+	}
+
+	masks := make([]uint64, 0, 1<<uint(n)-1)
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(a, b int) bool {
+		pa, pb := bits.OnesCount64(masks[a]), bits.OnesCount64(masks[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return masks[a] < masks[b]
+	})
+
+	independentPart := func(mask uint64) uint64 {
+		var t uint64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			indep := true
+			for j := 0; j < n; j++ {
+				if i == j || mask&(1<<uint(j)) == 0 {
+					continue
+				}
+				if competing(i, j) {
+					indep = false
+					break
+				}
+			}
+			if indep {
+				t |= 1 << uint(i)
+			}
+		}
+		return t
+	}
+
+	var rules []subsetRule
+	var intervals []intervalRule
+	skipExact := make(map[uint64]bool)
+	skipped := func(mask uint64) bool {
+		if skipExact[mask] {
+			return true
+		}
+		for _, ru := range rules {
+			if ru.skips(mask) {
+				return true
+			}
+		}
+		for _, ru := range intervals {
+			if ru.skips(mask) {
+				return true
+			}
+		}
+		return false
+	}
+	addRules := func(mask uint64) {
+		t := independentPart(mask)
+		rules = append(rules, subsetRule{r: mask &^ t, t: t})
+	}
+
+	var best *opt.Result
+	var bestUsed []int
+	nOpts := 0
+	for _, mask := range masks {
+		if nOpts >= opts.maxOpts {
+			break // elapsed-effort gate (§2.1 phase bounding)
+		}
+		if opts.pruning && skipped(mask) {
+			continue
+		}
+		var enabled []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				enabled = append(enabled, idOf[i])
+			}
+		}
+		res, usedIDs, err := o.OptimizeWithCSEs(enabled)
+		if err != nil {
+			return nil, nil, nOpts, err
+		}
+		nOpts++
+		if best == nil || res.Cost < best.Cost {
+			best = res
+			bestUsed = usedIDs
+		}
+		if !opts.pruning {
+			continue
+		}
+		addRules(mask)
+		// Proposition 5.6: the returned plan is also optimal for the set it
+		// actually used; treat that set as optimized too.
+		var usedMask uint64
+		for _, id := range usedIDs {
+			for i, cid := range idOf {
+				if cid == id {
+					usedMask |= 1 << uint(i)
+				}
+			}
+		}
+		if usedMask != 0 && usedMask != mask {
+			skipExact[usedMask] = true
+			addRules(usedMask)
+		}
+		if opts.extended {
+			intervals = append(intervals, intervalRule{lo: usedMask, hi: mask})
+		}
+	}
+	return best, bestUsed, nOpts, nil
+}
+
+// optimizeSubsetsLarge handles candidate sets too large for full lattice
+// enumeration (the paper's Table 4 "no heuristics" run generated 51). It
+// leans on Proposition 5.6: optimize with everything enabled, then re-run
+// with exactly the set the winner used, converging in a few steps; finally
+// the (small) lattice of the converged used set is explored to catch
+// competing-candidate effects among the survivors.
+func optimizeSubsetsLarge(o *opt.Optimizer, m *memo.Memo, cands []*opt.Candidate, opts subsetOpts) (*opt.Result, []int, int, error) {
+	idSet := make([]int, len(cands))
+	for i, c := range cands {
+		idSet[i] = c.ID
+	}
+	tried := make(map[string]bool)
+	keyOf := func(ids []int) string {
+		sort.Ints(ids)
+		return setKey(ids)
+	}
+
+	var best *opt.Result
+	var bestUsed []int
+	nOpts := 0
+	cur := idSet
+	for nOpts < opts.maxOpts && len(cur) > 0 && !tried[keyOf(cur)] {
+		tried[keyOf(cur)] = true
+		res, used, err := o.OptimizeWithCSEs(append([]int(nil), cur...))
+		if err != nil {
+			return nil, nil, nOpts, err
+		}
+		nOpts++
+		if best == nil || res.Cost < best.Cost {
+			best = res
+			bestUsed = used
+		}
+		if len(used) == 0 || keyOf(append([]int(nil), used...)) == keyOf(append([]int(nil), cur...)) {
+			break
+		}
+		cur = used
+	}
+
+	// Explore the survivors' lattice when small enough.
+	if len(bestUsed) > 1 && len(bestUsed) <= 8 && nOpts < opts.maxOpts {
+		survivors := make([]*opt.Candidate, 0, len(bestUsed))
+		for _, id := range bestUsed {
+			for _, c := range cands {
+				if c.ID == id {
+					survivors = append(survivors, c)
+				}
+			}
+		}
+		sub := opts
+		sub.maxOpts = opts.maxOpts - nOpts
+		res2, used2, n2, err := optimizeSubsets(o, m, survivors, sub)
+		if err != nil {
+			return nil, nil, nOpts, err
+		}
+		nOpts += n2
+		if res2 != nil && (best == nil || res2.Cost < best.Cost) {
+			best = res2
+			bestUsed = used2
+		}
+	}
+	return best, bestUsed, nOpts, nil
+}
+
+// setKey renders a sorted id list.
+func setKey(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%d,", id)
+	}
+	return sb.String()
+}

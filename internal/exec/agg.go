@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/opt"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	kind  scalar.AggKind
+	count int64
+	sumI  int64
+	sumF  float64
+	isInt bool
+	first bool
+	minD  sqltypes.Datum
+	maxD  sqltypes.Datum
+}
+
+func newAggState(kind scalar.AggKind) *aggState {
+	return &aggState{kind: kind, isInt: true, first: true}
+}
+
+func (s *aggState) add(d sqltypes.Datum) {
+	if s.kind == scalar.AggCountStar {
+		s.count++
+		return
+	}
+	if d.IsNull() {
+		return
+	}
+	s.count++
+	switch s.kind {
+	case scalar.AggSum:
+		if d.Kind() == sqltypes.KindInt && s.isInt {
+			s.sumI += d.Int()
+		} else {
+			if s.isInt {
+				s.sumF = float64(s.sumI)
+				s.isInt = false
+			}
+			s.sumF += d.Float()
+		}
+	case scalar.AggMin:
+		if s.first || sqltypes.Compare(d, s.minD) < 0 {
+			s.minD = d
+		}
+	case scalar.AggMax:
+		if s.first || sqltypes.Compare(d, s.maxD) > 0 {
+			s.maxD = d
+		}
+	}
+	s.first = false
+}
+
+func (s *aggState) result() sqltypes.Datum {
+	switch s.kind {
+	case scalar.AggCount, scalar.AggCountStar:
+		return sqltypes.NewInt(s.count)
+	case scalar.AggSum:
+		if s.count == 0 {
+			return sqltypes.Null
+		}
+		if s.isInt {
+			return sqltypes.NewInt(s.sumI)
+		}
+		return sqltypes.NewFloat(s.sumF)
+	case scalar.AggMin:
+		if s.count == 0 {
+			return sqltypes.Null
+		}
+		return s.minD
+	case scalar.AggMax:
+		if s.count == 0 {
+			return sqltypes.Null
+		}
+		return s.maxD
+	default:
+		return sqltypes.Null
+	}
+}
+
+func (c *Context) execHashAgg(p *opt.Plan) ([]sqltypes.Row, error) {
+	in, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(p.Children[0].Cols)
+	groupIdx := make([]int, len(p.GroupCols))
+	for i, g := range p.GroupCols {
+		pos, ok := layout[g]
+		if !ok {
+			return nil, fmt.Errorf("grouping column @%d missing from aggregation input", g)
+		}
+		groupIdx[i] = pos
+	}
+	argFns := make([]scalar.EvalFn, len(p.Aggs))
+	for i, a := range p.Aggs {
+		if a.Kind == scalar.AggCountStar {
+			continue
+		}
+		fn, err := c.compile(a.Arg, layout)
+		if err != nil {
+			return nil, fmt.Errorf("compiling aggregate %s: %w", a, err)
+		}
+		argFns[i] = fn
+	}
+
+	type groupAcc struct {
+		key    sqltypes.Row
+		states []*aggState
+	}
+	hasher := sqltypes.NewHasher()
+	groups := make(map[uint64][]*groupAcc)
+	var order []*groupAcc
+	keyIdx := seqIdx(len(groupIdx))
+
+	for _, r := range in {
+		h := hasher.HashRow(r, groupIdx)
+		var acc *groupAcc
+		for _, g := range groups[h] {
+			if keysEqual(r, groupIdx, g.key, keyIdx) {
+				acc = g
+				break
+			}
+		}
+		if acc == nil {
+			key := make(sqltypes.Row, len(groupIdx))
+			for i, gi := range groupIdx {
+				key[i] = r[gi]
+			}
+			acc = &groupAcc{key: key, states: make([]*aggState, len(p.Aggs))}
+			for i, a := range p.Aggs {
+				acc.states[i] = newAggState(a.Kind)
+			}
+			groups[h] = append(groups[h], acc)
+			order = append(order, acc)
+		}
+		for i := range p.Aggs {
+			if p.Aggs[i].Kind == scalar.AggCountStar {
+				acc.states[i].add(sqltypes.Null)
+			} else {
+				acc.states[i].add(argFns[i](r))
+			}
+		}
+	}
+
+	// Scalar aggregation over empty input yields one row.
+	if len(order) == 0 && len(p.GroupCols) == 0 {
+		acc := &groupAcc{states: make([]*aggState, len(p.Aggs))}
+		for i, a := range p.Aggs {
+			acc.states[i] = newAggState(a.Kind)
+		}
+		order = append(order, acc)
+	}
+
+	out := make([]sqltypes.Row, len(order))
+	for ri, acc := range order {
+		row := make(sqltypes.Row, len(p.GroupCols)+len(p.Aggs))
+		copy(row, acc.key)
+		for i, st := range acc.states {
+			row[len(p.GroupCols)+i] = st.result()
+		}
+		out[ri] = row
+	}
+	return out, nil
+}
+
+// seqIdx returns [0,1,...,n-1] for comparing a key row against itself.
+func seqIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,457 @@
+// Package exec executes physical plans against the in-memory store:
+// Volcano-in-spirit operators materialized per node (scan, filter, hash
+// join, nested-loop join, hash aggregation, projection, sort), work-table
+// spools shared across all their consumers (each CSE is computed exactly
+// once per batch execution), and uncorrelated scalar subqueries evaluated
+// once per statement.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// StatementResult is one statement's output.
+type StatementResult struct {
+	Names []string
+	Rows  []sqltypes.Row
+}
+
+// Context executes one batch plan.
+type Context struct {
+	Store *storage.Store
+	Md    *logical.Metadata
+	CSEs  map[int]*opt.CSEPlan
+
+	spools        map[int][]sqltypes.Row
+	materializing map[int]bool
+	subqueryVals  map[int]sqltypes.Datum
+
+	// SpoolRows records materialized spool sizes for instrumentation.
+	SpoolRows map[int]int
+}
+
+// Run executes an optimized batch and returns per-statement results.
+func Run(res *opt.Result, md *logical.Metadata, store *storage.Store) ([]*StatementResult, error) {
+	out, _, err := RunWithStats(res, md, store)
+	return out, err
+}
+
+// RunWithStats additionally reports per-spool materialized row counts —
+// each CSE appears exactly once regardless of its number of consumers.
+func RunWithStats(res *opt.Result, md *logical.Metadata, store *storage.Store) ([]*StatementResult, map[int]int, error) {
+	c := &Context{
+		Store:         store,
+		Md:            md,
+		CSEs:          res.CSEs,
+		spools:        make(map[int][]sqltypes.Row),
+		materializing: make(map[int]bool),
+		subqueryVals:  make(map[int]sqltypes.Datum),
+		SpoolRows:     make(map[int]int),
+	}
+	root := res.Root
+	var stmtPlans []*opt.Plan
+	if root.Op == opt.PSeq {
+		stmtPlans = root.Children
+	} else {
+		stmtPlans = []*opt.Plan{root}
+	}
+	out := make([]*StatementResult, 0, len(stmtPlans))
+	for _, sp := range stmtPlans {
+		if sp.Op != opt.PRoot {
+			return nil, nil, fmt.Errorf("statement plan has op %s, want Output", sp.Op)
+		}
+		sr, err := c.runStatement(sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, sr)
+	}
+	return out, c.SpoolRows, nil
+}
+
+func (c *Context) runStatement(p *opt.Plan) (*StatementResult, error) {
+	// Evaluate scalar subqueries first.
+	for i, sq := range p.Children[1:] {
+		idx := p.SubqueryIdxs[i]
+		val, err := c.evalSubquery(idx, sq)
+		if err != nil {
+			return nil, err
+		}
+		c.subqueryVals[idx] = val
+	}
+	rows, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(p.Children[0].Cols)
+	fns := make([]scalar.EvalFn, len(p.Projections))
+	for i, pr := range p.Projections {
+		fn, err := c.compile(pr.Expr, layout)
+		if err != nil {
+			return nil, fmt.Errorf("compiling projection %q: %w", pr.Name, err)
+		}
+		fns[i] = fn
+	}
+	out := make([]sqltypes.Row, 0, len(rows))
+	for _, r := range rows {
+		row := make(sqltypes.Row, len(fns))
+		for i, fn := range fns {
+			row[i] = fn(r)
+		}
+		out = append(out, row)
+	}
+	if len(p.OrderBy) > 0 {
+		keys := p.OrderBy
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, k := range keys {
+				cmp := sqltypes.Compare(out[i][k.ProjIdx], out[j][k.ProjIdx])
+				if cmp != 0 {
+					if k.Desc {
+						return cmp > 0
+					}
+					return cmp < 0
+				}
+			}
+			return false
+		})
+	}
+	if p.Limit > 0 && len(out) > p.Limit {
+		out = out[:p.Limit]
+	}
+	return &StatementResult{Names: p.OutputNames, Rows: out}, nil
+}
+
+func (c *Context) evalSubquery(idx int, plan *opt.Plan) (sqltypes.Datum, error) {
+	rows, err := c.exec(plan)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	blk := c.Md.Subquery(idx)
+	switch {
+	case len(rows) == 0:
+		return sqltypes.Null, nil
+	case len(rows) > 1:
+		return sqltypes.Null, fmt.Errorf("scalar subquery returned %d rows", len(rows))
+	}
+	fn, err := c.compile(blk.Projections[0].Expr, layoutOf(plan.Cols))
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return fn(rows[0]), nil
+}
+
+// compile substitutes evaluated subquery values and compiles the expression
+// against the given row layout.
+func (c *Context) compile(e *scalar.Expr, layout map[scalar.ColID]int) (scalar.EvalFn, error) {
+	return scalar.Compile(c.substituteSubqueries(e), layout)
+}
+
+func (c *Context) substituteSubqueries(e *scalar.Expr) *scalar.Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Op == scalar.OpSubquery {
+		val, ok := c.subqueryVals[int(e.Col)]
+		if !ok {
+			// Leave unresolved; Compile reports the error.
+			return e
+		}
+		return scalar.Const(val)
+	}
+	if len(e.Args) == 0 {
+		return e
+	}
+	args := make([]*scalar.Expr, len(e.Args))
+	changed := false
+	for i, a := range e.Args {
+		args[i] = c.substituteSubqueries(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	out := *e
+	out.Args = args
+	return &out
+}
+
+func layoutOf(cols []scalar.ColID) map[scalar.ColID]int {
+	m := make(map[scalar.ColID]int, len(cols))
+	for i, c := range cols {
+		m[c] = i
+	}
+	return m
+}
+
+// exec runs one plan node to a materialized row set with layout p.Cols.
+func (c *Context) exec(p *opt.Plan) ([]sqltypes.Row, error) {
+	switch p.Op {
+	case opt.PScan:
+		return c.execScan(p)
+	case opt.PIndexScan:
+		return c.execIndexScan(p)
+	case opt.PFilter:
+		return c.execFilter(p)
+	case opt.PHashJoin:
+		return c.execHashJoin(p)
+	case opt.PNLJoin:
+		return c.execNLJoin(p)
+	case opt.PMergeJoin:
+		return c.execMergeJoin(p)
+	case opt.PLookupJoin:
+		return c.execLookupJoin(p)
+	case opt.PHashAgg:
+		return c.execHashAgg(p)
+	case opt.PStreamAgg:
+		return c.execStreamAgg(p)
+	case opt.PSort:
+		return c.execSort(p)
+	case opt.PProject:
+		return c.execProject(p)
+	case opt.PSpoolScan:
+		return c.spool(p.SpoolID)
+	default:
+		return nil, fmt.Errorf("cannot execute plan op %s", p.Op)
+	}
+}
+
+// spool returns the materialized work table for a candidate CSE, computing
+// it on first use. All consumers — including other CSE plans — share the
+// result.
+func (c *Context) spool(id int) ([]sqltypes.Row, error) {
+	if rows, ok := c.spools[id]; ok {
+		return rows, nil
+	}
+	if c.materializing[id] {
+		return nil, fmt.Errorf("cyclic spool dependency on CSE %d", id)
+	}
+	cse, ok := c.CSEs[id]
+	if !ok {
+		return nil, fmt.Errorf("no plan for CSE %d", id)
+	}
+	c.materializing[id] = true
+	rows, err := c.exec(cse.Plan)
+	c.materializing[id] = false
+	if err != nil {
+		return nil, fmt.Errorf("materializing CSE %d: %w", id, err)
+	}
+	c.spools[id] = rows
+	c.SpoolRows[id] = len(rows)
+	return rows, nil
+}
+
+func (c *Context) execScan(p *opt.Plan) ([]sqltypes.Row, error) {
+	rel := c.Md.Rel(p.Rel)
+	tab, err := c.Store.Table(rel.Tab.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Table rows have the full column layout of the instance.
+	full := make([]scalar.ColID, len(rel.Tab.Cols))
+	for i := range rel.Tab.Cols {
+		full[i] = rel.ColID(i)
+	}
+	layout := layoutOf(full)
+	var filter scalar.EvalFn
+	if p.Filter != nil {
+		filter, err = c.compile(p.Filter, layout)
+		if err != nil {
+			return nil, fmt.Errorf("scan filter on %s: %w", rel.Tab.Name, err)
+		}
+	}
+	// Projection indices from full row to output layout.
+	idx := make([]int, len(p.Cols))
+	for i, col := range p.Cols {
+		pos, ok := layout[col]
+		if !ok {
+			return nil, fmt.Errorf("scan output column @%d not in table %s", col, rel.Tab.Name)
+		}
+		idx[i] = pos
+	}
+	var out []sqltypes.Row
+	for _, r := range tab.Rows {
+		if filter != nil {
+			d := filter(r)
+			if d.IsNull() || !d.Bool() {
+				continue
+			}
+		}
+		row := make(sqltypes.Row, len(idx))
+		for i, pos := range idx {
+			row[i] = r[pos]
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (c *Context) execFilter(p *opt.Plan) ([]sqltypes.Row, error) {
+	in, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	fn, err := c.compile(p.Filter, layoutOf(p.Children[0].Cols))
+	if err != nil {
+		return nil, err
+	}
+	var out []sqltypes.Row
+	for _, r := range in {
+		d := fn(r)
+		if !d.IsNull() && d.Bool() {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (c *Context) execHashJoin(p *opt.Plan) ([]sqltypes.Row, error) {
+	probe, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	build, err := c.exec(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	probeLayout := layoutOf(p.Children[0].Cols)
+	buildLayout := layoutOf(p.Children[1].Cols)
+	probeKeys := make([]int, len(p.LeftKeys))
+	buildKeys := make([]int, len(p.RightKeys))
+	for i := range p.LeftKeys {
+		pk, ok := probeLayout[p.LeftKeys[i]]
+		if !ok {
+			return nil, fmt.Errorf("hash join probe key @%d missing", p.LeftKeys[i])
+		}
+		bk, ok := buildLayout[p.RightKeys[i]]
+		if !ok {
+			return nil, fmt.Errorf("hash join build key @%d missing", p.RightKeys[i])
+		}
+		probeKeys[i] = pk
+		buildKeys[i] = bk
+	}
+	hasher := sqltypes.NewHasher()
+	table := make(map[uint64][]sqltypes.Row, len(build))
+	for _, r := range build {
+		if rowHasNullAt(r, buildKeys) {
+			continue
+		}
+		h := hasher.HashRow(r, buildKeys)
+		table[h] = append(table[h], r)
+	}
+	var residual scalar.EvalFn
+	if p.Filter != nil {
+		residual, err = c.compile(p.Filter, layoutOf(p.Cols))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []sqltypes.Row
+	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.Children[1].Cols))
+	for _, pr := range probe {
+		if rowHasNullAt(pr, probeKeys) {
+			continue
+		}
+		h := hasher.HashRow(pr, probeKeys)
+		for _, br := range table[h] {
+			if !keysEqual(pr, probeKeys, br, buildKeys) {
+				continue
+			}
+			copy(combined, pr)
+			copy(combined[len(pr):], br)
+			if residual != nil {
+				d := residual(combined)
+				if d.IsNull() || !d.Bool() {
+					continue
+				}
+			}
+			out = append(out, combined.Clone())
+		}
+	}
+	return out, nil
+}
+
+func rowHasNullAt(r sqltypes.Row, idx []int) bool {
+	for _, i := range idx {
+		if r[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func keysEqual(a sqltypes.Row, ai []int, b sqltypes.Row, bi []int) bool {
+	for k := range ai {
+		if sqltypes.Compare(a[ai[k]], b[bi[k]]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Context) execNLJoin(p *opt.Plan) ([]sqltypes.Row, error) {
+	left, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.exec(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	var filter scalar.EvalFn
+	if p.Filter != nil {
+		filter, err = c.compile(p.Filter, layoutOf(p.Cols))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []sqltypes.Row
+	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.Children[1].Cols))
+	for _, lr := range left {
+		for _, rr := range right {
+			copy(combined, lr)
+			copy(combined[len(lr):], rr)
+			if filter != nil {
+				d := filter(combined)
+				if d.IsNull() || !d.Bool() {
+					continue
+				}
+			}
+			out = append(out, combined.Clone())
+		}
+	}
+	return out, nil
+}
+
+func (c *Context) execProject(p *opt.Plan) ([]sqltypes.Row, error) {
+	in, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(p.Children[0].Cols)
+	fns := make([]scalar.EvalFn, len(p.Projections))
+	for i, pr := range p.Projections {
+		fn, err := c.compile(pr.Expr, layout)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	out := make([]sqltypes.Row, len(in))
+	for ri, r := range in {
+		row := make(sqltypes.Row, len(fns))
+		for i, fn := range fns {
+			row[i] = fn(r)
+		}
+		out[ri] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/opt"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// execIndexScan reads the qualifying range of a secondary index (a sorted
+// row permutation), applies the residual filter, and projects the output
+// columns. Rows are emitted in index order, providing the sort order the
+// optimizer advertised.
+func (c *Context) execIndexScan(p *opt.Plan) ([]sqltypes.Row, error) {
+	rel := c.Md.Rel(p.Rel)
+	tab, err := c.Store.Table(rel.Tab.Name)
+	if err != nil {
+		return nil, err
+	}
+	perm := tab.Index(p.IndexOrd)
+	if perm == nil {
+		return nil, fmt.Errorf("no index on %s.%s", rel.Tab.Name, rel.Tab.Cols[p.IndexOrd].Name)
+	}
+	ord := p.IndexOrd
+	b := p.Bounds
+
+	// Locate the first qualifying position. NULL values sort first and
+	// never satisfy a range predicate, so skip past them when unbounded
+	// from below.
+	start := 0
+	if !b.Lo.IsNull() {
+		start = sort.Search(len(perm), func(i int) bool {
+			cmp := sqltypes.Compare(tab.Rows[perm[i]][ord], b.Lo)
+			if b.LoInc {
+				return cmp >= 0
+			}
+			return cmp > 0
+		})
+	} else {
+		start = sort.Search(len(perm), func(i int) bool {
+			return !tab.Rows[perm[i]][ord].IsNull()
+		})
+	}
+
+	full := make([]scalar.ColID, len(rel.Tab.Cols))
+	for i := range rel.Tab.Cols {
+		full[i] = rel.ColID(i)
+	}
+	layout := layoutOf(full)
+	var filter scalar.EvalFn
+	if p.Filter != nil {
+		filter, err = c.compile(p.Filter, layout)
+		if err != nil {
+			return nil, err
+		}
+	}
+	idx := make([]int, len(p.Cols))
+	for i, col := range p.Cols {
+		pos, ok := layout[col]
+		if !ok {
+			return nil, fmt.Errorf("index scan output column @%d not in table %s", col, rel.Tab.Name)
+		}
+		idx[i] = pos
+	}
+
+	var out []sqltypes.Row
+	for i := start; i < len(perm); i++ {
+		r := tab.Rows[perm[i]]
+		v := r[ord]
+		if !b.Hi.IsNull() {
+			cmp := sqltypes.Compare(v, b.Hi)
+			if cmp > 0 || (cmp == 0 && !b.HiInc) {
+				break
+			}
+		}
+		if filter != nil {
+			d := filter(r)
+			if d.IsNull() || !d.Bool() {
+				continue
+			}
+		}
+		row := make(sqltypes.Row, len(idx))
+		for j, pos := range idx {
+			row[j] = r[pos]
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

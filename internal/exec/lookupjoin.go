@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/opt"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// execLookupJoin runs an index nested-loop join: for each outer row, binary
+// search the inner table's index (or clustered order) for matching rows,
+// apply the inner scan's local filter and the residual condition, and emit
+// the combined row. Output preserves the outer input's order.
+func (c *Context) execLookupJoin(p *opt.Plan) ([]sqltypes.Row, error) {
+	outer, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	rel := c.Md.Rel(p.Rel)
+	tab, err := c.Store.Table(rel.Tab.Name)
+	if err != nil {
+		return nil, err
+	}
+	ord := p.IndexOrd
+	perm := tab.Index(ord)
+	// With no secondary index the rows themselves must be clustered on the
+	// key column; treat the identity permutation as the index.
+	lookup := func(i int) sqltypes.Row {
+		if perm != nil {
+			return tab.Rows[perm[i]]
+		}
+		return tab.Rows[i]
+	}
+	n := len(tab.Rows)
+
+	outerLayout := layoutOf(p.Children[0].Cols)
+	keyPos, ok := outerLayout[p.LookupKey]
+	if !ok {
+		return nil, fmt.Errorf("lookup key @%d missing from outer input", p.LookupKey)
+	}
+
+	// Inner full-row layout for filters; projection indices for output.
+	full := make([]scalar.ColID, len(rel.Tab.Cols))
+	for i := range rel.Tab.Cols {
+		full[i] = rel.ColID(i)
+	}
+	innerLayout := layoutOf(full)
+	var innerFilter scalar.EvalFn
+	if p.InnerFilter != nil {
+		innerFilter, err = c.compile(p.InnerFilter, innerLayout)
+		if err != nil {
+			return nil, err
+		}
+	}
+	innerIdx := make([]int, len(p.InnerCols))
+	for i, col := range p.InnerCols {
+		pos, ok := innerLayout[col]
+		if !ok {
+			return nil, fmt.Errorf("lookup join inner column @%d not in %s", col, rel.Tab.Name)
+		}
+		innerIdx[i] = pos
+	}
+	var residual scalar.EvalFn
+	if p.Filter != nil {
+		residual, err = c.compile(p.Filter, layoutOf(p.Cols))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []sqltypes.Row
+	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.InnerCols))
+	for _, orow := range outer {
+		key := orow[keyPos]
+		if key.IsNull() {
+			continue
+		}
+		start := sort.Search(n, func(i int) bool {
+			return sqltypes.Compare(lookup(i)[ord], key) >= 0
+		})
+		for i := start; i < n; i++ {
+			irow := lookup(i)
+			if sqltypes.Compare(irow[ord], key) != 0 {
+				break
+			}
+			if innerFilter != nil {
+				d := innerFilter(irow)
+				if d.IsNull() || !d.Bool() {
+					continue
+				}
+			}
+			copy(combined, orow)
+			for j, pos := range innerIdx {
+				combined[len(orow)+j] = irow[pos]
+			}
+			if residual != nil {
+				d := residual(combined)
+				if d.IsNull() || !d.Bool() {
+					continue
+				}
+			}
+			out = append(out, combined.Clone())
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/opt"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// execSort sorts the child's rows ascending by the plan's sort columns
+// (NULLs first, matching sqltypes.Compare).
+func (c *Context) execSort(p *opt.Plan) ([]sqltypes.Row, error) {
+	in, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(p.Children[0].Cols)
+	keys := make([]int, len(p.SortCols))
+	for i, col := range p.SortCols {
+		pos, ok := layout[col]
+		if !ok {
+			return nil, fmt.Errorf("sort column @%d missing from input", col)
+		}
+		keys[i] = pos
+	}
+	out := make([]sqltypes.Row, len(in))
+	copy(out, in)
+	sort.SliceStable(out, func(a, b int) bool {
+		for _, k := range keys {
+			if cmp := sqltypes.Compare(out[a][k], out[b][k]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// execMergeJoin joins two inputs sorted on their key columns. Rows with a
+// NULL key never match. Duplicate keys on both sides produce the full cross
+// of the two equal-key blocks.
+func (c *Context) execMergeJoin(p *opt.Plan) ([]sqltypes.Row, error) {
+	left, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.exec(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	leftLayout := layoutOf(p.Children[0].Cols)
+	rightLayout := layoutOf(p.Children[1].Cols)
+	lk := make([]int, len(p.LeftKeys))
+	rk := make([]int, len(p.RightKeys))
+	for i := range p.LeftKeys {
+		lp, ok := leftLayout[p.LeftKeys[i]]
+		if !ok {
+			return nil, fmt.Errorf("merge join left key @%d missing", p.LeftKeys[i])
+		}
+		rp, ok := rightLayout[p.RightKeys[i]]
+		if !ok {
+			return nil, fmt.Errorf("merge join right key @%d missing", p.RightKeys[i])
+		}
+		lk[i] = lp
+		rk[i] = rp
+	}
+	var residual scalar.EvalFn
+	if p.Filter != nil {
+		residual, err = c.compile(p.Filter, layoutOf(p.Cols))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cmpKeys := func(a sqltypes.Row, b sqltypes.Row) int {
+		for i := range lk {
+			if cmp := sqltypes.Compare(a[lk[i]], b[rk[i]]); cmp != 0 {
+				return cmp
+			}
+		}
+		return 0
+	}
+
+	var out []sqltypes.Row
+	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.Children[1].Cols))
+	li, ri := 0, 0
+	for li < len(left) && ri < len(right) {
+		if rowHasNullAt(left[li], lk) {
+			li++
+			continue
+		}
+		if rowHasNullAt(right[ri], rk) {
+			ri++
+			continue
+		}
+		cmp := cmpKeys(left[li], right[ri])
+		switch {
+		case cmp < 0:
+			li++
+		case cmp > 0:
+			ri++
+		default:
+			// Collect the equal-key block on the right, then emit the cross
+			// with every equal-key row on the left.
+			rEnd := ri
+			for rEnd < len(right) && !rowHasNullAt(right[rEnd], rk) && cmpKeys(left[li], right[rEnd]) == 0 {
+				rEnd++
+			}
+			lEnd := li
+			for lEnd < len(left) && !rowHasNullAt(left[lEnd], lk) && cmpKeys(left[lEnd], right[ri]) == 0 {
+				lEnd++
+			}
+			for a := li; a < lEnd; a++ {
+				for b := ri; b < rEnd; b++ {
+					copy(combined, left[a])
+					copy(combined[len(left[a]):], right[b])
+					if residual != nil {
+						d := residual(combined)
+						if d.IsNull() || !d.Bool() {
+							continue
+						}
+					}
+					out = append(out, combined.Clone())
+				}
+			}
+			li, ri = lEnd, rEnd
+		}
+	}
+	return out, nil
+}
+
+// execStreamAgg aggregates an input sorted on the grouping columns: a group
+// closes when any grouping value changes, so only one accumulator set is
+// live at a time.
+func (c *Context) execStreamAgg(p *opt.Plan) ([]sqltypes.Row, error) {
+	in, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(p.Children[0].Cols)
+	groupIdx := make([]int, len(p.GroupCols))
+	for i, g := range p.GroupCols {
+		pos, ok := layout[g]
+		if !ok {
+			return nil, fmt.Errorf("grouping column @%d missing from aggregation input", g)
+		}
+		groupIdx[i] = pos
+	}
+	argFns := make([]scalar.EvalFn, len(p.Aggs))
+	for i, a := range p.Aggs {
+		if a.Kind == scalar.AggCountStar {
+			continue
+		}
+		fn, err := c.compile(a.Arg, layout)
+		if err != nil {
+			return nil, fmt.Errorf("compiling aggregate %s: %w", a, err)
+		}
+		argFns[i] = fn
+	}
+
+	var out []sqltypes.Row
+	var key sqltypes.Row
+	var states []*aggState
+	flush := func() {
+		if states == nil {
+			return
+		}
+		row := make(sqltypes.Row, len(groupIdx)+len(p.Aggs))
+		copy(row, key)
+		for i, st := range states {
+			row[len(groupIdx)+i] = st.result()
+		}
+		out = append(out, row)
+		states = nil
+	}
+	sameKey := func(r sqltypes.Row) bool {
+		for i, gi := range groupIdx {
+			if sqltypes.Compare(r[gi], key[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, r := range in {
+		if states == nil || !sameKey(r) {
+			flush()
+			key = make(sqltypes.Row, len(groupIdx))
+			for i, gi := range groupIdx {
+				key[i] = r[gi]
+			}
+			states = make([]*aggState, len(p.Aggs))
+			for i, a := range p.Aggs {
+				states[i] = newAggState(a.Kind)
+			}
+		}
+		for i := range p.Aggs {
+			if p.Aggs[i].Kind == scalar.AggCountStar {
+				states[i].add(sqltypes.Null)
+			} else {
+				states[i].add(argFns[i](r))
+			}
+		}
+	}
+	flush()
+	return out, nil
+}

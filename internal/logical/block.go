@@ -1,0 +1,189 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// AggDef is one aggregate computed by a block's GroupBy.
+type AggDef struct {
+	Kind scalar.AggKind
+	Arg  *scalar.Expr // over pre-aggregation columns; nil for count(*)
+	Out  scalar.ColID // synthesized output column
+}
+
+// Fingerprint identifies the aggregate up to its output column.
+func (a AggDef) Fingerprint() string {
+	return a.Kind.String() + ":" + a.Arg.Fingerprint()
+}
+
+// String renders the aggregate for display.
+func (a AggDef) String() string {
+	if a.Kind == scalar.AggCountStar {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, scalar.Format(a.Arg, nil))
+}
+
+// Projection is one output column of a block.
+type Projection struct {
+	Expr *scalar.Expr // over group columns and aggregate outputs (grouped
+	// blocks) or table columns (ungrouped blocks)
+	Name string
+}
+
+// OrderKey sorts final output by the ProjIdx-th projection.
+type OrderKey struct {
+	ProjIdx int
+	Desc    bool
+}
+
+// Block is a normalized SPJG query block:
+//
+//	Project(proj) ∘ Sort ∘ Select(having) ∘ GroupBy(groupCols, aggs) ∘
+//	Select(conjuncts) ∘ Join(rels...)
+//
+// GroupBy is absent when HasGroup is false; an empty GroupCols with HasGroup
+// true is scalar aggregation. Conjuncts include both local filters and join
+// predicates; the optimizer assigns them to join subsets.
+type Block struct {
+	Rels      []RelID
+	Conjuncts []*scalar.Expr
+
+	HasGroup  bool
+	GroupCols []scalar.ColID
+	Aggs      []AggDef
+
+	Having *scalar.Expr // filter over GroupCols and Agg outputs; nil when absent
+
+	Projections []Projection
+	OrderBy     []OrderKey
+	Limit       int
+}
+
+// RelSet returns the set of relation IDs as a bitmap over instance IDs.
+func (b *Block) RelSet() uint64 {
+	var s uint64
+	for _, r := range b.Rels {
+		s |= 1 << uint(r)
+	}
+	return s
+}
+
+// TableNames returns the sorted set of distinct base-table names, the T
+// component of the block's table signature.
+func (b *Block) TableNames(md *Metadata) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range b.Rels {
+		name := strings.ToLower(md.Rel(r).Tab.Name)
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// HasSelfJoin reports whether the block references the same base table more
+// than once. Such blocks are excluded from CSE covering (table signatures
+// cannot distinguish the instances).
+func (b *Block) HasSelfJoin(md *Metadata) bool {
+	seen := make(map[string]bool)
+	for _, r := range b.Rels {
+		name := strings.ToLower(md.Rel(r).Tab.Name)
+		if seen[name] {
+			return true
+		}
+		seen[name] = true
+	}
+	return false
+}
+
+// ReferencedCols returns every table column the block reads: predicate
+// columns, grouping columns, aggregate arguments, and projection inputs.
+// This drives column pruning: a join group only needs to output these.
+func (b *Block) ReferencedCols() scalar.ColSet {
+	var s scalar.ColSet
+	for _, c := range b.Conjuncts {
+		s.UnionWith(c.Cols())
+	}
+	for _, g := range b.GroupCols {
+		s.Add(g)
+	}
+	for _, a := range b.Aggs {
+		if a.Arg != nil {
+			s.UnionWith(a.Arg.Cols())
+		}
+	}
+	if b.Having != nil {
+		s.UnionWith(b.Having.Cols())
+	}
+	for _, p := range b.Projections {
+		s.UnionWith(p.Expr.Cols())
+	}
+	// Remove synthesized aggregate outputs: they are produced, not read.
+	for _, a := range b.Aggs {
+		s.Remove(a.Out)
+	}
+	return s
+}
+
+// OutputKinds returns the result column types of the block's projections.
+func (b *Block) OutputKinds(md *Metadata) []sqltypes.Kind {
+	kinds := make([]sqltypes.Kind, len(b.Projections))
+	for i, p := range b.Projections {
+		kinds[i] = InferKind(md, p.Expr)
+	}
+	return kinds
+}
+
+// InferKind computes the result type of a scalar expression given metadata.
+func InferKind(md *Metadata, e *scalar.Expr) sqltypes.Kind {
+	if e == nil {
+		return sqltypes.KindBool
+	}
+	switch e.Op {
+	case scalar.OpConst:
+		return e.Const.Kind()
+	case scalar.OpCol:
+		return md.Col(e.Col).Kind
+	case scalar.OpEq, scalar.OpNe, scalar.OpLt, scalar.OpLe, scalar.OpGt, scalar.OpGe,
+		scalar.OpAnd, scalar.OpOr, scalar.OpNot, scalar.OpLike:
+		return sqltypes.KindBool
+	case scalar.OpDiv:
+		return sqltypes.KindFloat
+	case scalar.OpAdd, scalar.OpSub, scalar.OpMul:
+		lk, rk := InferKind(md, e.Args[0]), InferKind(md, e.Args[1])
+		if lk == sqltypes.KindFloat || rk == sqltypes.KindFloat {
+			return sqltypes.KindFloat
+		}
+		return sqltypes.KindInt
+	case scalar.OpAgg:
+		switch e.Agg {
+		case scalar.AggCount, scalar.AggCountStar:
+			return sqltypes.KindInt
+		case scalar.AggAvg:
+			return sqltypes.KindFloat
+		default:
+			return InferKind(md, e.Args[0])
+		}
+	case scalar.OpSubquery:
+		sq := md.Subquery(int(e.Col))
+		return InferKind(md, sq.Projections[0].Expr)
+	default:
+		return sqltypes.KindFloat
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,751 @@
+package logical
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/parser"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// Statement is one bound top-level statement of a batch.
+type Statement struct {
+	Block    *Block
+	ViewName string // non-empty for CREATE MATERIALIZED VIEW
+}
+
+// Batch is a bound statement batch sharing one metadata space. The paper
+// optimizes a batch as a single complex query tied together by a dummy root;
+// the shared Metadata is what makes cross-statement analysis possible.
+type Batch struct {
+	Metadata   *Metadata
+	Statements []*Statement
+}
+
+// BuildBatch binds parsed statements against the catalog.
+func BuildBatch(stmts []parser.Statement, cat *catalog.Catalog) (*Batch, error) {
+	md := NewMetadata()
+	batch := &Batch{Metadata: md}
+	for i, st := range stmts {
+		switch s := st.(type) {
+		case *parser.SelectStmt:
+			blk, err := buildSelect(s, cat, md, nil)
+			if err != nil {
+				return nil, fmt.Errorf("statement %d: %w", i+1, err)
+			}
+			batch.Statements = append(batch.Statements, &Statement{Block: blk})
+		case *parser.CreateViewStmt:
+			blk, err := buildSelect(s.Select, cat, md, nil)
+			if err != nil {
+				return nil, fmt.Errorf("statement %d (view %s): %w", i+1, s.Name, err)
+			}
+			if len(blk.OrderBy) > 0 || blk.Limit > 0 {
+				return nil, fmt.Errorf("statement %d: materialized view %s cannot have ORDER BY or LIMIT", i+1, s.Name)
+			}
+			batch.Statements = append(batch.Statements, &Statement{Block: blk, ViewName: s.Name})
+		default:
+			return nil, fmt.Errorf("statement %d: unsupported statement type %T", i+1, st)
+		}
+	}
+	return batch, nil
+}
+
+// namedCol is one resolvable output column of a scope entry.
+type namedCol struct {
+	name string
+	col  scalar.ColID
+}
+
+// scopeEntry is one FROM binding: a base-table instance or an inlined
+// common table expression.
+type scopeEntry struct {
+	binding string
+	rel     *RelInfo   // non-nil for base tables
+	cols    []namedCol // materialized output columns
+}
+
+// binder holds per-block name resolution state.
+type binder struct {
+	cat   *catalog.Catalog
+	md    *Metadata
+	scope []*scopeEntry
+	ctes  map[string]*parser.SelectStmt
+}
+
+// mergeCTEs layers new WITH entries over an outer scope (inner shadows).
+func mergeCTEs(outer map[string]*parser.SelectStmt, with []parser.CTE) (map[string]*parser.SelectStmt, error) {
+	if len(with) == 0 {
+		return outer, nil
+	}
+	out := make(map[string]*parser.SelectStmt, len(outer)+len(with))
+	for k, v := range outer {
+		out[k] = v
+	}
+	seen := make(map[string]bool, len(with))
+	for i := range with {
+		key := strings.ToLower(with[i].Name)
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate WITH name %q", with[i].Name)
+		}
+		seen[key] = true
+		out[key] = with[i].Select
+	}
+	return out, nil
+}
+
+// addFromRef resolves one FROM item: a CTE reference inlines its definition
+// (fresh table instances, merged predicates — the similar subexpressions a
+// multiply-referenced WITH creates are then re-detected and shared by the
+// CSE machinery at whatever granularity is actually optimal, cf. §6.1);
+// anything else binds a base table.
+func (b *binder) addFromRef(blk *Block, ref parser.TableRef) error {
+	binding := strings.ToLower(ref.Binding())
+	for _, se := range b.scope {
+		if strings.EqualFold(se.binding, ref.Binding()) {
+			return fmt.Errorf("duplicate table binding %q in FROM", ref.Binding())
+		}
+	}
+	if cte, ok := b.ctes[strings.ToLower(ref.Table)]; ok {
+		return b.inlineCTE(blk, ref.Binding(), cte)
+	}
+	tab, err := b.cat.Table(ref.Table)
+	if err != nil {
+		return err
+	}
+	rel := b.md.AddInstance(tab, ref.Binding())
+	cols := make([]namedCol, len(tab.Cols))
+	for ord, c := range tab.Cols {
+		cols[ord] = namedCol{name: strings.ToLower(c.Name), col: rel.ColID(ord)}
+	}
+	b.scope = append(b.scope, &scopeEntry{binding: binding, rel: rel, cols: cols})
+	blk.Rels = append(blk.Rels, rel.ID)
+	return nil
+}
+
+// inlineCTE splices a select-project-join CTE into the enclosing block: its
+// tables become fresh instances of the block, its predicate conjuncts merge
+// in, and its projections become the binding's resolvable columns.
+func (b *binder) inlineCTE(blk *Block, binding string, sel *parser.SelectStmt) error {
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("common table expression %q: %s", binding, fmt.Sprintf(format, args...))
+	}
+	if sel.Distinct || len(sel.GroupBy) > 0 || sel.Having != nil || len(sel.OrderBy) > 0 || sel.Limit > 0 {
+		return fail("only select-project-join CTEs can be inlined")
+	}
+	if len(sel.From) == 0 {
+		return fail("FROM clause is required")
+	}
+	innerCtes, err := mergeCTEs(b.ctes, sel.With)
+	if err != nil {
+		return fail("%v", err)
+	}
+	inner := &binder{cat: b.cat, md: b.md, ctes: innerCtes}
+	for _, ref := range sel.From {
+		if err := inner.addFromRef(blk, ref); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if sel.Where != nil {
+		pred, err := inner.convert(sel.Where, false)
+		if err != nil {
+			return fail("in WHERE: %v", err)
+		}
+		if pred.HasAgg() {
+			return fail("aggregates are not allowed in an inlined CTE")
+		}
+		blk.Conjuncts = append(blk.Conjuncts, scalar.Conjuncts(pred)...)
+	}
+
+	var cols []namedCol
+	seen := make(map[string]bool)
+	addCol := func(name string, col scalar.ColID) error {
+		key := strings.ToLower(name)
+		if seen[key] {
+			return fail("duplicate output column %q", name)
+		}
+		seen[key] = true
+		cols = append(cols, namedCol{name: key, col: col})
+		return nil
+	}
+	for i, item := range sel.Items {
+		if item.Star {
+			for _, se := range inner.scope {
+				for _, nc := range se.cols {
+					if err := addCol(nc.name, nc.col); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		e, err := inner.convert(item.Expr, false)
+		if err != nil {
+			return fail("in SELECT item %d: %v", i+1, err)
+		}
+		if e.Op != scalar.OpCol {
+			return fail("SELECT item %d must be a plain column (computed CTE outputs are not inlinable)", i+1)
+		}
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*parser.ColRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		if err := addCol(name, e.Col); err != nil {
+			return err
+		}
+	}
+	b.scope = append(b.scope, &scopeEntry{binding: strings.ToLower(binding), cols: cols})
+	return nil
+}
+
+func buildSelect(sel *parser.SelectStmt, cat *catalog.Catalog, md *Metadata, outerCTEs map[string]*parser.SelectStmt) (*Block, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("FROM clause is required")
+	}
+	ctes, err := mergeCTEs(outerCTEs, sel.With)
+	if err != nil {
+		return nil, err
+	}
+	b := &binder{cat: cat, md: md, ctes: ctes}
+	blk := &Block{}
+
+	for _, ref := range sel.From {
+		if err := b.addFromRef(blk, ref); err != nil {
+			return nil, err
+		}
+	}
+
+	// WHERE: no aggregates allowed; subqueries allowed.
+	if sel.Where != nil {
+		pred, err := b.convert(sel.Where, false)
+		if err != nil {
+			return nil, fmt.Errorf("in WHERE: %w", err)
+		}
+		if pred.HasAgg() {
+			return nil, fmt.Errorf("aggregate functions are not allowed in WHERE")
+		}
+		// Append: inlined CTEs may already have contributed conjuncts.
+		blk.Conjuncts = append(blk.Conjuncts, scalar.Conjuncts(pred)...)
+	}
+
+	// GROUP BY: plain column references only.
+	for _, g := range sel.GroupBy {
+		e, err := b.convert(g, false)
+		if err != nil {
+			return nil, fmt.Errorf("in GROUP BY: %w", err)
+		}
+		if e.Op != scalar.OpCol {
+			return nil, fmt.Errorf("GROUP BY supports plain column references only")
+		}
+		blk.GroupCols = append(blk.GroupCols, e.Col)
+		blk.HasGroup = true
+	}
+
+	// SELECT list: convert, collecting aggregates.
+	hoist := &aggHoister{b: b, blk: blk}
+	for i, item := range sel.Items {
+		if item.Star {
+			if len(sel.GroupBy) > 0 {
+				return nil, fmt.Errorf("SELECT * cannot be combined with GROUP BY")
+			}
+			for _, se := range b.scope {
+				for _, nc := range se.cols {
+					blk.Projections = append(blk.Projections, Projection{
+						Expr: scalar.Col(nc.col),
+						Name: nc.name,
+					})
+				}
+			}
+			continue
+		}
+		e, err := b.convert(item.Expr, true)
+		if err != nil {
+			return nil, fmt.Errorf("in SELECT item %d: %w", i+1, err)
+		}
+		e, err = hoist.hoist(e)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			name = projName(item.Expr, i)
+		}
+		blk.Projections = append(blk.Projections, Projection{Expr: e, Name: name})
+	}
+
+	// HAVING.
+	if sel.Having != nil {
+		e, err := b.convert(sel.Having, true)
+		if err != nil {
+			return nil, fmt.Errorf("in HAVING: %w", err)
+		}
+		e, err = hoist.hoist(e)
+		if err != nil {
+			return nil, err
+		}
+		blk.Having = e
+	}
+
+	if blk.HasGroup || len(blk.Aggs) > 0 || blk.Having != nil {
+		blk.HasGroup = true
+	}
+
+	// SELECT DISTINCT over plain columns becomes grouping on them.
+	if sel.Distinct {
+		if blk.HasGroup {
+			return nil, fmt.Errorf("SELECT DISTINCT cannot be combined with aggregation or GROUP BY")
+		}
+		seenCol := make(map[scalar.ColID]bool)
+		for i, p := range blk.Projections {
+			if p.Expr.Op != scalar.OpCol {
+				return nil, fmt.Errorf("SELECT DISTINCT item %d must be a plain column", i+1)
+			}
+			if !seenCol[p.Expr.Col] {
+				seenCol[p.Expr.Col] = true
+				blk.GroupCols = append(blk.GroupCols, p.Expr.Col)
+			}
+		}
+		blk.HasGroup = true
+	}
+
+	// Validate grouped projections and having reference only group columns
+	// and aggregate outputs.
+	if blk.HasGroup {
+		var legal scalar.ColSet
+		for _, g := range blk.GroupCols {
+			legal.Add(g)
+		}
+		for _, a := range blk.Aggs {
+			legal.Add(a.Out)
+		}
+		for i, p := range blk.Projections {
+			if !p.Expr.Cols().SubsetOf(legal) {
+				return nil, fmt.Errorf("SELECT item %d (%s) must reference grouping columns or aggregates", i+1, p.Name)
+			}
+		}
+		if blk.Having != nil && !blk.Having.Cols().SubsetOf(legal) {
+			return nil, fmt.Errorf("HAVING must reference grouping columns or aggregates")
+		}
+	}
+
+	// ORDER BY: resolve to projection positions (alias, position number, or
+	// matching expression).
+	for _, ok := range sel.OrderBy {
+		idx, err := b.resolveOrderKey(ok.Expr, sel, blk, hoist)
+		if err != nil {
+			return nil, err
+		}
+		blk.OrderBy = append(blk.OrderBy, OrderKey{ProjIdx: idx, Desc: ok.Desc})
+	}
+	blk.Limit = sel.Limit
+	return blk, nil
+}
+
+func projName(n parser.Node, idx int) string {
+	if cr, ok := n.(*parser.ColRef); ok {
+		return cr.Name
+	}
+	return fmt.Sprintf("col%d", idx+1)
+}
+
+func (b *binder) resolveOrderKey(n parser.Node, sel *parser.SelectStmt, blk *Block, hoist *aggHoister) (int, error) {
+	switch v := n.(type) {
+	case *parser.NumLit:
+		i, err := strconv.Atoi(v.Text)
+		if err != nil || i < 1 || i > len(blk.Projections) {
+			return 0, fmt.Errorf("ORDER BY position %s out of range", v.Text)
+		}
+		return i - 1, nil
+	case *parser.ColRef:
+		if v.Qualifier == "" {
+			for i, p := range blk.Projections {
+				if strings.EqualFold(p.Name, v.Name) {
+					return i, nil
+				}
+			}
+		}
+	}
+	// Fall back to expression match.
+	e, err := b.convert(n, true)
+	if err != nil {
+		return 0, fmt.Errorf("in ORDER BY: %w", err)
+	}
+	e, err = hoist.hoist(e)
+	if err != nil {
+		return 0, err
+	}
+	fp := e.Fingerprint()
+	for i, p := range blk.Projections {
+		if p.Expr.Fingerprint() == fp {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("ORDER BY expression must appear in the SELECT list")
+}
+
+// aggHoister replaces OpAgg nodes with references to synthesized aggregate
+// output columns, deduplicating identical aggregates and decomposing AVG
+// into SUM/COUNT.
+type aggHoister struct {
+	b   *binder
+	blk *Block
+	// byFP caches hoisted aggregates by fingerprint.
+	byFP map[string]scalar.ColID
+}
+
+func (h *aggHoister) hoist(e *scalar.Expr) (*scalar.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if e.Op == scalar.OpAgg {
+		if e.Agg == scalar.AggAvg {
+			// avg(x) = sum(x) / count(x)
+			arg := e.Args[0]
+			if arg.HasAgg() {
+				return nil, fmt.Errorf("nested aggregates are not allowed")
+			}
+			s, err := h.add(scalar.AggSum, arg)
+			if err != nil {
+				return nil, err
+			}
+			c, err := h.add(scalar.AggCount, arg)
+			if err != nil {
+				return nil, err
+			}
+			return scalar.Arith(scalar.OpDiv, scalar.Col(s), scalar.Col(c)), nil
+		}
+		var arg *scalar.Expr
+		if e.Agg != scalar.AggCountStar {
+			arg = e.Args[0]
+			if arg.HasAgg() {
+				return nil, fmt.Errorf("nested aggregates are not allowed")
+			}
+		}
+		out, err := h.add(e.Agg, arg)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.Col(out), nil
+	}
+	if len(e.Args) == 0 {
+		return e, nil
+	}
+	args := make([]*scalar.Expr, len(e.Args))
+	changed := false
+	for i, a := range e.Args {
+		na, err := h.hoist(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = na
+		if na != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return e, nil
+	}
+	out := *e
+	out.Args = args
+	return &out, nil
+}
+
+func (h *aggHoister) add(kind scalar.AggKind, arg *scalar.Expr) (scalar.ColID, error) {
+	if h.byFP == nil {
+		h.byFP = make(map[string]scalar.ColID)
+	}
+	def := AggDef{Kind: kind, Arg: arg}
+	fp := def.Fingerprint()
+	if out, ok := h.byFP[fp]; ok {
+		return out, nil
+	}
+	var kindOut sqltypes.Kind
+	switch kind {
+	case scalar.AggCount, scalar.AggCountStar:
+		kindOut = sqltypes.KindInt
+	default:
+		kindOut = InferKind(h.b.md, arg)
+	}
+	name := def.String()
+	out := h.b.md.AddSynthesized(name, kindOut)
+	def.Out = out
+	h.blk.Aggs = append(h.blk.Aggs, def)
+	h.blk.HasGroup = true
+	h.byFP[fp] = out
+	return out, nil
+}
+
+// convert translates a parser AST node into a scalar expression, resolving
+// column names against the binder's scope. allowAgg permits aggregate
+// function calls (SELECT list, HAVING, ORDER BY contexts).
+func (b *binder) convert(n parser.Node, allowAgg bool) (*scalar.Expr, error) {
+	switch v := n.(type) {
+	case *parser.NumLit:
+		if v.Float {
+			f, err := strconv.ParseFloat(v.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("invalid numeric literal %q", v.Text)
+			}
+			return scalar.ConstFloat(f), nil
+		}
+		i, err := strconv.ParseInt(v.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer literal %q", v.Text)
+		}
+		return scalar.ConstInt(i), nil
+
+	case *parser.StrLit:
+		return scalar.ConstString(v.Val), nil
+
+	case *parser.BoolLit:
+		return scalar.Const(sqltypes.NewBool(v.Val)), nil
+
+	case *parser.NullLit:
+		return scalar.Const(sqltypes.Null), nil
+
+	case *parser.ColRef:
+		c, err := b.resolveCol(v)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.Col(c), nil
+
+	case *parser.UnaryOp:
+		arg, err := b.convert(v.Arg, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == "not" {
+			return scalar.Not(arg), nil
+		}
+		// Unary minus: fold constants, otherwise 0 - x.
+		if arg.Op == scalar.OpConst {
+			switch arg.Const.Kind() {
+			case sqltypes.KindInt:
+				return scalar.ConstInt(-arg.Const.Int()), nil
+			case sqltypes.KindFloat:
+				return scalar.ConstFloat(-arg.Const.Float()), nil
+			}
+		}
+		return scalar.Arith(scalar.OpSub, scalar.ConstInt(0), arg), nil
+
+	case *parser.BinOp:
+		l, err := b.convert(v.L, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.convert(v.R, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "like":
+			return scalar.Like(l, r), nil
+		case "and":
+			return scalar.And(l, r), nil
+		case "or":
+			return scalar.Or(l, r), nil
+		case "+":
+			return scalar.Arith(scalar.OpAdd, l, r), nil
+		case "-":
+			return scalar.Arith(scalar.OpSub, l, r), nil
+		case "*":
+			return scalar.Arith(scalar.OpMul, l, r), nil
+		case "/":
+			return scalar.Arith(scalar.OpDiv, l, r), nil
+		}
+		var op scalar.Op
+		switch v.Op {
+		case "=":
+			op = scalar.OpEq
+		case "<>":
+			op = scalar.OpNe
+		case "<":
+			op = scalar.OpLt
+		case "<=":
+			op = scalar.OpLe
+		case ">":
+			op = scalar.OpGt
+		case ">=":
+			op = scalar.OpGe
+		default:
+			return nil, fmt.Errorf("unsupported operator %q", v.Op)
+		}
+		l, r, err = b.coerceComparison(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return scalar.Cmp(op, l, r), nil
+
+	case *parser.Between:
+		e, err := b.convert(v.Expr, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.convert(v.Lo, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.convert(v.Hi, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		e1, lo, err := b.coerceComparison(e, lo)
+		if err != nil {
+			return nil, err
+		}
+		e2, hi, err := b.coerceComparison(e, hi)
+		if err != nil {
+			return nil, err
+		}
+		rng := scalar.And(scalar.Cmp(scalar.OpGe, e1, lo), scalar.Cmp(scalar.OpLe, e2, hi))
+		if v.Negate {
+			return scalar.Not(rng), nil
+		}
+		return rng, nil
+
+	case *parser.InList:
+		e, err := b.convert(v.Expr, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		var alts []*scalar.Expr
+		for _, val := range v.Vals {
+			ve, err := b.convert(val, allowAgg)
+			if err != nil {
+				return nil, err
+			}
+			l, r, err := b.coerceComparison(e, ve)
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, scalar.Eq(l, r))
+		}
+		in := scalar.Or(alts...)
+		if v.Negate {
+			return scalar.Not(in), nil
+		}
+		return in, nil
+
+	case *parser.FuncCall:
+		if !parser.IsAggName(v.Name) {
+			return nil, fmt.Errorf("unsupported function %q", v.Name)
+		}
+		if !allowAgg {
+			return nil, fmt.Errorf("aggregate %s is not allowed in this context", v.Name)
+		}
+		if v.Star {
+			if v.Name != "count" {
+				return nil, fmt.Errorf("%s(*) is not valid", v.Name)
+			}
+			return scalar.Agg(scalar.AggCountStar, nil), nil
+		}
+		if len(v.Args) != 1 {
+			return nil, fmt.Errorf("%s takes exactly one argument", v.Name)
+		}
+		arg, err := b.convert(v.Args[0], false)
+		if err != nil {
+			return nil, err
+		}
+		var kind scalar.AggKind
+		switch v.Name {
+		case "sum":
+			kind = scalar.AggSum
+		case "count":
+			kind = scalar.AggCount
+		case "min":
+			kind = scalar.AggMin
+		case "max":
+			kind = scalar.AggMax
+		case "avg":
+			kind = scalar.AggAvg
+		}
+		return scalar.Agg(kind, arg), nil
+
+	case *parser.Subquery:
+		blk, err := buildSelect(v.Select, b.cat, b.md, b.ctes)
+		if err != nil {
+			return nil, fmt.Errorf("in subquery: %w", err)
+		}
+		if len(blk.Projections) != 1 {
+			return nil, fmt.Errorf("scalar subquery must return exactly one column")
+		}
+		idx := b.md.AddSubquery(blk)
+		return scalar.SubqueryRef(idx), nil
+
+	default:
+		return nil, fmt.Errorf("unsupported expression node %T", n)
+	}
+}
+
+// coerceComparison adapts literal types to column types: a string literal
+// compared against a DATE column becomes a DATE literal, and an integer
+// literal compared against a DOUBLE column becomes a DOUBLE literal.
+func (b *binder) coerceComparison(l, r *scalar.Expr) (*scalar.Expr, *scalar.Expr, error) {
+	lk, rk := InferKind(b.md, l), InferKind(b.md, r)
+	coerce := func(e *scalar.Expr, want sqltypes.Kind) (*scalar.Expr, error) {
+		if e.Op != scalar.OpConst {
+			return e, nil
+		}
+		switch {
+		case want == sqltypes.KindDate && e.Const.Kind() == sqltypes.KindString:
+			d, err := sqltypes.ParseDate(e.Const.Str())
+			if err != nil {
+				return nil, err
+			}
+			return scalar.Const(d), nil
+		case want == sqltypes.KindFloat && e.Const.Kind() == sqltypes.KindInt:
+			return scalar.ConstFloat(float64(e.Const.Int())), nil
+		}
+		return e, nil
+	}
+	var err error
+	if l, err = coerce(l, rk); err != nil {
+		return nil, nil, err
+	}
+	if r, err = coerce(r, lk); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+func (b *binder) resolveCol(cr *parser.ColRef) (scalar.ColID, error) {
+	if cr.Qualifier != "" {
+		for _, se := range b.scope {
+			if !strings.EqualFold(se.binding, cr.Qualifier) {
+				continue
+			}
+			for _, nc := range se.cols {
+				if strings.EqualFold(nc.name, cr.Name) {
+					return nc.col, nil
+				}
+			}
+			return 0, fmt.Errorf("column %q does not exist in %q", cr.Name, cr.Qualifier)
+		}
+		return 0, fmt.Errorf("unknown table binding %q", cr.Qualifier)
+	}
+	var found scalar.ColID
+	matches := 0
+	for _, se := range b.scope {
+		for _, nc := range se.cols {
+			if strings.EqualFold(nc.name, cr.Name) {
+				found = nc.col
+				matches++
+			}
+		}
+	}
+	switch matches {
+	case 0:
+		return 0, fmt.Errorf("column %q not found", cr.Name)
+	case 1:
+		return found, nil
+	default:
+		return 0, fmt.Errorf("column %q is ambiguous", cr.Name)
+	}
+}

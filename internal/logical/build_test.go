@@ -1,0 +1,399 @@
+package logical_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/parser"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+	"repro/internal/tpch"
+)
+
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, tab := range tpch.Schemas() {
+		if err := cat.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func bind(t *testing.T, sql string) *logical.Batch {
+	t.Helper()
+	batch, err := bindErr(t, sql)
+	if err != nil {
+		t.Fatalf("bind %q: %v", sql, err)
+	}
+	return batch
+}
+
+func bindErr(t *testing.T, sql string) (*logical.Batch, error) {
+	t.Helper()
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return logical.BuildBatch(stmts, testCatalog(t))
+}
+
+func TestBindSimpleBlock(t *testing.T) {
+	b := bind(t, "select c_name from customer where c_acctbal > 100")
+	blk := b.Statements[0].Block
+	if len(blk.Rels) != 1 || len(blk.Conjuncts) != 1 || blk.HasGroup {
+		t.Fatalf("unexpected block: %+v", blk)
+	}
+	if len(blk.Projections) != 1 || blk.Projections[0].Name != "c_name" {
+		t.Errorf("projections: %+v", blk.Projections)
+	}
+}
+
+func TestBindStarExpansion(t *testing.T) {
+	b := bind(t, "select * from nation")
+	blk := b.Statements[0].Block
+	if len(blk.Projections) != 4 {
+		t.Errorf("star expanded to %d columns, want 4", len(blk.Projections))
+	}
+	if blk.Projections[0].Name != "n_nationkey" {
+		t.Errorf("first column = %q", blk.Projections[0].Name)
+	}
+}
+
+func TestBindConjunctSplitting(t *testing.T) {
+	b := bind(t, `select c_name from customer, orders
+		where c_custkey = o_custkey and c_acctbal > 0 and o_totalprice < 1000`)
+	blk := b.Statements[0].Block
+	if len(blk.Conjuncts) != 3 {
+		t.Errorf("conjuncts = %d, want 3", len(blk.Conjuncts))
+	}
+}
+
+func TestBindAggHoisting(t *testing.T) {
+	b := bind(t, `select c_nationkey, sum(c_acctbal) as s, sum(c_acctbal) + 1 as s1
+		from customer group by c_nationkey`)
+	blk := b.Statements[0].Block
+	if !blk.HasGroup || len(blk.GroupCols) != 1 {
+		t.Fatal("grouping lost")
+	}
+	// The two sum(c_acctbal) references share one aggregate definition.
+	if len(blk.Aggs) != 1 {
+		t.Errorf("aggs = %d, want 1 (deduplicated)", len(blk.Aggs))
+	}
+	// The projection reads the aggregate's output column.
+	if blk.Projections[1].Expr.Op != scalar.OpCol || blk.Projections[1].Expr.Col != blk.Aggs[0].Out {
+		t.Error("projection must reference the hoisted aggregate output")
+	}
+}
+
+func TestBindAvgDecomposition(t *testing.T) {
+	b := bind(t, "select avg(c_acctbal) as a from customer")
+	blk := b.Statements[0].Block
+	if len(blk.Aggs) != 2 {
+		t.Fatalf("avg must decompose into sum and count, got %d aggs", len(blk.Aggs))
+	}
+	kinds := map[scalar.AggKind]bool{}
+	for _, a := range blk.Aggs {
+		kinds[a.Kind] = true
+	}
+	if !kinds[scalar.AggSum] || !kinds[scalar.AggCount] {
+		t.Errorf("avg decomposition kinds: %v", kinds)
+	}
+	if blk.Projections[0].Expr.Op != scalar.OpDiv {
+		t.Error("avg projection must be sum/count")
+	}
+}
+
+func TestBindCountStar(t *testing.T) {
+	b := bind(t, "select count(*) as n from customer")
+	blk := b.Statements[0].Block
+	if len(blk.Aggs) != 1 || blk.Aggs[0].Kind != scalar.AggCountStar || blk.Aggs[0].Arg != nil {
+		t.Errorf("count(*) bound as %+v", blk.Aggs)
+	}
+	if !blk.HasGroup || len(blk.GroupCols) != 0 {
+		t.Error("scalar aggregation is grouping with no keys")
+	}
+}
+
+func TestBindDateCoercion(t *testing.T) {
+	b := bind(t, "select o_orderkey from orders where o_orderdate < '1996-07-01'")
+	blk := b.Statements[0].Block
+	conj := blk.Conjuncts[0]
+	if conj.Args[1].Const.Kind() != sqltypes.KindDate {
+		t.Errorf("date literal coerced to %s", conj.Args[1].Const.Kind())
+	}
+}
+
+func TestBindIntToFloatCoercion(t *testing.T) {
+	b := bind(t, "select o_orderkey from orders where o_totalprice > 1000")
+	conj := b.Statements[0].Block.Conjuncts[0]
+	if conj.Args[1].Const.Kind() != sqltypes.KindFloat {
+		t.Errorf("int literal vs DOUBLE column coerced to %s", conj.Args[1].Const.Kind())
+	}
+}
+
+func TestBindBetweenBecomesRange(t *testing.T) {
+	b := bind(t, "select c_name from customer where c_nationkey between 3 and 7")
+	blk := b.Statements[0].Block
+	if len(blk.Conjuncts) != 2 {
+		t.Fatalf("BETWEEN should produce 2 conjuncts, got %d", len(blk.Conjuncts))
+	}
+}
+
+func TestBindOrderByAliasAndPosition(t *testing.T) {
+	b := bind(t, `select c_nationkey, sum(c_acctbal) as s from customer
+		group by c_nationkey order by s desc, 1`)
+	blk := b.Statements[0].Block
+	if len(blk.OrderBy) != 2 {
+		t.Fatal("order keys missing")
+	}
+	if blk.OrderBy[0].ProjIdx != 1 || !blk.OrderBy[0].Desc {
+		t.Errorf("alias key = %+v", blk.OrderBy[0])
+	}
+	if blk.OrderBy[1].ProjIdx != 0 || blk.OrderBy[1].Desc {
+		t.Errorf("positional key = %+v", blk.OrderBy[1])
+	}
+}
+
+func TestBindOrderByExpression(t *testing.T) {
+	b := bind(t, `select c_nationkey, sum(c_acctbal) from customer
+		group by c_nationkey order by sum(c_acctbal)`)
+	if b.Statements[0].Block.OrderBy[0].ProjIdx != 1 {
+		t.Error("order-by expression must match the select item")
+	}
+}
+
+func TestBindSubquery(t *testing.T) {
+	b := bind(t, `select c_nationkey from customer
+		where c_acctbal > (select avg(c_acctbal) from customer)`)
+	if b.Metadata.NumSubqueries() != 1 {
+		t.Fatalf("subqueries = %d", b.Metadata.NumSubqueries())
+	}
+	blk := b.Statements[0].Block
+	found := false
+	for _, c := range blk.Conjuncts {
+		if c.HasSubquery() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("conjunct lost its subquery reference")
+	}
+	sub := b.Metadata.Subquery(0)
+	if !sub.HasGroup {
+		t.Error("avg subquery is a scalar aggregation")
+	}
+}
+
+func TestBindSharedMetadataAcrossBatch(t *testing.T) {
+	b := bind(t, "select c_name from customer; select c_name from customer")
+	if b.Metadata.NumRels() != 2 {
+		t.Errorf("each statement gets its own instance; rels = %d", b.Metadata.NumRels())
+	}
+	b0 := b.Statements[0].Block.Rels[0]
+	b1 := b.Statements[1].Block.Rels[0]
+	if b0 == b1 {
+		t.Error("statements must not share table instances")
+	}
+	// Column IDs must not collide.
+	c0 := b.Metadata.Rel(b0).ColID(0)
+	c1 := b.Metadata.Rel(b1).ColID(0)
+	if c0 == c1 {
+		t.Error("column ID collision across statements")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := []struct {
+		sql     string
+		wantSub string
+	}{
+		{"select nothere from customer", "not found"},
+		{"select c_name from nosuch", "does not exist"},
+		{"select x.c_name from customer c", "unknown table binding"},
+		{"select c_custkey from customer, orders where custkey = 1", "not found"},
+		{"select o_orderkey from customer, orders, lineitem where l_orderkey = 1 and o_orderkey = l_orderkey and c_custkey = o_custkey and l_linenumber = o_shippriority and l_orderkey = o_orderkey and c_custkey = c_custkey and o_orderkey = 1 and nonsense = 2", "not found"},
+		{"select c_name from customer c, customer c", "duplicate table binding"},
+		{"select sum(c_acctbal) from customer where sum(c_acctbal) > 0", "not allowed"},
+		{"select sum(sum(c_acctbal)) from customer", "not allowed"},
+		{"select min(*) from customer", "not valid"},
+		{"select frob(c_acctbal) from customer", "unsupported function"},
+		{"select * from customer group by c_nationkey", "cannot be combined"},
+		{"select c_name from customer group by c_nationkey", "must reference grouping columns"},
+		{"select c_nationkey from customer group by c_nationkey having c_name = 'x'", "HAVING must reference"},
+		{"select c_nationkey from customer group by c_nationkey + 1", "plain column references"},
+		{"select c_nationkey from customer order by c_name", "must appear in the SELECT list"},
+		{"select c_nationkey from customer order by 5", "out of range"},
+		{"select distinct sum(c_acctbal) from customer", "cannot be combined"},
+		{"select distinct c_acctbal + 1 from customer", "plain column"},
+		{"select c_acctbal from customer where c_acctbal > (select c_acctbal, c_custkey from customer)", "exactly one column"},
+		{"select sum(c_acctbal, c_custkey) from customer", "exactly one argument"},
+		{"create materialized view v as select c_name from customer order by c_name", "ORDER BY"},
+	}
+	for _, c := range cases {
+		_, err := bindErr(t, c.sql)
+		if err == nil {
+			t.Errorf("bind(%q) succeeded, want error containing %q", c.sql, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("bind(%q) error %q does not contain %q", c.sql, err, c.wantSub)
+		}
+	}
+}
+
+func TestBindAmbiguousColumn(t *testing.T) {
+	// c_nationkey exists in customer; n_nationkey in nation — not ambiguous.
+	// But a self-join with aliases makes bare names ambiguous.
+	_, err := bindErr(t, "select c_name from customer a, customer b")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestReferencedCols(t *testing.T) {
+	b := bind(t, `select c_nationkey, sum(o_totalprice) as s
+		from customer, orders
+		where c_custkey = o_custkey and c_acctbal > 0
+		group by c_nationkey`)
+	blk := b.Statements[0].Block
+	cols := blk.ReferencedCols()
+	md := b.Metadata
+	names := map[string]bool{}
+	cols.ForEach(func(c scalar.ColID) { names[md.ColName(c)] = true })
+	for _, want := range []string{"customer.c_custkey", "orders.o_custkey", "customer.c_acctbal", "customer.c_nationkey", "orders.o_totalprice"} {
+		if !names[want] {
+			t.Errorf("ReferencedCols missing %s (got %v)", want, names)
+		}
+	}
+	// Aggregate output columns are produced, not read.
+	if cols.Contains(blk.Aggs[0].Out) {
+		t.Error("aggregate output must not be in ReferencedCols")
+	}
+}
+
+func TestTableNamesAndSelfJoin(t *testing.T) {
+	b := bind(t, "select a.c_name from customer a, customer b where a.c_custkey = b.c_custkey")
+	blk := b.Statements[0].Block
+	if !blk.HasSelfJoin(b.Metadata) {
+		t.Error("self-join not detected")
+	}
+	names := blk.TableNames(b.Metadata)
+	if len(names) != 1 || names[0] != "customer" {
+		t.Errorf("TableNames = %v (sets deduplicate)", names)
+	}
+
+	b2 := bind(t, "select c_name from customer, orders where c_custkey = o_custkey")
+	if b2.Statements[0].Block.HasSelfJoin(b2.Metadata) {
+		t.Error("no self-join here")
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	b := bind(t, "select c_acctbal + 1 as f, c_custkey + 1 as i, c_custkey / 2 as d, c_name from customer")
+	blk := b.Statements[0].Block
+	kinds := blk.OutputKinds(b.Metadata)
+	want := []sqltypes.Kind{sqltypes.KindFloat, sqltypes.KindInt, sqltypes.KindFloat, sqltypes.KindString}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("output %d kind = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestMetadataNames(t *testing.T) {
+	b := bind(t, "select c.c_name from customer c")
+	md := b.Metadata
+	rel := md.Rel(b.Statements[0].Block.Rels[0])
+	if got := md.ColName(rel.ColID(1)); got != "c.c_name" {
+		t.Errorf("ColName = %q", got)
+	}
+	tab, ord, ok := md.BaseCol(rel.ColID(1))
+	if !ok || tab != "customer" || ord != 1 {
+		t.Errorf("BaseCol = %q,%d,%v", tab, ord, ok)
+	}
+	syn := md.AddSynthesized("tmp", sqltypes.KindInt)
+	if _, _, ok := md.BaseCol(syn); ok {
+		t.Error("synthesized columns have no base")
+	}
+	if md.RelOfCol(syn) != nil {
+		t.Error("synthesized columns have no relation")
+	}
+}
+
+func TestBindDistinct(t *testing.T) {
+	b := bind(t, "select distinct c_nationkey, c_mktsegment from customer")
+	blk := b.Statements[0].Block
+	if !blk.HasGroup || len(blk.GroupCols) != 2 || len(blk.Aggs) != 0 {
+		t.Errorf("DISTINCT must become grouping: %+v", blk)
+	}
+}
+
+func TestBindCTEInlining(t *testing.T) {
+	b := bind(t, `
+with co as (
+  select c_custkey as ck, c_nationkey, o_totalprice
+  from customer, orders
+  where c_custkey = o_custkey and o_totalprice > 1000)
+select c_nationkey, sum(o_totalprice) as v from co group by c_nationkey`)
+	blk := b.Statements[0].Block
+	// The CTE's two tables became the block's relations; its predicates
+	// merged into the conjuncts.
+	if len(blk.Rels) != 2 {
+		t.Fatalf("rels = %d, want customer+orders inlined", len(blk.Rels))
+	}
+	if len(blk.Conjuncts) != 2 {
+		t.Errorf("conjuncts = %d, want join + filter from the CTE", len(blk.Conjuncts))
+	}
+	if !blk.HasGroup || len(blk.GroupCols) != 1 {
+		t.Error("outer grouping lost")
+	}
+}
+
+func TestBindCTEAliasedColumns(t *testing.T) {
+	b := bind(t, `
+with x as (select c_custkey as id, c_name as label from customer)
+select x.id, label from x where x.id > 5`)
+	blk := b.Statements[0].Block
+	if len(blk.Projections) != 2 {
+		t.Fatalf("projections = %d", len(blk.Projections))
+	}
+	md := b.Metadata
+	if got := md.ColName(blk.Projections[0].Expr.Col); got != "customer.c_custkey" {
+		t.Errorf("aliased CTE column resolves to %q", got)
+	}
+}
+
+func TestBindCTEStarExport(t *testing.T) {
+	b := bind(t, `with x as (select * from nation) select * from x`)
+	if got := len(b.Statements[0].Block.Projections); got != 4 {
+		t.Errorf("star through CTE exports %d columns, want 4", got)
+	}
+}
+
+func TestBindCTEInnerAliasesInvisible(t *testing.T) {
+	_, err := bindErr(t, `
+with x as (select c.c_name from customer c)
+select c.c_name from x`)
+	if err == nil {
+		t.Error("inner CTE table aliases must not leak to the outer scope")
+	}
+}
+
+func TestMetadataColsAndRelSet(t *testing.T) {
+	b := bind(t, "select c_name from customer, orders where c_custkey = o_custkey")
+	blk := b.Statements[0].Block
+	if blk.RelSet() != 0b11 {
+		t.Errorf("RelSet = %b", blk.RelSet())
+	}
+	rel := b.Metadata.Rel(blk.Rels[0])
+	if rel.Cols().Len() != len(rel.Tab.Cols) {
+		t.Error("RelInfo.Cols must cover all table columns")
+	}
+	if b.Metadata.NumCols() < 2 {
+		t.Error("NumCols must count allocated columns")
+	}
+}

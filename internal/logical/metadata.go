@@ -1,0 +1,142 @@
+// Package logical turns parsed ASTs into normalized SPJG query blocks over a
+// batch-wide column metadata space. Each table reference becomes a table
+// instance with its own range of column IDs; aggregate outputs and computed
+// projections get synthesized column IDs. The memo and optimizer operate on
+// these blocks.
+package logical
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// RelID identifies one table instance within a batch's metadata. IDs start
+// at 0 and are dense.
+type RelID int32
+
+// RelInfo describes a table instance.
+type RelInfo struct {
+	ID       RelID
+	Tab      *catalog.Table
+	Alias    string // binding name used in SQL (alias or table name)
+	FirstCol scalar.ColID
+}
+
+// ColID returns the metadata column ID of base-column ordinal ord.
+func (r *RelInfo) ColID(ord int) scalar.ColID {
+	return r.FirstCol + scalar.ColID(ord)
+}
+
+// Cols returns the full set of the instance's column IDs.
+func (r *RelInfo) Cols() scalar.ColSet {
+	var s scalar.ColSet
+	for i := range r.Tab.Cols {
+		s.Add(r.ColID(i))
+	}
+	return s
+}
+
+// ColInfo describes one metadata column.
+type ColInfo struct {
+	Name string
+	Kind sqltypes.Kind
+	Rel  RelID // -1 for synthesized columns
+	Ord  int   // base-column ordinal when Rel >= 0
+}
+
+// Metadata is the batch-wide column and table-instance registry. A single
+// Metadata instance covers every statement optimized together, so column IDs
+// are unique across the batch.
+type Metadata struct {
+	cols       []ColInfo // index = ColID-1
+	rels       []*RelInfo
+	subqueries []*Block
+}
+
+// NewMetadata returns an empty metadata registry.
+func NewMetadata() *Metadata { return &Metadata{} }
+
+// AddInstance registers a new instance of tab with the given binding name
+// and allocates column IDs for its columns.
+func (md *Metadata) AddInstance(tab *catalog.Table, alias string) *RelInfo {
+	rel := &RelInfo{
+		ID:       RelID(len(md.rels)),
+		Tab:      tab,
+		Alias:    alias,
+		FirstCol: scalar.ColID(len(md.cols) + 1),
+	}
+	md.rels = append(md.rels, rel)
+	for i, c := range tab.Cols {
+		md.cols = append(md.cols, ColInfo{Name: c.Name, Kind: c.Type, Rel: rel.ID, Ord: i})
+	}
+	return rel
+}
+
+// AddSynthesized registers a computed column (aggregate output or projection
+// result) and returns its ID.
+func (md *Metadata) AddSynthesized(name string, kind sqltypes.Kind) scalar.ColID {
+	md.cols = append(md.cols, ColInfo{Name: name, Kind: kind, Rel: -1})
+	return scalar.ColID(len(md.cols))
+}
+
+// NumCols returns the number of allocated columns.
+func (md *Metadata) NumCols() int { return len(md.cols) }
+
+// Col returns the metadata for column c.
+func (md *Metadata) Col(c scalar.ColID) ColInfo {
+	return md.cols[int(c)-1]
+}
+
+// Rel returns the table instance with the given ID.
+func (md *Metadata) Rel(id RelID) *RelInfo { return md.rels[int(id)] }
+
+// NumRels returns the number of table instances.
+func (md *Metadata) NumRels() int { return len(md.rels) }
+
+// RelOfCol returns the instance owning column c, or nil for synthesized
+// columns.
+func (md *Metadata) RelOfCol(c scalar.ColID) *RelInfo {
+	info := md.Col(c)
+	if info.Rel < 0 {
+		return nil
+	}
+	return md.rels[int(info.Rel)]
+}
+
+// BaseCol returns the table name and base ordinal of c, for cross-statement
+// column alignment. ok is false for synthesized columns.
+func (md *Metadata) BaseCol(c scalar.ColID) (table string, ord int, ok bool) {
+	info := md.Col(c)
+	if info.Rel < 0 {
+		return "", 0, false
+	}
+	return md.rels[int(info.Rel)].Tab.Name, info.Ord, true
+}
+
+// ColName renders column c as "alias.name" for display.
+func (md *Metadata) ColName(c scalar.ColID) string {
+	if c < 1 || int(c) > len(md.cols) {
+		return fmt.Sprintf("@%d", c)
+	}
+	info := md.Col(c)
+	if info.Rel < 0 {
+		return info.Name
+	}
+	return md.rels[int(info.Rel)].Alias + "." + info.Name
+}
+
+// AddSubquery registers a scalar subquery block and returns its index, which
+// scalar.OpSubquery nodes carry.
+func (md *Metadata) AddSubquery(b *Block) int {
+	md.subqueries = append(md.subqueries, b)
+	return len(md.subqueries) - 1
+}
+
+// Subquery returns the subquery block at index i.
+func (md *Metadata) Subquery(i int) *Block { return md.subqueries[i] }
+
+// NumSubqueries returns the number of registered scalar subqueries.
+func (md *Metadata) NumSubqueries() int { return len(md.subqueries) }

@@ -1,0 +1,176 @@
+package memo
+
+import "math/bits"
+
+// Dominators computes, for every group reachable from root, the set of
+// groups that appear on every root-to-group path in the memo DAG (edges are
+// expression child links plus, implicitly, the root).
+//
+// The paper charges a CSE's initial cost at the least common ancestor of its
+// consumers (§5.2). In an operator tree the LCA lies on every path to every
+// consumer; the DAG generalization with the same guarantee is the lowest
+// common *dominator*: any plan that reaches a consumer must pass through it,
+// so the initial cost is charged exactly once and as early as possible.
+type Dominators struct {
+	m     *Memo
+	root  GroupID
+	order []GroupID            // reverse post-order from root
+	dom   map[GroupID][]uint64 // bitset over group IDs
+	depth map[GroupID]int
+}
+
+// NewDominators computes dominator sets from the given root.
+func NewDominators(m *Memo, root GroupID) *Dominators {
+	d := &Dominators{
+		m:     m,
+		root:  root,
+		dom:   make(map[GroupID][]uint64),
+		depth: make(map[GroupID]int),
+	}
+	d.computeOrder()
+	d.solve()
+	return d
+}
+
+func (d *Dominators) computeOrder() {
+	visited := make(map[GroupID]bool)
+	var post []GroupID
+	var visit func(GroupID, int)
+	visit = func(g GroupID, depth int) {
+		if dep, ok := d.depth[g]; !ok || depth > dep {
+			d.depth[g] = depth
+		}
+		if visited[g] {
+			return
+		}
+		visited[g] = true
+		for _, e := range d.m.Group(g).Exprs {
+			for _, c := range e.Children {
+				visit(c, depth+1)
+			}
+		}
+		post = append(post, g)
+	}
+	visit(d.root, 0)
+	for i := len(post) - 1; i >= 0; i-- {
+		d.order = append(d.order, post[i])
+	}
+}
+
+func (d *Dominators) words() int { return (len(d.m.Groups) + 63) / 64 }
+
+func (d *Dominators) solve() {
+	nw := d.words()
+	full := make([]uint64, nw)
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+	reachable := make(map[GroupID]bool, len(d.order))
+	for _, g := range d.order {
+		reachable[g] = true
+		set := make([]uint64, nw)
+		copy(set, full)
+		d.dom[g] = set
+	}
+	rootSet := d.dom[d.root]
+	for i := range rootSet {
+		rootSet[i] = 0
+	}
+	setBit(rootSet, int(d.root))
+
+	// Predecessors within the reachable subgraph.
+	preds := make(map[GroupID][]GroupID)
+	for _, g := range d.order {
+		for _, e := range d.m.Group(g).Exprs {
+			for _, c := range e.Children {
+				if reachable[c] {
+					preds[c] = append(preds[c], g)
+				}
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, g := range d.order {
+			if g == d.root {
+				continue
+			}
+			nw := d.words()
+			tmp := make([]uint64, nw)
+			copy(tmp, full)
+			for _, p := range preds[g] {
+				pd := d.dom[p]
+				for i := range tmp {
+					tmp[i] &= pd[i]
+				}
+			}
+			setBit(tmp, int(g))
+			if !equalBits(tmp, d.dom[g]) {
+				d.dom[g] = tmp
+				changed = true
+			}
+		}
+	}
+}
+
+// CommonDominator returns the deepest group that dominates every target:
+// the generalized least common ancestor used as the CSE charge point.
+func (d *Dominators) CommonDominator(targets []GroupID) GroupID {
+	if len(targets) == 0 {
+		return d.root
+	}
+	nw := d.words()
+	inter := make([]uint64, nw)
+	first, ok := d.dom[targets[0]]
+	if !ok {
+		return d.root
+	}
+	copy(inter, first)
+	for _, t := range targets[1:] {
+		td, ok := d.dom[t]
+		if !ok {
+			return d.root
+		}
+		for i := range inter {
+			inter[i] &= td[i]
+		}
+	}
+	best := d.root
+	bestDepth := -1
+	for w := 0; w < nw; w++ {
+		word := inter[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			g := GroupID(w*64 + b)
+			if dep, ok := d.depth[g]; ok && dep > bestDepth {
+				bestDepth = dep
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+// Dominates reports whether a dominates b (a is on every root-to-b path).
+func (d *Dominators) Dominates(a, b GroupID) bool {
+	set, ok := d.dom[b]
+	if !ok {
+		return false
+	}
+	return getBit(set, int(a))
+}
+
+func setBit(s []uint64, i int)      { s[i/64] |= 1 << (uint(i) % 64) }
+func getBit(s []uint64, i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func equalBits(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package memo_test
+
+import (
+	"testing"
+
+	"repro/internal/memo"
+)
+
+func TestDominatorsWithinStatement(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_nationkey, sum(o_totalprice) as s
+from customer, orders
+where c_custkey = o_custkey
+group by c_nationkey`)
+	d := memo.NewDominators(m, m.RootGroup)
+
+	root := m.RootGroup
+	stmt := m.StmtRoots[0]
+	// The root dominates everything reachable.
+	for _, g := range m.Groups {
+		if d.Dominates(stmt, g.ID) && !d.Dominates(root, g.ID) {
+			t.Errorf("root must dominate G%d", g.ID)
+		}
+	}
+	// Every group dominates itself.
+	if !d.Dominates(stmt, stmt) {
+		t.Error("dominance is reflexive")
+	}
+	// A scan group is dominated by the statement root (single statement).
+	scan := findScanGroup(m)
+	if !d.Dominates(stmt, scan) {
+		t.Error("statement root must dominate its scans")
+	}
+	// Common dominator of one target is at least as deep as the statement
+	// root (never the batch root when the target sits inside one statement).
+	cd := d.CommonDominator([]memo.GroupID{scan})
+	if cd == m.RootGroup {
+		t.Error("single-statement target should find a dominator below the batch root")
+	}
+}
+
+func TestCommonDominatorAcrossStatements(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_name from customer where c_acctbal > 0;
+select c_name from customer where c_acctbal < 0`)
+	d := memo.NewDominators(m, m.RootGroup)
+
+	// One scan group from each statement: only the batch root covers both.
+	var scans []memo.GroupID
+	for _, g := range m.Groups {
+		if len(g.Exprs) > 0 && g.Exprs[0].Op == memo.OpScan {
+			scans = append(scans, g.ID)
+		}
+	}
+	if len(scans) != 2 {
+		t.Fatalf("expected 2 scan groups, got %d", len(scans))
+	}
+	cd := d.CommonDominator(scans)
+	if cd != m.RootGroup {
+		t.Errorf("cross-statement common dominator = G%d, want batch root G%d", cd, m.RootGroup)
+	}
+	// But each alone is dominated by its own statement root.
+	cd0 := d.CommonDominator(scans[:1])
+	if cd0 == m.RootGroup {
+		t.Error("single-statement target must not escalate to the batch root")
+	}
+}
+
+func TestCommonDominatorDeepest(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_nationkey, sum(l_extendedprice) as s
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+group by c_nationkey`)
+	d := memo.NewDominators(m, m.RootGroup)
+
+	// The full join-set group's common dominator for itself is itself.
+	var joinTop memo.GroupID = memo.InvalidGroup
+	for _, g := range m.Groups {
+		if !g.Grouped && g.Sig.Valid && len(g.Sig.Tables) == 3 {
+			joinTop = g.ID
+		}
+	}
+	if joinTop == memo.InvalidGroup {
+		t.Fatal("no 3-table join group found")
+	}
+	if cd := d.CommonDominator([]memo.GroupID{joinTop}); cd != joinTop {
+		t.Errorf("CommonDominator({G%d}) = G%d, want itself (deepest dominator)", joinTop, cd)
+	}
+}
+
+func TestCommonDominatorEmptyTargets(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, "select c_name from customer")
+	d := memo.NewDominators(m, m.RootGroup)
+	if cd := d.CommonDominator(nil); cd != m.RootGroup {
+		t.Error("no targets → root")
+	}
+}
+
+func findScanGroup(m *memo.Memo) memo.GroupID {
+	for _, g := range m.Groups {
+		if len(g.Exprs) > 0 && g.Exprs[0].Op == memo.OpScan {
+			return g.ID
+		}
+	}
+	return memo.InvalidGroup
+}

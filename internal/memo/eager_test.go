@@ -1,0 +1,339 @@
+package memo_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/scalar"
+)
+
+// topBlockFor rebuilds a logical block shaped like an existing ungrouped
+// join group, over fresh table instances of the same tables.
+func topBlockFor(t *testing.T, m *memo.Memo, g *memo.Group) *logical.Block {
+	t.Helper()
+	md := m.Md
+	blk := &logical.Block{}
+	// Fresh instances per table of the group.
+	instByTable := make(map[string]*logical.RelInfo)
+	for rid := 0; rid < md.NumRels(); rid++ {
+		if g.Rels&(1<<uint(rid)) == 0 {
+			continue
+		}
+		old := md.Rel(logical.RelID(rid))
+		fresh := md.AddInstance(old.Tab, old.Alias+"_cse")
+		instByTable[old.Tab.Name] = fresh
+		blk.Rels = append(blk.Rels, fresh.ID)
+	}
+	// Remap the group's conjuncts onto the fresh instances.
+	remap := make(map[scalar.ColID]scalar.ColID)
+	for rid := 0; rid < md.NumRels(); rid++ {
+		if g.Rels&(1<<uint(rid)) == 0 {
+			continue
+		}
+		old := md.Rel(logical.RelID(rid))
+		fresh := instByTable[old.Tab.Name]
+		for ord := range old.Tab.Cols {
+			remap[old.ColID(ord)] = fresh.ColID(ord)
+		}
+	}
+	for _, c := range g.Conjuncts {
+		blk.Conjuncts = append(blk.Conjuncts, c.Remap(remap))
+	}
+	for _, oc := range g.OutCols {
+		if to, ok := remap[oc]; ok {
+			blk.Projections = append(blk.Projections, logical.Projection{
+				Expr: scalar.Col(to), Name: md.ColName(to),
+			})
+		}
+	}
+	return blk
+}
+
+// TestEagerAggregationCreatesPartialGroups checks the eager-aggregation rule
+// of the builder: a grouped 3-table block gets a partial aggregation over
+// the {orders, lineitem} subset (aggregate arguments live in lineitem), with
+// the signature [T; {lineitem, orders}].
+func TestEagerAggregationCreatesPartialGroups(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_nationkey, sum(l_extendedprice) as s
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+group by c_nationkey`)
+
+	var partial *memo.Group
+	for _, g := range m.Groups {
+		if g.Grouped && g.Sig.Valid && g.Sig.Key() == "T|lineitem,orders" {
+			partial = g
+		}
+	}
+	if partial == nil {
+		t.Fatal("no partial aggregation group over {orders, lineitem}")
+	}
+	// Its grouping columns are the join column to customer (o_custkey).
+	if len(partial.GroupCols) != 1 {
+		t.Errorf("partial grouping columns = %v, want {o_custkey}", partial.GroupCols)
+	}
+	if got := m.Md.ColName(partial.GroupCols[0]); got != "orders.o_custkey" {
+		t.Errorf("partial groups by %s, want orders.o_custkey", got)
+	}
+	// Partial aggregates: the sum plus the eager count column.
+	if len(partial.Aggs) != 2 {
+		t.Errorf("partial aggregates = %d, want sum + count(*)", len(partial.Aggs))
+	}
+}
+
+// TestEagerAggregationGate: pre-aggregating customer⋈orders for an aggregate
+// over lineitem would group by o_orderkey (a key) and reduce nothing, so the
+// builder must not create it.
+func TestEagerAggregationGate(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_nationkey, sum(l_extendedprice) as s
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+group by c_nationkey`)
+	for _, g := range m.Groups {
+		if g.Grouped && g.Sig.Valid && g.Sig.Key() == "T|customer,orders" {
+			t.Fatal("useless pre-aggregation over {customer, orders} was generated")
+		}
+	}
+}
+
+// TestMultiStageAggregation: with four tables, the partial over {C,O,L} must
+// itself contain an expression combining the narrower partial over {O,L} —
+// making the narrow group a memo descendant of the wide one (what Heuristic
+// 4's containment test relies on).
+func TestMultiStageAggregation(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select n_regionkey, sum(l_extendedprice) as s
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey and o_orderkey = l_orderkey and c_nationkey = n_nationkey
+group by n_regionkey`)
+
+	var wide, narrow *memo.Group
+	for _, g := range m.Groups {
+		if !g.Grouped || !g.Sig.Valid {
+			continue
+		}
+		switch g.Sig.Key() {
+		case "T|customer,lineitem,orders":
+			wide = g
+		case "T|lineitem,orders":
+			narrow = g
+		}
+	}
+	if wide == nil || narrow == nil {
+		t.Fatal("expected partial aggregations over both {C,O,L} and {O,L}")
+	}
+	if len(wide.Exprs) < 2 {
+		t.Fatalf("wide partial has %d expressions, want the direct one plus a multi-stage combine", len(wide.Exprs))
+	}
+	closure := m.DescendantClosure(wide.ID)
+	if !closure[narrow.ID] {
+		t.Error("narrow partial must be a descendant of the wide partial")
+	}
+}
+
+// TestEagerCount: when the aggregate argument lies outside the subset (the
+// paper's Q4: sum(p_availqty) over part⋈orders⋈lineitem), the partial over
+// {orders, lineitem} carries only a count(*) column.
+func TestEagerCount(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select p_type, sum(p_availqty) as qty
+from part, orders, lineitem
+where p_partkey = l_partkey and o_orderkey = l_orderkey
+group by p_type`)
+
+	var partial *memo.Group
+	for _, g := range m.Groups {
+		if g.Grouped && g.Sig.Valid && g.Sig.Key() == "T|lineitem,orders" {
+			partial = g
+		}
+	}
+	if partial == nil {
+		t.Fatal("eager-count partial over {orders, lineitem} missing")
+	}
+	if len(partial.Aggs) != 1 {
+		t.Fatalf("partial aggs = %v, want just count(*)", partial.Aggs)
+	}
+	if partial.Aggs[0].Arg != nil {
+		t.Error("the single partial aggregate must be count(*)")
+	}
+}
+
+// TestPJoinGroupsHaveNoSignature: joins above a partial aggregation are not
+// SPJG expressions (Figure 2 requires ungrouped join inputs).
+func TestPJoinGroupsHaveNoSignature(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_nationkey, sum(l_extendedprice) as s
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+group by c_nationkey`)
+
+	for _, g := range m.Groups {
+		for _, e := range g.Exprs {
+			if e.Op != memo.OpJoin {
+				continue
+			}
+			for _, c := range e.Children {
+				if m.Group(c).Grouped && g.Sig.Valid {
+					t.Errorf("G%d joins a grouped child but has signature %s", g.ID, g.Sig)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossJoinFallback: a block with no join predicate still builds (as a
+// cross product).
+func TestCrossJoinFallback(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, "select r_name, n_name from region, nation where r_regionkey > 0")
+	top := m.Group(m.Group(m.StmtRoots[0]).Exprs[0].Children[0])
+	if top.Sig.Key() != "F|nation,region" {
+		t.Errorf("cross join top signature = %s", top.Sig.Key())
+	}
+	if len(top.Exprs) == 0 {
+		t.Error("cross join produced no expressions")
+	}
+}
+
+// TestSelfJoinSignatureExcluded: self-joins collapse in the table set, so
+// their groups are excluded from the signature index.
+func TestSelfJoinSignatureExcluded(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select a.c_name from customer a, customer b where a.c_custkey = b.c_custkey;
+select a.c_name from customer a, customer b where a.c_custkey = b.c_custkey`)
+	for key, groups := range m.SignatureGroups() {
+		if key == "F|customer" && len(groups) > 0 {
+			for _, gid := range groups {
+				g := m.Group(gid)
+				if g.Rels != 0 && popcount(g.Rels) == 2 {
+					t.Errorf("self-join group G%d registered under %s", gid, key)
+				}
+			}
+		}
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// TestConnectedSubsetCount: a 3-table chain C–O–L yields exactly 5 connected
+// subsets of size ≥ 2: {C,O}, {O,L}, {C,O,L} as groups (C,L not adjacent).
+func TestConnectedSubsetCount(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_name from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey`)
+	joins := 0
+	for _, g := range m.Groups {
+		if g.Sig.Valid && !g.Sig.Grouped && len(g.Sig.Tables) >= 2 {
+			joins++
+		}
+	}
+	if joins != 3 {
+		t.Errorf("connected multi-table subsets = %d, want 3 ({C,O},{O,L},{C,O,L})", joins)
+	}
+}
+
+// TestMemoFormatSmoke exercises the debug renderer.
+func TestMemoFormatSmoke(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, "select c_name from customer")
+	if s := m.Format(); len(s) == 0 {
+		t.Error("empty memo dump")
+	}
+}
+
+// TestAddBlockRegistersSignatures: inserting an extra block after the
+// initial build registers its groups' signatures with a negative statement
+// index — the mechanism stacked-CSE round 2 depends on.
+func TestAddBlockRegistersSignatures(t *testing.T) {
+	cat := testCatalog(t)
+	m := buildMemo(t, cat, `
+select c_name from customer, orders where c_custkey = o_custkey`)
+	before := len(m.SignatureGroups()["F|customer,orders"])
+	if before != 1 {
+		t.Fatalf("baseline registrations = %d", before)
+	}
+
+	// Insert a block shaped like the statement's own join (an extra
+	// customer⋈orders over fresh instances).
+	stmt := m.Group(m.StmtRoots[0])
+	top := m.Group(stmt.Exprs[0].Children[0])
+	blockLike := topBlockFor(t, m, top)
+	gid, err := m.AddBlock(blockLike, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Group(gid)
+	if g.StmtIdx != -2 {
+		t.Errorf("inserted block statement index = %d", g.StmtIdx)
+	}
+	after := len(m.SignatureGroups()["F|customer,orders"])
+	if after != before+1 {
+		t.Errorf("signature registrations: %d then %d, want +1", before, after)
+	}
+}
+
+// TestBuildLimits: the join-subset DP bounds block width, and the batch
+// bounds total table instances.
+func TestBuildLimits(t *testing.T) {
+	cat := testCatalog(t)
+	// 15 relations in one block exceeds the per-block DP bound.
+	var sb []byte
+	sb = append(sb, "select c0.c_custkey from "...)
+	for i := 0; i < 15; i++ {
+		if i > 0 {
+			sb = append(sb, ", "...)
+		}
+		sb = append(sb, []byte(fmt.Sprintf("customer c%d", i))...)
+	}
+	sb = append(sb, " where "...)
+	for i := 1; i < 15; i++ {
+		if i > 1 {
+			sb = append(sb, " and "...)
+		}
+		sb = append(sb, []byte(fmt.Sprintf("c0.c_custkey = c%d.c_custkey", i))...)
+	}
+	stmts, err := parser.Parse(string(sb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := logical.BuildBatch(stmts, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memo.Build(batch); err == nil {
+		t.Error("15-table block must exceed the DP bound")
+	}
+
+	// 65 instances across a batch exceed the bitmap.
+	var many []parser.Statement
+	q, _ := parser.Parse("select c_custkey from customer")
+	for i := 0; i < 65; i++ {
+		many = append(many, q[0])
+	}
+	batch2, err := logical.BuildBatch(many, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memo.Build(batch2); err == nil {
+		t.Error("65 instances must exceed the relation bitmap")
+	}
+}

@@ -1,0 +1,250 @@
+// Package memo implements the Cascades-style memo: groups of logically
+// equivalent expressions with logical properties (relation sets, pruned
+// output columns, cardinality estimates) and the paper's table signatures
+// (§3) attached to every group. The memo is populated per query block by
+// join-subset exploration and eager-aggregation rules (build.go); the
+// optimizer costs groups and the CSE manager detects sharable groups through
+// the signature index.
+package memo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logical"
+	"repro/internal/scalar"
+)
+
+// GroupID identifies a memo group. IDs are dense, starting at 0.
+type GroupID int32
+
+// InvalidGroup is the zero GroupID sentinel.
+const InvalidGroup GroupID = -1
+
+// Op enumerates logical operators stored in group expressions.
+type Op uint8
+
+// Group expression operators.
+const (
+	// OpScan is a leaf: one table instance with pushed-down local filter.
+	OpScan Op = iota
+	// OpJoin is a binary inner join between two child groups.
+	OpJoin
+	// OpGroupBy aggregates its child; AggMode distinguishes a block's final
+	// aggregation, an eager partial aggregation, and the combining
+	// aggregation placed above a partial aggregate.
+	OpGroupBy
+	// OpSelect filters its child (HAVING, or residual CSE compensation).
+	OpSelect
+	// OpRoot shapes a statement's final output: projections, ORDER BY, LIMIT.
+	OpRoot
+	// OpSeq is the batch root tying all statement roots together (the
+	// paper's "dummy root operator").
+	OpSeq
+	// OpSpool materializes its child into a work table (top of every CSE).
+	OpSpool
+	// OpSpoolScan is a leaf that reads a candidate CSE's work table. It
+	// appears in consumer substitutes generated during CSE optimization.
+	OpSpoolScan
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpScan:
+		return "Scan"
+	case OpJoin:
+		return "Join"
+	case OpGroupBy:
+		return "GroupBy"
+	case OpSelect:
+		return "Select"
+	case OpRoot:
+		return "Root"
+	case OpSeq:
+		return "Seq"
+	case OpSpool:
+		return "Spool"
+	case OpSpoolScan:
+		return "SpoolScan"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// AggMode distinguishes GroupBy roles.
+type AggMode uint8
+
+// GroupBy modes.
+const (
+	// AggFinal computes the block's aggregation directly over raw rows.
+	AggFinal AggMode = iota
+	// AggPartial is an eager pre-aggregation over a join subset.
+	AggPartial
+	// AggCombine re-aggregates partial results (above an AggPartial or
+	// above a CSE spool scan).
+	AggCombine
+)
+
+// Expr is one group expression: a logical operator referencing child groups.
+type Expr struct {
+	Op       Op
+	Children []GroupID
+
+	// OpScan payload.
+	Rel logical.RelID
+
+	// Filter: local filter for OpScan, join condition for OpJoin, filter
+	// for OpSelect. nil means TRUE.
+	Filter *scalar.Expr
+
+	// OpGroupBy payload.
+	GroupCols []scalar.ColID
+	Aggs      []logical.AggDef
+	AggMode   AggMode
+
+	// OpRoot payload.
+	Projections []logical.Projection
+	OrderBy     []logical.OrderKey
+	Limit       int
+
+	// OpSpool / OpSpoolScan payload: the candidate CSE ID.
+	SpoolID int
+}
+
+// Group is a set of logically equivalent expressions plus logical properties.
+type Group struct {
+	ID    GroupID
+	Exprs []*Expr
+
+	// Rels is the set of table-instance IDs below this group (bitmap over
+	// logical.RelID; the builder guarantees at most 64 instances).
+	Rels uint64
+
+	// OutCols is the pruned, ordered output layout of the group.
+	OutCols []scalar.ColID
+
+	// Rows and RowSize are the cardinality estimate and average output row
+	// width in bytes.
+	Rows    float64
+	RowSize float64
+
+	// Sig is the table signature (§3); Sig.Valid is false for operators
+	// with no signature (Figure 2's "all other cases").
+	Sig Signature
+
+	// SPJG normal form of the group, used by CSE construction: applicable
+	// conjuncts (all predicates at or below this group), and grouping
+	// structure when the group is an aggregation.
+	Conjuncts []*scalar.Expr
+	GroupCols []scalar.ColID
+	Aggs      []logical.AggDef
+	Grouped   bool
+
+	// StmtIdx is the statement this group belongs to (subquery blocks share
+	// their enclosing statement's index); -1 for the batch root.
+	StmtIdx int
+
+	// Parents lists groups whose expressions reference this group.
+	Parents []GroupID
+}
+
+// Memo owns all groups of one optimization.
+type Memo struct {
+	Groups []*Group
+	Md     *logical.Metadata
+
+	// RootGroup is the batch root (OpSeq).
+	RootGroup GroupID
+
+	// StmtRoots are the per-statement OpRoot groups in batch order.
+	StmtRoots []GroupID
+
+	// SubqueryRoots maps metadata subquery index to the subquery's top group
+	// (the group whose single output value feeds the scalar reference).
+	SubqueryRoots []GroupID
+
+	// sigIndex maps signature keys to the groups carrying that signature,
+	// in creation order — the CSE manager's hash table (Step 1).
+	sigIndex map[string][]GroupID
+}
+
+// NewMemo returns an empty memo over the given metadata.
+func NewMemo(md *logical.Metadata) *Memo {
+	return &Memo{Md: md, RootGroup: InvalidGroup, sigIndex: make(map[string][]GroupID)}
+}
+
+// NewGroup allocates a group and registers its signature (when valid) with
+// the signature index.
+func (m *Memo) NewGroup(g *Group) *Group {
+	g.ID = GroupID(len(m.Groups))
+	m.Groups = append(m.Groups, g)
+	if g.Sig.Valid && !g.Sig.SelfJoin {
+		key := g.Sig.Key()
+		m.sigIndex[key] = append(m.sigIndex[key], g.ID)
+	}
+	return g
+}
+
+// Group returns the group with the given ID.
+func (m *Memo) Group(id GroupID) *Group { return m.Groups[int(id)] }
+
+// AddExpr appends an expression to group g and records parent links.
+func (m *Memo) AddExpr(g *Group, e *Expr) {
+	g.Exprs = append(g.Exprs, e)
+	for _, c := range e.Children {
+		child := m.Group(c)
+		if len(child.Parents) == 0 || child.Parents[len(child.Parents)-1] != g.ID {
+			child.Parents = append(child.Parents, g.ID)
+		}
+	}
+}
+
+// SignatureGroups returns the signature index: key → groups, for CSE
+// detection. Callers must not mutate the returned map.
+func (m *Memo) SignatureGroups() map[string][]GroupID { return m.sigIndex }
+
+// Format renders the memo for debugging: one line per group.
+func (m *Memo) Format() string {
+	var sb strings.Builder
+	for _, g := range m.Groups {
+		fmt.Fprintf(&sb, "G%d: rows=%.0f sig=%s stmt=%d exprs=[", g.ID, g.Rows, g.Sig, g.StmtIdx)
+		for i, e := range g.Exprs {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(e.Op.String())
+			if len(e.Children) > 0 {
+				sb.WriteByte('(')
+				for j, c := range e.Children {
+					if j > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, "G%d", c)
+				}
+				sb.WriteByte(')')
+			}
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// DescendantClosure returns the set of groups reachable from id (including
+// id itself) following expression child edges, as a bitmap keyed by GroupID.
+func (m *Memo) DescendantClosure(id GroupID) map[GroupID]bool {
+	out := make(map[GroupID]bool)
+	var visit func(GroupID)
+	visit = func(g GroupID) {
+		if out[g] {
+			return
+		}
+		out[g] = true
+		for _, e := range m.Group(g).Exprs {
+			for _, c := range e.Children {
+				visit(c)
+			}
+		}
+	}
+	visit(id)
+	return out
+}

@@ -1,0 +1,129 @@
+package memo
+
+import "strings"
+
+// Signature is the paper's table signature (§3, Definition 3.1): a pair
+// [G; T] where G indicates whether the expression contains a group-by and T
+// is the set of source tables. It exists only for SPJG expressions; for all
+// other operators Valid is false.
+//
+// Expressions with different table signatures cannot be computed from one
+// covering subexpression, so equal signatures are the fast filter for
+// detecting potentially sharable expressions.
+type Signature struct {
+	Valid   bool
+	Grouped bool     // the G component
+	Tables  []string // the T component: sorted, lower-cased, de-duplicated
+
+	// SelfJoin marks expressions referencing the same base table more than
+	// once. T is a set, so two instances collapse; such expressions are
+	// excluded from sharing (the signature cannot distinguish instances).
+	SelfJoin bool
+}
+
+// Key returns the hash key used by the CSE manager's signature table.
+func (s Signature) Key() string {
+	g := "F"
+	if s.Grouped {
+		g = "T"
+	}
+	return g + "|" + strings.Join(s.Tables, ",")
+}
+
+// String renders the signature as "[T; {a,b}]".
+func (s Signature) String() string {
+	if !s.Valid {
+		return "[-]"
+	}
+	g := "F"
+	if s.Grouped {
+		g = "T"
+	}
+	return "[" + g + "; {" + strings.Join(s.Tables, ",") + "}]"
+}
+
+// TableSet returns the T component as a set.
+func (s Signature) TableSet() map[string]bool {
+	out := make(map[string]bool, len(s.Tables))
+	for _, t := range s.Tables {
+		out[t] = true
+	}
+	return out
+}
+
+// SubsetOf reports whether s's tables are a subset of other's.
+func (s Signature) SubsetOf(other Signature) bool {
+	set := other.TableSet()
+	for _, t := range s.Tables {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// The incremental computation rules of Figure 2, expressed over group
+// construction:
+//
+//	Table/View t:  S = [F; {t}]
+//	Select σ(e):   S = S_e               if G_e = F
+//	Project π(e):  S = S_e               if G_e = F
+//	Join e1 ⋈ e2:  S = [F; T_1 ∪ T_2]    if G_1 = F and G_2 = F
+//	GroupBy γ(e):  S = [T; T_e]          if G_e = F
+//	otherwise:     no signature
+//
+// The builder applies these rules as it creates groups: scan groups get leaf
+// signatures, join-subset groups get the join rule (both inputs are scans or
+// joins, always G=F), aggregation groups placed directly on a join subset
+// get the group-by rule, and every other operator (Select over a GroupBy,
+// Root, Seq, Spool, joins above partial aggregations) gets none.
+
+// scanSignature returns the signature of σ(t).
+func scanSignature(table string) Signature {
+	return Signature{Valid: true, Tables: []string{strings.ToLower(table)}}
+}
+
+// joinSignature combines two ungrouped child signatures.
+func joinSignature(a, b Signature) Signature {
+	if !a.Valid || !b.Valid || a.Grouped || b.Grouped {
+		return Signature{}
+	}
+	seen := make(map[string]bool, len(a.Tables)+len(b.Tables))
+	var tables []string
+	selfJoin := a.SelfJoin || b.SelfJoin
+	for _, t := range a.Tables {
+		seen[t] = true
+		tables = append(tables, t)
+	}
+	for _, t := range b.Tables {
+		if seen[t] {
+			selfJoin = true
+			continue
+		}
+		seen[t] = true
+		tables = append(tables, t)
+	}
+	sortLower(tables)
+	return Signature{Valid: true, Tables: tables, SelfJoin: selfJoin}
+}
+
+// groupBySignature wraps an ungrouped child signature.
+func groupBySignature(child Signature) Signature {
+	if !child.Valid || child.Grouped {
+		return Signature{}
+	}
+	out := child
+	out.Grouped = true
+	return out
+}
+
+func sortLower(s []string) {
+	for i := range s {
+		s[i] = strings.ToLower(s[i])
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

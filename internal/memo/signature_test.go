@@ -1,0 +1,101 @@
+package memo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScanSignature(t *testing.T) {
+	s := scanSignature("Customer")
+	if !s.Valid || s.Grouped || len(s.Tables) != 1 || s.Tables[0] != "customer" {
+		t.Errorf("scan signature = %+v", s)
+	}
+	if s.Key() != "F|customer" {
+		t.Errorf("key = %q", s.Key())
+	}
+}
+
+func TestJoinSignatureRule(t *testing.T) {
+	a := scanSignature("orders")
+	b := scanSignature("lineitem")
+	j := joinSignature(a, b)
+	if !j.Valid || j.Grouped {
+		t.Fatalf("join signature = %+v", j)
+	}
+	if !reflect.DeepEqual(j.Tables, []string{"lineitem", "orders"}) {
+		t.Errorf("tables = %v (must be sorted)", j.Tables)
+	}
+
+	// Joining a grouped input yields no signature (Figure 2's join rule
+	// requires G = F on both sides).
+	g := groupBySignature(a)
+	if got := joinSignature(g, b); got.Valid {
+		t.Error("join over a grouped input must have no signature")
+	}
+	if got := joinSignature(b, g); got.Valid {
+		t.Error("join over a grouped input must have no signature (right side)")
+	}
+	if got := joinSignature(Signature{}, b); got.Valid {
+		t.Error("join over a signatureless input must have no signature")
+	}
+}
+
+func TestJoinSignatureSelfJoin(t *testing.T) {
+	a := scanSignature("customer")
+	b := scanSignature("customer")
+	j := joinSignature(a, b)
+	if !j.Valid || !j.SelfJoin {
+		t.Errorf("self-join must be flagged: %+v", j)
+	}
+	if len(j.Tables) != 1 {
+		t.Errorf("table set must deduplicate: %v", j.Tables)
+	}
+	// Self-join taint propagates upward.
+	c := joinSignature(j, scanSignature("orders"))
+	if !c.SelfJoin {
+		t.Error("self-join flag must propagate through further joins")
+	}
+}
+
+func TestGroupBySignatureRule(t *testing.T) {
+	j := joinSignature(scanSignature("orders"), scanSignature("lineitem"))
+	g := groupBySignature(j)
+	if !g.Valid || !g.Grouped {
+		t.Fatalf("group-by signature = %+v", g)
+	}
+	if g.Key() != "T|lineitem,orders" {
+		t.Errorf("key = %q", g.Key())
+	}
+	// Group-by over an already-grouped input: no signature (double
+	// aggregation is not an SPJG expression).
+	if got := groupBySignature(g); got.Valid {
+		t.Error("γ(γ(e)) must have no signature")
+	}
+	if got := groupBySignature(Signature{}); got.Valid {
+		t.Error("γ over a signatureless input must have no signature")
+	}
+}
+
+func TestSignatureSubsetOf(t *testing.T) {
+	ol := joinSignature(scanSignature("orders"), scanSignature("lineitem"))
+	col := joinSignature(ol, scanSignature("customer"))
+	if !ol.SubsetOf(col) {
+		t.Error("{O,L} ⊆ {C,O,L}")
+	}
+	if col.SubsetOf(ol) {
+		t.Error("{C,O,L} ⊄ {O,L}")
+	}
+	if !ol.SubsetOf(ol) {
+		t.Error("a set is a subset of itself")
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	if got := (Signature{}).String(); got != "[-]" {
+		t.Errorf("invalid signature renders %q", got)
+	}
+	g := groupBySignature(scanSignature("t"))
+	if got := g.String(); got != "[T; {t}]" {
+		t.Errorf("signature renders %q", got)
+	}
+}

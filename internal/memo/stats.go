@@ -1,0 +1,250 @@
+package memo
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// defaultSelectivity is used for predicates the estimator cannot analyze
+// (subquery comparisons, expressions over computed values).
+const defaultSelectivity = 1.0 / 3.0
+
+// Estimator derives cardinalities from catalog statistics. Estimates attach
+// to groups, not plans, so every join order of the same group sees the same
+// cardinality — a property the CSE cost heuristics rely on.
+type Estimator struct {
+	Md *logical.Metadata
+}
+
+// BaseRows returns the row count of a table instance.
+func (e *Estimator) BaseRows(rel logical.RelID) float64 {
+	rows := e.Md.Rel(rel).Tab.Stats.RowCount
+	if rows <= 0 {
+		return 1
+	}
+	return rows
+}
+
+// colStat resolves base-column statistics; ok is false for synthesized
+// columns.
+func (e *Estimator) colStat(c scalar.ColID) (catalog.ColStat, bool) {
+	rel := e.Md.RelOfCol(c)
+	if rel == nil {
+		return catalog.ColStat{}, false
+	}
+	return rel.Tab.ColStat(e.Md.Col(c).Ord), true
+}
+
+// NDV returns the estimated number of distinct values of column c, falling
+// back to a conservative default for synthesized columns.
+func (e *Estimator) NDV(c scalar.ColID) float64 {
+	if cs, ok := e.colStat(c); ok && cs.Distinct > 0 {
+		return cs.Distinct
+	}
+	return 100
+}
+
+// Selectivity estimates the fraction of rows satisfying pred.
+func (e *Estimator) Selectivity(pred *scalar.Expr) float64 {
+	if scalar.IsTrue(pred) {
+		return 1
+	}
+	switch pred.Op {
+	case scalar.OpAnd:
+		s := 1.0
+		for _, a := range pred.Args {
+			s *= e.Selectivity(a)
+		}
+		return s
+	case scalar.OpOr:
+		s := 0.0
+		for _, a := range pred.Args {
+			sa := e.Selectivity(a)
+			s = s + sa - s*sa
+		}
+		return s
+	case scalar.OpNot:
+		return clampSel(1 - e.Selectivity(pred.Args[0]))
+	case scalar.OpEq, scalar.OpNe, scalar.OpLt, scalar.OpLe, scalar.OpGt, scalar.OpGe:
+		return e.comparisonSelectivity(pred)
+	case scalar.OpLike:
+		// Patterns anchored at the start are more selective than floating
+		// substrings.
+		if p := pred.Args[1]; p.Op == scalar.OpConst && p.Const.Kind() == sqltypes.KindString {
+			s := p.Const.Str()
+			if len(s) > 0 && s[0] != '%' && s[0] != '_' {
+				return 0.05
+			}
+		}
+		return 0.15
+	case scalar.OpConst:
+		if pred.Const.Kind() == sqltypes.KindBool {
+			if pred.Const.Bool() {
+				return 1
+			}
+			return 0
+		}
+	}
+	return defaultSelectivity
+}
+
+func (e *Estimator) comparisonSelectivity(pred *scalar.Expr) float64 {
+	l, r := pred.Args[0], pred.Args[1]
+	// col = col → equijoin selectivity.
+	if a, b, ok := pred.IsColEqCol(); ok {
+		na, nb := e.NDV(a), e.NDV(b)
+		if nb > na {
+			na = nb
+		}
+		return clampSel(1 / na)
+	}
+	// Normalize to col <op> const.
+	op := pred.Op
+	if l.Op == scalar.OpConst && r.Op == scalar.OpCol {
+		l, r = r, l
+		op = flipCmp(op)
+	}
+	if l.Op != scalar.OpCol || r.Op != scalar.OpConst {
+		return defaultSelectivity
+	}
+	cs, ok := e.colStat(l.Col)
+	if !ok {
+		return defaultSelectivity
+	}
+	switch op {
+	case scalar.OpEq:
+		return clampSel(1 / maxf(cs.Distinct, 1))
+	case scalar.OpNe:
+		return clampSel(1 - 1/maxf(cs.Distinct, 1))
+	}
+	// Range predicate via min/max interpolation.
+	if cs.Min.IsNull() || cs.Max.IsNull() || !numericLike(cs.Min.Kind()) {
+		return defaultSelectivity
+	}
+	lo, hi := cs.Min.Float(), cs.Max.Float()
+	if hi <= lo {
+		return defaultSelectivity
+	}
+	v := r.Const
+	if !numericLike(v.Kind()) {
+		return defaultSelectivity
+	}
+	frac := (v.Float() - lo) / (hi - lo)
+	switch op {
+	case scalar.OpLt, scalar.OpLe:
+		return clampSel(frac)
+	case scalar.OpGt, scalar.OpGe:
+		return clampSel(1 - frac)
+	}
+	return defaultSelectivity
+}
+
+func numericLike(k sqltypes.Kind) bool {
+	return k == sqltypes.KindInt || k == sqltypes.KindFloat || k == sqltypes.KindDate
+}
+
+func flipCmp(op scalar.Op) scalar.Op {
+	switch op {
+	case scalar.OpLt:
+		return scalar.OpGt
+	case scalar.OpLe:
+		return scalar.OpGe
+	case scalar.OpGt:
+		return scalar.OpLt
+	case scalar.OpGe:
+		return scalar.OpLe
+	default:
+		return op
+	}
+}
+
+// JoinRows estimates the cardinality of joining the given instances under
+// the applicable conjuncts (cross product times predicate selectivities).
+func (e *Estimator) JoinRows(rels []logical.RelID, conjuncts []*scalar.Expr) float64 {
+	rows := 1.0
+	for _, r := range rels {
+		rows *= e.BaseRows(r)
+	}
+	for _, c := range conjuncts {
+		rows *= e.Selectivity(c)
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// GroupRows estimates the output cardinality of grouping input rows by the
+// given columns. Empty grouping columns (scalar aggregation) yield one row.
+// Columns of the same base table multiply up to at most that table's row
+// count — a coarse functional-dependency bound (a table's columns can't
+// produce more combinations than it has rows), which keeps covering-CSE
+// groupings like (o_orderkey, o_orderdate) from overcounting.
+func (e *Estimator) GroupRows(input float64, groupCols []scalar.ColID) float64 {
+	if len(groupCols) == 0 {
+		return 1
+	}
+	perRel := make(map[logical.RelID]float64)
+	synth := 1.0
+	for _, g := range groupCols {
+		if rel := e.Md.RelOfCol(g); rel != nil {
+			f, ok := perRel[rel.ID]
+			if !ok {
+				f = 1
+			}
+			f *= minf(e.NDV(g), input)
+			if limit := rel.Tab.Stats.RowCount; limit > 0 && f > limit {
+				f = limit
+			}
+			perRel[rel.ID] = f
+		} else {
+			synth *= minf(e.NDV(g), input)
+		}
+	}
+	d := synth
+	for _, f := range perRel {
+		d *= f
+		if d > input {
+			return maxf(input, 1)
+		}
+	}
+	return maxf(minf(d, input), 1)
+}
+
+// RowWidth returns the estimated byte width of a row with the given columns.
+func (e *Estimator) RowWidth(cols []scalar.ColID) float64 {
+	w := 0.0
+	for _, c := range cols {
+		w += float64(sqltypes.KindSize(e.Md.Col(c).Kind))
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-7 {
+		return 1e-7
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package memo_test
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/scalar"
+)
+
+// bindCustomer binds a single-table query so the estimator has real column
+// stats to work with, returning the metadata and the customer instance.
+func bindCustomer(t *testing.T) (*memo.Estimator, *logical.RelInfo, *logical.Batch) {
+	t.Helper()
+	cat := testCatalog(t)
+	stmts, err := parser.Parse("select * from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := logical.BuildBatch(stmts, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := batch.Metadata
+	return &memo.Estimator{Md: md}, md.Rel(batch.Statements[0].Block.Rels[0]), batch
+}
+
+func TestSelectivityEquality(t *testing.T) {
+	est, rel, _ := bindCustomer(t)
+	nk := rel.ColID(3) // c_nationkey, ~25 distinct
+	sel := est.Selectivity(scalar.Eq(scalar.Col(nk), scalar.ConstInt(7)))
+	if sel < 1.0/30 || sel > 1.0/10 {
+		t.Errorf("equality selectivity = %g, want ≈1/25", sel)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	est, rel, _ := bindCustomer(t)
+	nk := rel.ColID(3) // range roughly [0, 24]
+	low := est.Selectivity(scalar.Cmp(scalar.OpLt, scalar.Col(nk), scalar.ConstInt(5)))
+	high := est.Selectivity(scalar.Cmp(scalar.OpLt, scalar.Col(nk), scalar.ConstInt(20)))
+	if low >= high {
+		t.Errorf("wider range must be more selective: <5 %g vs <20 %g", low, high)
+	}
+	if low < 0.05 || low > 0.5 {
+		t.Errorf("c_nationkey < 5 selectivity = %g, want ≈0.2", low)
+	}
+	// Flipped operand order is normalized.
+	flipped := est.Selectivity(scalar.Cmp(scalar.OpGt, scalar.ConstInt(5), scalar.Col(nk)))
+	if flipped != low {
+		t.Errorf("5 > c must estimate like c < 5: %g vs %g", flipped, low)
+	}
+}
+
+func TestSelectivityBooleanCombinators(t *testing.T) {
+	est, rel, _ := bindCustomer(t)
+	nk := rel.ColID(3)
+	p := scalar.Cmp(scalar.OpLt, scalar.Col(nk), scalar.ConstInt(10))
+	q := scalar.Cmp(scalar.OpGt, scalar.Col(nk), scalar.ConstInt(20))
+	sp, sq := est.Selectivity(p), est.Selectivity(q)
+
+	and := est.Selectivity(scalar.And(p, q))
+	if diff := and - sp*sq; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("AND selectivity %g, want product %g", and, sp*sq)
+	}
+	or := est.Selectivity(scalar.Or(p, q))
+	want := sp + sq - sp*sq
+	if diff := or - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("OR selectivity %g, want %g", or, want)
+	}
+	not := est.Selectivity(scalar.Not(p))
+	if diff := not - (1 - sp); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("NOT selectivity %g, want %g", not, 1-sp)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	est, rel, _ := bindCustomer(t)
+	nk := rel.ColID(3)
+	preds := []*scalar.Expr{
+		scalar.Eq(scalar.Col(nk), scalar.ConstInt(5)),
+		scalar.Cmp(scalar.OpLt, scalar.Col(nk), scalar.ConstInt(-100)),
+		scalar.Cmp(scalar.OpGt, scalar.Col(nk), scalar.ConstInt(1000)),
+		scalar.Not(scalar.Eq(scalar.Col(nk), scalar.ConstInt(5))),
+		scalar.True,
+		scalar.False,
+		nil,
+	}
+	for _, p := range preds {
+		s := est.Selectivity(p)
+		if s < 0 || s > 1 {
+			t.Errorf("selectivity out of [0,1]: %g for %v", s, p)
+		}
+	}
+	if est.Selectivity(scalar.True) != 1 {
+		t.Error("TRUE selectivity must be 1")
+	}
+	if est.Selectivity(scalar.False) != 0 {
+		t.Error("FALSE selectivity must be 0")
+	}
+}
+
+func TestSelectivityUnknownDefaults(t *testing.T) {
+	est, rel, batch := bindCustomer(t)
+	name := rel.ColID(1) // c_name: string, no range interpolation
+	s := est.Selectivity(scalar.Cmp(scalar.OpLt, scalar.Col(name), scalar.ConstString("x")))
+	if s != 1.0/3.0 {
+		t.Errorf("string range selectivity = %g, want default 1/3", s)
+	}
+	// Subquery comparisons can't be analyzed either.
+	sq := batch.Metadata.AddSubquery(batch.Statements[0].Block)
+	s2 := est.Selectivity(scalar.Cmp(scalar.OpGt, scalar.Col(name), scalar.SubqueryRef(sq)))
+	if s2 != 1.0/3.0 {
+		t.Errorf("subquery comparison selectivity = %g, want default", s2)
+	}
+}
+
+func TestJoinRowsEquijoin(t *testing.T) {
+	cat := testCatalog(t)
+	stmts, _ := parser.Parse("select c_name from customer, orders where c_custkey = o_custkey")
+	batch, err := logical.BuildBatch(stmts, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := batch.Metadata
+	est := &memo.Estimator{Md: md}
+	blk := batch.Statements[0].Block
+	rows := est.JoinRows(blk.Rels, blk.Conjuncts)
+	// PK-FK join: output ≈ orders row count.
+	orders := md.Rel(blk.Rels[1]).Tab.Stats.RowCount
+	if rows < orders*0.5 || rows > orders*2 {
+		t.Errorf("join rows = %g, want ≈%g (orders count)", rows, orders)
+	}
+}
+
+func TestGroupRows(t *testing.T) {
+	est, rel, _ := bindCustomer(t)
+	nk := rel.ColID(3)
+	if got := est.GroupRows(1000, nil); got != 1 {
+		t.Errorf("scalar aggregation output = %g, want 1", got)
+	}
+	got := est.GroupRows(1000, []scalar.ColID{nk})
+	if got < 10 || got > 30 {
+		t.Errorf("group by c_nationkey = %g, want ≈25", got)
+	}
+	// Capped at input.
+	if got := est.GroupRows(3, []scalar.ColID{nk}); got > 3 {
+		t.Errorf("groups (%g) cannot exceed input rows", got)
+	}
+}
+
+func TestNDVAndRowWidth(t *testing.T) {
+	est, rel, batch := bindCustomer(t)
+	if est.NDV(rel.ColID(3)) <= 1 {
+		t.Error("c_nationkey NDV must come from stats")
+	}
+	syn := batch.Metadata.AddSynthesized("x", 3)
+	if est.NDV(syn) != 100 {
+		t.Error("synthesized columns use the default NDV")
+	}
+	w := est.RowWidth([]scalar.ColID{rel.ColID(0), rel.ColID(1)})
+	if w != 8+16 {
+		t.Errorf("RowWidth = %g", w)
+	}
+	if est.RowWidth(nil) != 1 {
+		t.Error("empty row width floor is 1")
+	}
+}
+
+func TestBaseRows(t *testing.T) {
+	est, rel, _ := bindCustomer(t)
+	if est.BaseRows(rel.ID) <= 0 {
+		t.Error("BaseRows must be positive")
+	}
+}

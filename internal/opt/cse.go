@@ -1,0 +1,678 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/scalar"
+)
+
+// Rename maps a CSE output column to the consumer-space column it stands in
+// for in the substitute's final projection.
+type Rename struct {
+	From, To scalar.ColID
+}
+
+// Substitute describes how one consumer computes its result from a
+// candidate's work table: scan the spool, apply the residual (compensation)
+// predicate, optionally re-aggregate, and rename columns into the consumer's
+// column space. This plays the role of the view-matching substitute (§5.1).
+type Substitute struct {
+	Residual  *scalar.Expr     // over CSE output columns; nil when none
+	GroupCols []scalar.ColID   // CSE-space re-grouping columns; nil = no re-aggregation
+	Aggs      []logical.AggDef // re-aggregation (args over CSE columns, Out in consumer space)
+	Renames   []Rename
+}
+
+// Candidate is a candidate covering subexpression: a spool over ExprGroup
+// whose result can replace each consumer group via its substitute.
+type Candidate struct {
+	ID        int
+	ExprGroup memo.GroupID
+	SpoolCols []scalar.ColID // canonical work-table layout (= ExprGroup.OutCols)
+
+	Consumers []memo.GroupID
+	Subs      map[memo.GroupID]*Substitute
+
+	// Stmts is the set of statement indices containing consumers.
+	Stmts map[int]bool
+
+	// ChargeGroup is where the initial cost is added (the common dominator
+	// of all consumers — the paper's least common ancestor). Set by
+	// PrepareCSE; forced to the batch root for stack-used candidates.
+	ChargeGroup memo.GroupID
+
+	// StackUsed marks candidates consumed by another candidate's expression
+	// (§5.5 stacked CSEs).
+	StackUsed bool
+
+	// Estimated spool size.
+	Rows, Bytes float64
+
+	// Signature info for containment ordering.
+	Tables  []string
+	Grouped bool
+
+	Label string
+}
+
+// WriteCost is C_W for the candidate's work table.
+func (c *Candidate) WriteCost() float64 { return SpoolWriteCost(c.Rows, c.Bytes) }
+
+// ReadBase is the base C_R: one sequential scan of the work table.
+func (c *Candidate) ReadBase() float64 { return SpoolReadCost(c.Rows, c.Bytes) }
+
+// Alt is one plan alternative tracked during CSE reoptimization: its cost,
+// the not-yet-charged candidate usage counts, and the expression plans
+// chosen for candidates already charged below.
+type Alt struct {
+	Plan    *Plan
+	Cost    float64
+	Uses    map[int]int
+	Choices map[int]*Plan
+}
+
+func (a *Alt) usesKey() string {
+	if len(a.Uses) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(a.Uses))
+	for id := range a.Uses {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		sb.WriteString(strconv.Itoa(id))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(a.Uses[id]))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func mergeUses(dst, src map[int]int) map[int]int {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[int]int, len(src))
+	}
+	for id, n := range src {
+		dst[id] += n
+	}
+	return dst
+}
+
+func mergeChoices(dst, src map[int]*Plan) map[int]*Plan {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[int]*Plan, len(src))
+	}
+	for id, p := range src {
+		dst[id] = p
+	}
+	return dst
+}
+
+// PrepareCSE installs the candidate set for subsequent OptimizeWithCSEs
+// calls: it computes dominators, each candidate's charge group, and the
+// ancestor ("affected") closure of each candidate's consumers.
+func (o *Optimizer) PrepareCSE(cands []*Candidate) {
+	o.Cands = cands
+	o.doms = memo.NewDominators(o.M, o.M.RootGroup)
+	o.affected = make(map[int]map[memo.GroupID]bool, len(cands))
+	o.altCache = make(map[memo.GroupID]map[string][]*Alt)
+
+	for _, c := range cands {
+		switch {
+		case o.ChargeAtRoot, c.StackUsed:
+			c.ChargeGroup = o.M.RootGroup
+		default:
+			c.ChargeGroup = o.doms.CommonDominator(c.Consumers)
+		}
+		// Upward closure of consumers through parent links; the charge
+		// group and everything between is affected too.
+		aff := make(map[memo.GroupID]bool)
+		var up func(memo.GroupID)
+		up = func(g memo.GroupID) {
+			if aff[g] {
+				return
+			}
+			aff[g] = true
+			for _, p := range o.M.Group(g).Parents {
+				up(p)
+			}
+		}
+		for _, g := range c.Consumers {
+			up(g)
+		}
+		// Ensure the path from root is considered affected so charging
+		// always happens (parents cover this already, but the root must be
+		// included even if no consumer links straight up to it).
+		aff[o.M.RootGroup] = true
+		aff[c.ChargeGroup] = true
+		o.affected[c.ID] = aff
+	}
+}
+
+// Doms exposes the dominator analysis (used by core for competing/
+// independent classification).
+func (o *Optimizer) Doms() *memo.Dominators { return o.doms }
+
+// ReleaseCaches frees the per-group alternative caches built during CSE
+// reoptimization. The final plan keeps only the nodes it references.
+func (o *Optimizer) ReleaseCaches() {
+	o.altCache = make(map[memo.GroupID]map[string][]*Alt)
+}
+
+// enabledAt filters the enabled candidate set to those affecting group g.
+// This implements §5.4's history reuse: a group's alternatives depend only
+// on the candidates with consumers below it, so results are cached by that
+// reduced set and shared across enabled supersets. With NoHistoryReuse set
+// (ablation), the full enabled set is used everywhere, so no group result is
+// shared between reoptimizations and unaffected groups are recosted too.
+func (o *Optimizer) enabledAt(g memo.GroupID, enabled []int) []int {
+	if o.NoHistoryReuse {
+		return enabled
+	}
+	var out []int
+	for _, id := range enabled {
+		if o.affected[id][g] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func setKeyOf(ids []int) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, id := range ids {
+		sb.WriteString(strconv.Itoa(id))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// OptimizeWithCSEs reoptimizes the batch with the given candidate set
+// enabled (candidates may be used but are not forced). It returns the best
+// plan found, which may use any subset of the enabled candidates.
+func (o *Optimizer) OptimizeWithCSEs(enabled []int) (*Result, []int, error) {
+	if o.doms == nil {
+		return nil, nil, fmt.Errorf("PrepareCSE must be called before OptimizeWithCSEs")
+	}
+	sort.Ints(enabled)
+	alts, err := o.alts(o.M.RootGroup, enabled)
+	if err != nil {
+		return nil, nil, err
+	}
+	var best *Alt
+	for _, a := range alts {
+		if hasSingleUse(a.Uses) {
+			continue
+		}
+		if best == nil || a.Cost < best.Cost {
+			best = a
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("no valid plan with CSE set %v", enabled)
+	}
+	// Leftover uses at the root (n >= 2 whose charge group is the root were
+	// charged there already; anything remaining is a bug).
+	if len(best.Uses) != 0 {
+		return nil, nil, fmt.Errorf("internal: uncharged CSE uses %v at batch root", best.Uses)
+	}
+
+	res := &Result{Root: best.Plan, Cost: best.Cost, CSEs: map[int]*CSEPlan{}}
+	// Attach plans for every spool actually read (including spools read by
+	// other CSE plans).
+	used := map[int]bool{}
+	best.Plan.UsedSpoolIDs(used)
+	for changed := true; changed; {
+		changed = false
+		for id := range used {
+			p, ok := best.Choices[id]
+			if !ok {
+				return nil, nil, fmt.Errorf("internal: no expression plan chosen for CSE %d", id)
+			}
+			more := map[int]bool{}
+			p.UsedSpoolIDs(more)
+			for mid := range more {
+				if !used[mid] {
+					used[mid] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var usedIDs []int
+	for id := range used {
+		usedIDs = append(usedIDs, id)
+	}
+	sort.Ints(usedIDs)
+	for _, id := range usedIDs {
+		c := o.candByID(id)
+		res.CSEs[id] = &CSEPlan{
+			ID:    id,
+			Plan:  best.Choices[id],
+			Cols:  c.SpoolCols,
+			Rows:  c.Rows,
+			Label: c.Label,
+		}
+	}
+	return res, usedIDs, nil
+}
+
+func (o *Optimizer) candByID(id int) *Candidate {
+	for _, c := range o.Cands {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+func hasSingleUse(uses map[int]int) bool {
+	for _, n := range uses {
+		if n == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// alts computes the pruned alternative set for a group under the enabled
+// candidates.
+func (o *Optimizer) alts(id memo.GroupID, enabled []int) ([]*Alt, error) {
+	local := o.enabledAt(id, enabled)
+	if len(local) == 0 {
+		w, err := o.winner(id)
+		if err != nil {
+			return nil, err
+		}
+		return []*Alt{{Plan: w.Plan, Cost: w.Lower}}, nil
+	}
+	key := setKeyOf(local)
+	if cached, ok := o.altCache[id][key]; ok {
+		return cached, nil
+	}
+	g := o.M.Group(id)
+	var out []*Alt
+
+	// Expression-based alternatives: combine children alternative sets.
+	for _, e := range g.Exprs {
+		combos, err := o.childCombos(e, enabled)
+		if err != nil {
+			return nil, err
+		}
+		for _, combo := range combos {
+			plans := make([]*Plan, len(combo))
+			for i, a := range combo {
+				plans[i] = a.Plan
+			}
+			p, err := o.planExpr(e, g, plans)
+			if err != nil {
+				return nil, err
+			}
+			alt := &Alt{Plan: p, Cost: 0}
+			// Cost: the op's own cost plus children alternative costs (the
+			// plan's Cost field uses child plan costs, which for alts with
+			// adjustments may differ — recompute as plan op delta).
+			opCost := p.Cost
+			for _, cp := range plans {
+				opCost -= cp.Cost
+			}
+			total := opCost
+			for _, a := range combo {
+				total += a.Cost
+				alt.Uses = mergeUses(alt.Uses, a.Uses)
+				alt.Choices = mergeChoices(alt.Choices, a.Choices)
+			}
+			alt.Cost = total
+			out = append(out, alt)
+		}
+	}
+
+	// Substitute alternatives: this group is a consumer of an enabled
+	// candidate.
+	for _, cid := range local {
+		c := o.candByID(cid)
+		sub, ok := c.Subs[id]
+		if !ok {
+			continue
+		}
+		p, cost := o.buildSubstitute(c, g, sub)
+		out = append(out, &Alt{
+			Plan: p,
+			Cost: cost,
+			Uses: map[int]int{c.ID: 1},
+		})
+	}
+
+	// Charge initial costs for candidates whose charge point is here. Wider
+	// candidates are charged first: charging a wide candidate merges its
+	// expression plan's stacked usages into the alternative, so a narrower
+	// stacked candidate sees its full consumer count when its own turn
+	// comes (§5.5).
+	var toCharge []*Candidate
+	for _, cid := range local {
+		c := o.candByID(cid)
+		if c.ChargeGroup == id {
+			toCharge = append(toCharge, c)
+		}
+	}
+	sort.Slice(toCharge, func(i, j int) bool {
+		if len(toCharge[i].Tables) != len(toCharge[j].Tables) {
+			return len(toCharge[i].Tables) > len(toCharge[j].Tables)
+		}
+		return toCharge[i].ID < toCharge[j].ID
+	})
+	for _, c := range toCharge {
+		var err error
+		out, err = o.chargeCandidate(out, c, enabled)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out = o.pruneAlts(out)
+	if o.altCache[id] == nil {
+		o.altCache[id] = make(map[string][]*Alt)
+	}
+	o.altCache[id][key] = out
+	return out, nil
+}
+
+// childCombos builds the cross product of children alternative sets,
+// pruning incrementally to keep combination counts bounded.
+func (o *Optimizer) childCombos(e *memo.Expr, enabled []int) ([][]*Alt, error) {
+	combos := [][]*Alt{nil}
+	for _, cg := range e.Children {
+		childAlts, err := o.alts(cg, enabled)
+		if err != nil {
+			return nil, err
+		}
+		var next [][]*Alt
+		for _, combo := range combos {
+			for _, a := range childAlts {
+				nc := make([]*Alt, len(combo)+1)
+				copy(nc, combo)
+				nc[len(combo)] = a
+				next = append(next, nc)
+			}
+		}
+		// Incremental pruning by combined cost/usage signature.
+		if len(next) > 4*o.AltCap {
+			next = o.pruneCombos(next)
+		}
+		combos = next
+	}
+	return combos, nil
+}
+
+func (o *Optimizer) pruneCombos(combos [][]*Alt) [][]*Alt {
+	type scored struct {
+		combo []*Alt
+		cost  float64
+		key   string
+	}
+	items := make([]scored, len(combos))
+	for i, combo := range combos {
+		cost := 0.0
+		var uses map[int]int
+		for _, a := range combo {
+			cost += a.Cost
+			uses = mergeUses(uses, a.Uses)
+		}
+		items[i] = scored{combo, cost, (&Alt{Uses: uses}).usesKey()}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].cost < items[j].cost })
+	seen := make(map[string]bool)
+	var out [][]*Alt
+	for _, it := range items {
+		if seen[it.key] {
+			continue
+		}
+		seen[it.key] = true
+		out = append(out, it.combo)
+		if len(out) >= 4*o.AltCap {
+			break
+		}
+	}
+	return out
+}
+
+// pruneAlts keeps the cheapest alternative per usage signature, capped, and
+// always retains the cheapest CSE-free alternative.
+func (o *Optimizer) pruneAlts(alts []*Alt) []*Alt {
+	sort.Slice(alts, func(i, j int) bool { return alts[i].Cost < alts[j].Cost })
+	seen := make(map[string]bool)
+	var out []*Alt
+	var clean *Alt
+	for _, a := range alts {
+		if len(a.Uses) == 0 && clean == nil {
+			clean = a
+		}
+		key := a.usesKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if len(out) < o.AltCap {
+			out = append(out, a)
+		}
+	}
+	if clean != nil {
+		found := false
+		for _, a := range out {
+			if a == clean {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, clean)
+		}
+	}
+	return out
+}
+
+// buildSubstitute constructs the physical substitute plan for a consumer:
+// SpoolScan → [Filter residual] → [HashAgg re-aggregation] → Project renames.
+func (o *Optimizer) buildSubstitute(c *Candidate, consumer *memo.Group, sub *Substitute) (*Plan, float64) {
+	est := &memo.Estimator{Md: o.M.Md}
+	p := &Plan{
+		Op:      PSpoolScan,
+		SpoolID: c.ID,
+		Cols:    c.SpoolCols,
+		Rows:    c.Rows,
+		Cost:    c.ReadBase(),
+	}
+	rows := c.Rows
+	if sub.Residual != nil {
+		rows *= est.Selectivity(sub.Residual)
+		if rows < 1 {
+			rows = 1
+		}
+		p = &Plan{
+			Op:       PFilter,
+			Children: []*Plan{p},
+			Filter:   sub.Residual,
+			Cols:     p.Cols,
+			Rows:     rows,
+			Cost:     p.Cost + filterCost(p.Rows),
+		}
+	}
+	if sub.GroupCols != nil || len(sub.Aggs) > 0 {
+		outRows := consumer.Rows
+		cols := append([]scalar.ColID(nil), sub.GroupCols...)
+		for _, a := range sub.Aggs {
+			cols = append(cols, a.Out)
+		}
+		p = &Plan{
+			Op:        PHashAgg,
+			Children:  []*Plan{p},
+			GroupCols: sub.GroupCols,
+			Aggs:      sub.Aggs,
+			Cols:      cols,
+			Rows:      outRows,
+			Cost:      p.Cost + hashAggCost(p.Rows, outRows),
+		}
+		rows = outRows
+	}
+	if len(sub.Renames) > 0 {
+		projs := make([]logical.Projection, len(sub.Renames))
+		cols := make([]scalar.ColID, len(sub.Renames))
+		for i, rn := range sub.Renames {
+			projs[i] = logical.Projection{Expr: scalar.Col(rn.From), Name: o.M.Md.ColName(rn.To)}
+			cols[i] = rn.To
+		}
+		p = &Plan{
+			Op:          PProject,
+			Children:    []*Plan{p},
+			Projections: projs,
+			Cols:        cols,
+			Rows:        rows,
+			Cost:        p.Cost + projectCost(rows),
+		}
+	}
+	return p, p.Cost
+}
+
+// chargeOption is one way to account a candidate's initial cost: the chosen
+// expression plan, its cost plus the write cost, and any stacked candidate
+// usages the expression plan itself carries.
+type chargeOption struct {
+	initCost  float64
+	extraUses map[int]int
+	choices   map[int]*Plan
+	exprPlan  *Plan
+}
+
+// chargeOptions computes up to two ways to evaluate the candidate's
+// expression under the enabled set: the overall cheapest, and the cheapest
+// that uses no other candidate (so stacked usage never traps the optimizer).
+func (o *Optimizer) chargeOptions(c *Candidate, enabled []int) ([]chargeOption, error) {
+	exprAlts, err := o.alts(c.ExprGroup, enabled)
+	if err != nil {
+		return nil, err
+	}
+	var best, clean *Alt
+	for _, a := range exprAlts {
+		if best == nil || a.Cost < best.Cost {
+			best = a
+		}
+		if len(a.Uses) == 0 && len(a.Choices) == 0 && (clean == nil || a.Cost < clean.Cost) {
+			clean = a
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no expression plan for candidate %d", c.ID)
+	}
+	mk := func(a *Alt) chargeOption {
+		return chargeOption{
+			initCost:  a.Cost + c.WriteCost() + o.normalizeCost(a.Plan, c),
+			extraUses: a.Uses,
+			choices:   a.Choices,
+			exprPlan:  o.normalizePlan(a.Plan, c),
+		}
+	}
+	opts := []chargeOption{mk(best)}
+	if clean != nil && clean != best {
+		opts = append(opts, mk(clean))
+	}
+	return opts, nil
+}
+
+// normalizePlan wraps the expression plan with a projection to the
+// candidate's canonical spool layout when the plan's layout differs.
+func (o *Optimizer) normalizePlan(p *Plan, c *Candidate) *Plan {
+	if layoutEqual(p.Cols, c.SpoolCols) {
+		return p
+	}
+	projs := make([]logical.Projection, len(c.SpoolCols))
+	for i, col := range c.SpoolCols {
+		projs[i] = logical.Projection{Expr: scalar.Col(col), Name: o.M.Md.ColName(col)}
+	}
+	return &Plan{
+		Op:          PProject,
+		Children:    []*Plan{p},
+		Projections: projs,
+		Cols:        append([]scalar.ColID(nil), c.SpoolCols...),
+		Rows:        p.Rows,
+		Cost:        p.Cost + projectCost(p.Rows),
+	}
+}
+
+func (o *Optimizer) normalizeCost(p *Plan, c *Candidate) float64 {
+	if layoutEqual(p.Cols, c.SpoolCols) {
+		return 0
+	}
+	return projectCost(p.Rows)
+}
+
+func layoutEqual(a, b []scalar.ColID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chargeCandidate applies the paper's §5.2 rules at the candidate's charge
+// point: alternatives with exactly one consumer are discarded; alternatives
+// with two or more are charged the initial cost once (for each way of
+// evaluating the expression), and the candidate's usage entry is settled.
+func (o *Optimizer) chargeCandidate(alts []*Alt, c *Candidate, enabled []int) ([]*Alt, error) {
+	var opts []chargeOption
+	var out []*Alt
+	for _, a := range alts {
+		n := a.Uses[c.ID]
+		switch {
+		case n == 0:
+			out = append(out, a)
+		case n == 1:
+			// Discard: a spool written and read once is never worthwhile.
+		default:
+			if opts == nil {
+				var err error
+				opts, err = o.chargeOptions(c, enabled)
+				if err != nil {
+					return nil, err
+				}
+			}
+			for _, opt := range opts {
+				uses := make(map[int]int, len(a.Uses)+len(opt.extraUses))
+				for id, k := range a.Uses {
+					if id != c.ID {
+						uses[id] = k
+					}
+				}
+				uses = mergeUses(uses, opt.extraUses)
+				choices := mergeChoices(mergeChoices(nil, a.Choices), opt.choices)
+				choices = mergeChoices(choices, map[int]*Plan{c.ID: opt.exprPlan})
+				out = append(out, &Alt{
+					Plan:    a.Plan,
+					Cost:    a.Cost + opt.initCost,
+					Uses:    uses,
+					Choices: choices,
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package opt
+
+import (
+	"repro/internal/memo"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// Index-scan costing: a probe into the sorted permutation plus a random-ish
+// fetch per qualifying row. Random fetches are far costlier per row than a
+// sequential page sweep, so index scans win only on selective predicates —
+// the regime of the paper's Example 7.
+const (
+	costIndexProbe = 2.0
+	costIndexRow   = 0.1
+)
+
+func indexScanCost(matchingRows float64) float64 {
+	return costIndexProbe + matchingRows*costIndexRow
+}
+
+// Bounds is a one-column range [Lo, Hi] with per-end inclusivity; a zero
+// Datum end is unbounded.
+type Bounds struct {
+	Lo, Hi       sqltypes.Datum
+	LoInc, HiInc bool
+}
+
+// bounded reports whether at least one end is constrained.
+func (b Bounds) bounded() bool { return !b.Lo.IsNull() || !b.Hi.IsNull() }
+
+// extractBounds splits a scan filter into range bounds on col and the
+// residual conjuncts. ok is false when no conjunct bounds the column.
+func extractBounds(filter *scalar.Expr, col scalar.ColID) (Bounds, *scalar.Expr, bool) {
+	var b Bounds
+	var residual []*scalar.Expr
+	for _, c := range scalar.Conjuncts(filter) {
+		if !foldBound(&b, c, col) {
+			residual = append(residual, c)
+		}
+	}
+	if !b.bounded() {
+		return Bounds{}, filter, false
+	}
+	var res *scalar.Expr
+	if len(residual) > 0 {
+		res = scalar.And(residual...)
+	}
+	return b, res, true
+}
+
+// foldBound merges a `col <op> const` conjunct into the bounds; it returns
+// false when the conjunct has a different shape.
+func foldBound(b *Bounds, c *scalar.Expr, col scalar.ColID) bool {
+	if len(c.Args) != 2 {
+		return false
+	}
+	l, r := c.Args[0], c.Args[1]
+	op := c.Op
+	if l.Op == scalar.OpConst && r.Op == scalar.OpCol {
+		l, r = r, l
+		op = flipCmpOp(op)
+	}
+	if l.Op != scalar.OpCol || l.Col != col || r.Op != scalar.OpConst || r.Const.IsNull() {
+		return false
+	}
+	v := r.Const
+	switch op {
+	case scalar.OpEq:
+		tightenLo(b, v, true)
+		tightenHi(b, v, true)
+	case scalar.OpLt:
+		tightenHi(b, v, false)
+	case scalar.OpLe:
+		tightenHi(b, v, true)
+	case scalar.OpGt:
+		tightenLo(b, v, false)
+	case scalar.OpGe:
+		tightenLo(b, v, true)
+	default:
+		return false
+	}
+	return true
+}
+
+func flipCmpOp(op scalar.Op) scalar.Op {
+	switch op {
+	case scalar.OpLt:
+		return scalar.OpGt
+	case scalar.OpLe:
+		return scalar.OpGe
+	case scalar.OpGt:
+		return scalar.OpLt
+	case scalar.OpGe:
+		return scalar.OpLe
+	default:
+		return op
+	}
+}
+
+func tightenLo(b *Bounds, v sqltypes.Datum, inc bool) {
+	if b.Lo.IsNull() || sqltypes.Compare(v, b.Lo) > 0 || (sqltypes.Compare(v, b.Lo) == 0 && !inc) {
+		b.Lo, b.LoInc = v, inc
+	}
+}
+
+func tightenHi(b *Bounds, v sqltypes.Datum, inc bool) {
+	if b.Hi.IsNull() || sqltypes.Compare(v, b.Hi) < 0 || (sqltypes.Compare(v, b.Hi) == 0 && !inc) {
+		b.Hi, b.HiInc = v, inc
+	}
+}
+
+// indexAlternatives builds index-scan plans for a scan expression: one per
+// declared index whose column the filter bounds.
+func (o *Optimizer) indexAlternatives(e *memo.Expr, g *memo.Group) []*Plan {
+	rel := o.M.Md.Rel(e.Rel)
+	baseRows := rel.Tab.Stats.RowCount
+	if baseRows <= 0 {
+		baseRows = 1
+	}
+	est := &memo.Estimator{Md: o.M.Md}
+	var alts []*Plan
+	for _, ix := range rel.Tab.Indexes {
+		colID := rel.ColID(ix.Col)
+		b, residual, ok := extractBounds(e.Filter, colID)
+		if !ok {
+			continue
+		}
+		// Selectivity of the bound conjuncts alone determines the fetch
+		// volume; the residual is applied per fetched row.
+		boundSel := rangeSelectivity(est, colID, b)
+		matching := baseRows * boundSel
+		cost := indexScanCost(matching)
+		if residual != nil {
+			cost += matching * costPredicate
+		}
+		alts = append(alts, &Plan{
+			Op:       PIndexScan,
+			Rel:      e.Rel,
+			IndexOrd: ix.Col,
+			Bounds:   b,
+			Filter:   residual,
+			Cols:     g.OutCols,
+			Provided: indexProvided(colID, g.OutCols),
+			Rows:     g.Rows,
+			Cost:     cost,
+		})
+	}
+	return alts
+}
+
+// indexProvided: an index scan emits rows sorted by the indexed column when
+// that column is part of the output.
+func indexProvided(colID scalar.ColID, outCols []scalar.ColID) []scalar.ColID {
+	for _, c := range outCols {
+		if c == colID {
+			return []scalar.ColID{colID}
+		}
+	}
+	return nil
+}
+
+// rangeSelectivity estimates the fraction of rows inside the bounds.
+func rangeSelectivity(est *memo.Estimator, col scalar.ColID, b Bounds) float64 {
+	var conj []*scalar.Expr
+	if !b.Lo.IsNull() {
+		op := scalar.OpGt
+		if b.LoInc {
+			op = scalar.OpGe
+		}
+		conj = append(conj, scalar.Cmp(op, scalar.Col(col), scalar.Const(b.Lo)))
+	}
+	if !b.Hi.IsNull() {
+		op := scalar.OpLt
+		if b.HiInc {
+			op = scalar.OpLe
+		}
+		conj = append(conj, scalar.Cmp(op, scalar.Col(col), scalar.Const(b.Hi)))
+	}
+	if !b.Lo.IsNull() && !b.Hi.IsNull() && sqltypes.Compare(b.Lo, b.Hi) == 0 {
+		// Point lookup.
+		return est.Selectivity(scalar.Eq(scalar.Col(col), scalar.Const(b.Lo)))
+	}
+	return est.Selectivity(scalar.And(conj...))
+}

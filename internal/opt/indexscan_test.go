@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+func TestExtractBounds(t *testing.T) {
+	col := scalar.ColID(5)
+	lt := func(v int64) *scalar.Expr { return scalar.Cmp(scalar.OpLt, scalar.Col(col), scalar.ConstInt(v)) }
+	ge := func(v int64) *scalar.Expr { return scalar.Cmp(scalar.OpGe, scalar.Col(col), scalar.ConstInt(v)) }
+
+	b, res, ok := extractBounds(scalar.And(ge(3), lt(9)), col)
+	if !ok || res != nil {
+		t.Fatalf("bounds not extracted: ok=%v residual=%v", ok, res)
+	}
+	if b.Lo.Int() != 3 || !b.LoInc || b.Hi.Int() != 9 || b.HiInc {
+		t.Errorf("bounds = %+v", b)
+	}
+
+	// Tightening: two upper bounds keep the smaller.
+	b2, _, _ := extractBounds(scalar.And(lt(9), lt(5)), col)
+	if b2.Hi.Int() != 5 {
+		t.Errorf("upper bound not tightened: %+v", b2)
+	}
+
+	// Equality pins both ends.
+	b3, _, _ := extractBounds(scalar.Eq(scalar.Col(col), scalar.ConstInt(7)), col)
+	if b3.Lo.Int() != 7 || b3.Hi.Int() != 7 || !b3.LoInc || !b3.HiInc {
+		t.Errorf("equality bounds = %+v", b3)
+	}
+
+	// Flipped operand order normalizes.
+	b4, _, _ := extractBounds(scalar.Cmp(scalar.OpGt, scalar.ConstInt(4), scalar.Col(col)), col)
+	if b4.Hi.Int() != 4 || b4.HiInc {
+		t.Errorf("flipped bound = %+v", b4)
+	}
+
+	// Other conjuncts become the residual; unrelated columns don't bound.
+	other := scalar.Eq(scalar.Col(99), scalar.ConstInt(1))
+	b5, res5, ok5 := extractBounds(scalar.And(ge(1), other), col)
+	if !ok5 || res5 == nil || b5.Lo.Int() != 1 {
+		t.Errorf("residual handling: %+v %v %v", b5, res5, ok5)
+	}
+
+	// No bound at all.
+	if _, _, ok := extractBounds(other, col); ok {
+		t.Error("unrelated filter must not produce bounds")
+	}
+	// NULL constants don't bound.
+	if _, _, ok := extractBounds(scalar.Eq(scalar.Col(col), scalar.Const(sqltypes.Null)), col); ok {
+		t.Error("NULL comparison must not produce bounds")
+	}
+}
+
+func TestIndexScanCostRegimes(t *testing.T) {
+	// A selective lookup must be far cheaper than a wide range.
+	if indexScanCost(10) >= indexScanCost(10000) {
+		t.Error("index cost must grow with fetched rows")
+	}
+	// Per-row random fetch must exceed sequential per-row cost.
+	if costIndexRow <= costRowCPU {
+		t.Error("random fetches must be costlier than sequential rows")
+	}
+}
+
+// TestCostMonotonicity: the cost primitives grow with their volume inputs.
+func TestCostMonotonicity(t *testing.T) {
+	if SpoolWriteCost(10, 1000) >= SpoolWriteCost(100, 100000) {
+		t.Error("spool write cost must grow")
+	}
+	pairs := [][2]float64{{100, 10_000}, {1000, 100_000}, {100_000, 10_000_000}}
+	var prev float64
+	for i, p := range pairs {
+		c := scanCost(p[0], p[1]/p[0], true)
+		if i > 0 && c <= prev {
+			t.Errorf("scanCost not increasing at %v", p)
+		}
+		prev = c
+	}
+	if hashJoinCost(10, 10, 10) >= hashJoinCost(1000, 1000, 1000) {
+		t.Error("hash join cost must grow")
+	}
+	if mergeJoinCost(10, 10, 10) >= mergeJoinCost(1000, 1000, 1000) {
+		t.Error("merge join cost must grow")
+	}
+	if sortCost(10) >= sortCost(10000) {
+		t.Error("sort cost must grow")
+	}
+	if sortCost(1) != 0 {
+		t.Error("sorting one row is free")
+	}
+	if streamAggCost(100, 10) >= hashAggCost(100, 10) {
+		t.Error("stream aggregation must be cheaper than hashing the same input")
+	}
+}

@@ -1,0 +1,111 @@
+package opt
+
+import (
+	"repro/internal/memo"
+	"repro/internal/scalar"
+)
+
+// Lookup-join costing: per outer row a binary-search probe, plus a
+// random-ish fetch per matching inner row.
+const costLookupProbe = 0.02
+
+func lookupJoinCost(outerRows, fetched, outRows float64) float64 {
+	return outerRows*costLookupProbe + fetched*costIndexRow + outRows*costRowCPU
+}
+
+// lookupAlternatives builds index nested-loop join plans for a join
+// expression: one per orientation whose inner side is a bare table scan with
+// an index (or clustered order) on a join key column. This is the plan shape
+// that makes the paper's Example 7 consumer "extremely cheap due to an index
+// on o_orderdate" — a tiny outer feeding point lookups instead of a full
+// scan of the other side.
+func (o *Optimizer) lookupAlternatives(e *memo.Expr, g *memo.Group) ([]*Plan, error) {
+	var alts []*Plan
+	for flip := 0; flip < 2; flip++ {
+		outerGID, innerGID := e.Children[0], e.Children[1]
+		if flip == 1 {
+			outerGID, innerGID = innerGID, outerGID
+		}
+		innerG := o.M.Group(innerGID)
+		if len(innerG.Exprs) != 1 || innerG.Exprs[0].Op != memo.OpScan {
+			continue
+		}
+		innerScan := innerG.Exprs[0]
+		rel := o.M.Md.Rel(innerScan.Rel)
+
+		ow, err := o.winner(outerGID)
+		if err != nil {
+			return nil, err
+		}
+		outer := ow.Plan
+		outerCols := colSetOf(outer.Cols)
+		innerCols := colSetOf(innerG.OutCols)
+
+		// Find an indexed (or clustered) join key on the inner side.
+		var outerKey, innerKey scalar.ColID
+		var innerOrd = -1
+		var residual []*scalar.Expr
+		for _, c := range scalar.Conjuncts(e.Filter) {
+			if innerOrd < 0 {
+				if a, b, ok := c.IsColEqCol(); ok {
+					var oc, ic scalar.ColID
+					switch {
+					case outerCols.Contains(a) && innerCols.Contains(b):
+						oc, ic = a, b
+					case outerCols.Contains(b) && innerCols.Contains(a):
+						oc, ic = b, a
+					default:
+						residual = append(residual, c)
+						continue
+					}
+					ord := o.M.Md.Col(ic).Ord
+					clustered := len(rel.Tab.OrderedBy) > 0 && rel.Tab.OrderedBy[0] == ord
+					if rel.Tab.HasIndexOn(ord) || clustered {
+						outerKey, innerKey, innerOrd = oc, ic, ord
+						continue
+					}
+				}
+			}
+			residual = append(residual, c)
+		}
+		if innerOrd < 0 {
+			continue
+		}
+
+		var resFilter *scalar.Expr
+		if len(residual) > 0 {
+			resFilter = scalar.And(residual...)
+		}
+		est := &memo.Estimator{Md: o.M.Md}
+		fetched := outer.Rows * est.BaseRows(innerScan.Rel) / maxFloat(est.NDV(innerKey), 1)
+		if fetched < outer.Rows {
+			fetched = outer.Rows
+		}
+		cost := outer.Cost + lookupJoinCost(outer.Rows, fetched, g.Rows)
+		if innerScan.Filter != nil || resFilter != nil {
+			cost += fetched * costPredicate
+		}
+		alts = append(alts, &Plan{
+			Op:          PLookupJoin,
+			Children:    []*Plan{outer},
+			Rel:         innerScan.Rel,
+			IndexOrd:    innerOrd,
+			LookupKey:   outerKey,
+			InnerFilter: innerScan.Filter,
+			InnerCols:   innerG.OutCols,
+			Filter:      resFilter,
+			Cols:        append(append([]scalar.ColID(nil), outer.Cols...), innerG.OutCols...),
+			Provided:    outer.Provided,
+			Rows:        g.Rows,
+			Cost:        cost,
+		})
+	}
+	return alts, nil
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

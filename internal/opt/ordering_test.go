@@ -1,0 +1,51 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/scalar"
+)
+
+func TestSatisfiesOrdering(t *testing.T) {
+	cols := func(ids ...scalar.ColID) []scalar.ColID { return ids }
+	cases := []struct {
+		provided, required []scalar.ColID
+		want               bool
+	}{
+		{cols(1, 2, 3), cols(1, 2), true},  // prefix
+		{cols(1, 2), cols(1, 2, 3), false}, // too short
+		{cols(1, 2), cols(2, 1), false},    // order matters
+		{cols(1), nil, true},               // empty requirement
+		{nil, nil, true},
+		{nil, cols(1), false},
+	}
+	for _, c := range cases {
+		if got := satisfiesOrdering(c.provided, c.required); got != c.want {
+			t.Errorf("satisfies(%v, %v) = %v, want %v", c.provided, c.required, got, c.want)
+		}
+	}
+}
+
+func TestOrderKeyCanonical(t *testing.T) {
+	if orderKey([]scalar.ColID{1, 2}) == orderKey([]scalar.ColID{2, 1}) {
+		t.Error("order key must be order-sensitive")
+	}
+	if orderKey(nil) != "" {
+		t.Error("empty requirement key must be empty")
+	}
+}
+
+func TestSortWrapElidesWhenSatisfied(t *testing.T) {
+	o := NewOptimizer(nil)
+	base := &Plan{Op: PScan, Provided: []scalar.ColID{5, 6}, Rows: 100, Cost: 10}
+	if got := o.sortWrap(base, []scalar.ColID{5}); got != base {
+		t.Error("sortWrap must elide a satisfied requirement")
+	}
+	wrapped := o.sortWrap(base, []scalar.ColID{7})
+	if wrapped.Op != PSort || wrapped.Cost <= base.Cost {
+		t.Errorf("sortWrap must add a sort: %+v", wrapped)
+	}
+	if !satisfiesOrdering(wrapped.Provided, []scalar.ColID{7}) {
+		t.Error("the sort must provide the requirement")
+	}
+}

@@ -1,0 +1,143 @@
+package parser
+
+import "strings"
+
+// Statement is either a *SelectStmt or a *CreateViewStmt.
+type Statement interface{ stmt() }
+
+// SelectStmt is one SELECT query block.
+type SelectStmt struct {
+	With     []CTE // WITH-clause common table expressions in scope
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Node
+	GroupBy  []Node
+	Having   Node
+	OrderBy  []OrderItem
+	Limit    int // 0 means no limit
+}
+
+// CTE is one WITH-clause entry: name AS (select).
+type CTE struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*SelectStmt) stmt() {}
+
+// CreateViewStmt is CREATE MATERIALIZED VIEW name AS select.
+type CreateViewStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// SelectItem is one output expression with an optional alias. A bare "*" is
+// represented by Star=true.
+type SelectItem struct {
+	Expr  Node
+	Alias string
+	Star  bool
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Binding name for the table reference: alias when present.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+// Node is a parsed scalar expression node.
+type Node interface{ node() }
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Qualifier string // table name or alias; "" when unqualified
+	Name      string
+}
+
+// NumLit is a numeric literal; Float reports whether it had a decimal point.
+type NumLit struct {
+	Text  string
+	Float bool
+}
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// BinOp is a binary operation; Op is one of = <> < <= > >= + - * / and or.
+type BinOp struct {
+	Op   string
+	L, R Node
+}
+
+// UnaryOp is NOT or unary minus.
+type UnaryOp struct {
+	Op  string // "not" or "-"
+	Arg Node
+}
+
+// FuncCall is an aggregate or scalar function call; Star marks count(*).
+type FuncCall struct {
+	Name string
+	Args []Node
+	Star bool
+}
+
+// Subquery is a parenthesized scalar subquery.
+type Subquery struct{ Select *SelectStmt }
+
+// Between is expr BETWEEN lo AND hi.
+type Between struct {
+	Expr, Lo, Hi Node
+	Negate       bool
+}
+
+// InList is expr IN (v1, v2, ...).
+type InList struct {
+	Expr   Node
+	Vals   []Node
+	Negate bool
+}
+
+func (*ColRef) node()   {}
+func (*NumLit) node()   {}
+func (*StrLit) node()   {}
+func (*BoolLit) node()  {}
+func (*NullLit) node()  {}
+func (*BinOp) node()    {}
+func (*UnaryOp) node()  {}
+func (*FuncCall) node() {}
+func (*Subquery) node() {}
+func (*Between) node()  {}
+func (*InList) node()   {}
+
+// IsAggName reports whether the function name is a supported aggregate.
+func IsAggName(name string) bool {
+	switch strings.ToLower(name) {
+	case "sum", "count", "min", "max", "avg":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+// Package parser implements the SQL subset used by the engine: SELECT
+// queries with joins, WHERE, GROUP BY, HAVING (including uncorrelated scalar
+// subqueries), ORDER BY, query batches separated by semicolons, and CREATE
+// MATERIALIZED VIEW. The parser produces an AST; name resolution happens in
+// the logical builder.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords lower-cased; symbols canonical
+	pos  int    // byte offset for error messages
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "as": true, "and": true, "or": true,
+	"not": true, "asc": true, "desc": true, "create": true, "materialized": true,
+	"view": true, "distinct": true, "between": true, "in": true, "limit": true,
+	"true": true, "false": true, "null": true, "like": true, "insert": true, "into": true, "values": true,
+	"with": true, "refresh": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	for {
+		lx.skipSpace()
+		if lx.pos >= len(lx.src) {
+			lx.emit(tokEOF, "", lx.pos)
+			return lx.toks, nil
+		}
+		start := lx.pos
+		c := lx.src[lx.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			lx.pos++
+			for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+				lx.pos++
+			}
+			word := lx.src[start:lx.pos]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				lx.emit(tokKeyword, lower, start)
+			} else {
+				lx.emit(tokIdent, word, start)
+			}
+		case c >= '0' && c <= '9':
+			lx.pos++
+			seenDot := false
+			for lx.pos < len(lx.src) {
+				ch := lx.src[lx.pos]
+				if ch == '.' && !seenDot {
+					seenDot = true
+					lx.pos++
+					continue
+				}
+				if ch < '0' || ch > '9' {
+					break
+				}
+				lx.pos++
+			}
+			lx.emit(tokNumber, lx.src[start:lx.pos], start)
+		case c == '\'':
+			lx.pos++
+			var sb strings.Builder
+			closed := false
+			for lx.pos < len(lx.src) {
+				ch := lx.src[lx.pos]
+				if ch == '\'' {
+					if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						lx.pos += 2
+						continue
+					}
+					lx.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(ch)
+				lx.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated string literal at offset %d", start)
+			}
+			lx.emit(tokString, sb.String(), start)
+		default:
+			// Multi-character operators first.
+			two := ""
+			if lx.pos+1 < len(lx.src) {
+				two = lx.src[lx.pos : lx.pos+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				if two == "!=" {
+					two = "<>"
+				}
+				lx.emit(tokSymbol, two, start)
+				lx.pos += 2
+				continue
+			case "--":
+				// Line comment.
+				for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+					lx.pos++
+				}
+				continue
+			}
+			switch c {
+			case '(', ')', ',', ';', '.', '*', '+', '-', '/', '=', '<', '>':
+				lx.emit(tokSymbol, string(c), start)
+				lx.pos++
+			default:
+				return nil, fmt.Errorf("unexpected character %q at offset %d", c, start)
+			}
+		}
+	}
+}
+
+func (lx *lexer) emit(kind tokenKind, text string, pos int) {
+	lx.toks = append(lx.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) && unicode.IsSpace(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,401 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parseOne(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	sel, err := ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := parseOne(t, "select a, b from t where a = 1")
+	if len(sel.Items) != 2 || len(sel.From) != 1 || sel.Where == nil {
+		t.Fatalf("unexpected shape: %+v", sel)
+	}
+	if sel.From[0].Table != "t" {
+		t.Errorf("table = %q", sel.From[0].Table)
+	}
+	cr, ok := sel.Items[0].Expr.(*ColRef)
+	if !ok || cr.Name != "a" {
+		t.Errorf("first item = %#v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := parseOne(t, "select * from t")
+	if len(sel.Items) != 1 || !sel.Items[0].Star {
+		t.Error("star not recognized")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := parseOne(t, "select sum(x) as total, y cnt from t1 a, t2 as b")
+	if sel.Items[0].Alias != "total" {
+		t.Errorf("AS alias = %q", sel.Items[0].Alias)
+	}
+	if sel.Items[1].Alias != "cnt" {
+		t.Errorf("bare alias = %q", sel.Items[1].Alias)
+	}
+	if sel.From[0].Binding() != "a" || sel.From[1].Binding() != "b" {
+		t.Errorf("table bindings = %q, %q", sel.From[0].Binding(), sel.From[1].Binding())
+	}
+	if sel.From[0].Table != "t1" {
+		t.Error("aliased table keeps its real name")
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	sel := parseOne(t, "select c.name from customer c where c.id = 3")
+	cr := sel.Items[0].Expr.(*ColRef)
+	if cr.Qualifier != "c" || cr.Name != "name" {
+		t.Errorf("qualified ref = %+v", cr)
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	sel := parseOne(t, `
+select a, sum(b) as s from t
+group by a having sum(b) > 10
+order by s desc, a limit 5`)
+	if len(sel.GroupBy) != 1 {
+		t.Error("group by missing")
+	}
+	if sel.Having == nil {
+		t.Error("having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 5 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := parseOne(t, "select a + b * c from t")
+	add := sel.Items[0].Expr.(*BinOp)
+	if add.Op != "+" {
+		t.Fatalf("top op = %q, want +", add.Op)
+	}
+	mul := add.R.(*BinOp)
+	if mul.Op != "*" {
+		t.Errorf("b*c must bind tighter")
+	}
+
+	sel2 := parseOne(t, "select a from t where x = 1 or y = 2 and z = 3")
+	or := sel2.Where.(*BinOp)
+	if or.Op != "or" {
+		t.Fatalf("top where op = %q, want or (AND binds tighter)", or.Op)
+	}
+	and := or.R.(*BinOp)
+	if and.Op != "and" {
+		t.Error("right side of OR should be the AND")
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	sel := parseOne(t, "select a from t where (x = 1 or y = 2) and z = 3")
+	and := sel.Where.(*BinOp)
+	if and.Op != "and" {
+		t.Fatalf("parenthesized OR must nest under AND, top = %q", and.Op)
+	}
+	if or := and.L.(*BinOp); or.Op != "or" {
+		t.Error("left side should be the OR")
+	}
+}
+
+func TestParseBetweenAndIn(t *testing.T) {
+	sel := parseOne(t, "select a from t where a between 1 and 5 and b in (1, 2, 3) and c not in (4)")
+	and := sel.Where.(*BinOp)
+	_ = and
+	// Walk conjuncts loosely: just verify node kinds exist.
+	var sawBetween, sawIn, sawNotIn bool
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch v := n.(type) {
+		case *BinOp:
+			walk(v.L)
+			walk(v.R)
+		case *Between:
+			sawBetween = true
+		case *InList:
+			if v.Negate {
+				sawNotIn = true
+			} else {
+				sawIn = true
+			}
+		}
+	}
+	walk(sel.Where)
+	if !sawBetween || !sawIn || !sawNotIn {
+		t.Errorf("between=%v in=%v notin=%v", sawBetween, sawIn, sawNotIn)
+	}
+}
+
+func TestParseNotBetween(t *testing.T) {
+	sel := parseOne(t, "select a from t where a not between 1 and 5")
+	b, ok := sel.Where.(*Between)
+	if !ok || !b.Negate {
+		t.Errorf("NOT BETWEEN = %#v", sel.Where)
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	sel := parseOne(t, `
+select a from t group by a
+having sum(b) > (select sum(b) / 25 from t)`)
+	hv := sel.Having.(*BinOp)
+	sq, ok := hv.R.(*Subquery)
+	if !ok {
+		t.Fatalf("expected subquery on the right of >, got %#v", hv.R)
+	}
+	div, ok := sq.Select.Items[0].Expr.(*BinOp)
+	if !ok || div.Op != "/" {
+		t.Fatalf("subquery select item should be a division, got %#v", sq.Select.Items[0].Expr)
+	}
+	if _, ok := div.L.(*FuncCall); !ok {
+		t.Errorf("expected aggregate on the left of /, got %#v", div.L)
+	}
+}
+
+func TestParseFunctionCalls(t *testing.T) {
+	sel := parseOne(t, "select count(*), sum(x), avg(y + 1) from t")
+	c := sel.Items[0].Expr.(*FuncCall)
+	if c.Name != "count" || !c.Star {
+		t.Errorf("count(*) = %+v", c)
+	}
+	s := sel.Items[1].Expr.(*FuncCall)
+	if s.Name != "sum" || len(s.Args) != 1 {
+		t.Errorf("sum = %+v", s)
+	}
+	a := sel.Items[2].Expr.(*FuncCall)
+	if _, ok := a.Args[0].(*BinOp); !ok {
+		t.Error("function arguments may be expressions")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	sel := parseOne(t, "select 1, 2.5, 'it''s', true, false, null, -3 from t")
+	if n := sel.Items[0].Expr.(*NumLit); n.Float {
+		t.Error("1 is integral")
+	}
+	if n := sel.Items[1].Expr.(*NumLit); !n.Float {
+		t.Error("2.5 is a float")
+	}
+	if s := sel.Items[2].Expr.(*StrLit); s.Val != "it's" {
+		t.Errorf("escaped quote = %q", s.Val)
+	}
+	if b := sel.Items[3].Expr.(*BoolLit); !b.Val {
+		t.Error("true literal")
+	}
+	if _, ok := sel.Items[5].Expr.(*NullLit); !ok {
+		t.Error("null literal")
+	}
+	if u := sel.Items[6].Expr.(*UnaryOp); u.Op != "-" {
+		t.Error("unary minus")
+	}
+}
+
+func TestParseBatch(t *testing.T) {
+	stmts, err := Parse("select a from t; select b from u;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("batch length = %d", len(stmts))
+	}
+}
+
+func TestParseCreateMaterializedView(t *testing.T) {
+	stmts, err := Parse("create materialized view mv as select a, sum(b) as s from t group by a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, ok := stmts[0].(*CreateViewStmt)
+	if !ok || cv.Name != "mv" || cv.Select == nil {
+		t.Fatalf("create view = %#v", stmts[0])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := parseOne(t, `
+select a -- trailing comment
+from t -- another
+where a = 1`)
+	if sel.Where == nil {
+		t.Error("comment swallowed the query")
+	}
+}
+
+func TestParseNotEqualVariants(t *testing.T) {
+	for _, op := range []string{"<>", "!="} {
+		sel := parseOne(t, "select a from t where a "+op+" 1")
+		b := sel.Where.(*BinOp)
+		if b.Op != "<>" {
+			t.Errorf("%s parsed as %q", op, b.Op)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"select",
+		"select a",              // missing FROM
+		"select a from",         // missing table
+		"select a from t where", // missing predicate
+		"select a from t limit x",
+		"select a from t limit 0",
+		"select a from t order",
+		"select 'unterminated from t",
+		"frobnicate the database",
+		"select a from t group a", // missing BY
+		// (min(*) parses; the binder rejects it — see logical tests)
+		"select a from t; nonsense",
+		"create materialized view as select a from t", // missing name
+		"select (select a from t from u",
+		"select a, from t",
+		"select a from t where a = ;",
+		"select a @ b from t",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestParseSelectRejectsBatch(t *testing.T) {
+	if _, err := ParseSelect("select a from t; select b from t"); err == nil {
+		t.Error("ParseSelect must reject multi-statement input")
+	}
+	if _, err := ParseSelect("create materialized view v as select a from t"); err == nil {
+		t.Error("ParseSelect must reject non-SELECT")
+	}
+}
+
+func TestErrorMessagesMentionContext(t *testing.T) {
+	_, err := Parse("select a from t where a == 1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "syntax error") {
+		t.Errorf("error %q lacks context", err)
+	}
+}
+
+func TestKeywordsAreCaseInsensitive(t *testing.T) {
+	sel := parseOne(t, "SELECT a FROM t WHERE a = 1 GROUP BY a HAVING count(*) > 0 ORDER BY a")
+	if sel.Having == nil || len(sel.GroupBy) != 1 {
+		t.Error("uppercase keywords not recognized")
+	}
+}
+
+func TestIsAggName(t *testing.T) {
+	for _, name := range []string{"sum", "count", "min", "max", "avg", "SUM"} {
+		if !IsAggName(name) {
+			t.Errorf("%s is an aggregate", name)
+		}
+	}
+	if IsAggName("coalesce") {
+		t.Error("coalesce is not an aggregate")
+	}
+}
+
+// TestParserNeverPanics feeds random garbage and mutated SQL to the parser;
+// it must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"select a from t where a = 1",
+		"with x as (select a from t) select * from x",
+		"select sum(a), b from t group by b having sum(a) > (select 1 from u) order by 1 desc limit 3",
+		"create materialized view v as select a from t",
+	}
+	mutate := func(s string, seed int64) string {
+		b := []byte(s)
+		for i := 0; i < 4; i++ {
+			pos := int(uint64(seed+int64(i)*7919) % uint64(len(b)+1))
+			chars := []byte{';', '(', ')', '\'', '%', 'x', ' ', ',', '.', '*', '='}
+			c := chars[uint64(seed+int64(i)*104729)%uint64(len(chars))]
+			if pos < len(b) {
+				b[pos] = c
+			} else {
+				b = append(b, c)
+			}
+		}
+		return string(b)
+	}
+	f := func(seed int64, pick uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on mutated input (seed %d): %v", seed, r)
+			}
+		}()
+		src := mutate(seeds[int(pick)%len(seeds)], seed)
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseWithClause(t *testing.T) {
+	stmts, err := Parse(`
+with a as (select x from t), b as (select y from u)
+select a.x, b.y from a, b where a.x = b.y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmts[0].(*SelectStmt)
+	if len(sel.With) != 2 || sel.With[0].Name != "a" || sel.With[1].Name != "b" {
+		t.Fatalf("WITH entries = %+v", sel.With)
+	}
+	if sel.With[0].Select == nil || len(sel.From) != 2 {
+		t.Error("WITH bodies or FROM lost")
+	}
+	// Nested WITH inside a CTE body.
+	stmts2, err := Parse("with a as (with b as (select x from t) select x from b) select x from a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := stmts2[0].(*SelectStmt).With[0].Select
+	if len(inner.With) != 1 || inner.With[0].Name != "b" {
+		t.Error("nested WITH not parsed")
+	}
+}
+
+func TestParseLike(t *testing.T) {
+	sel := parseOne(t, "select a from t where a like 'x%' and b not like '_y'")
+	var likes, notLikes int
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch v := n.(type) {
+		case *BinOp:
+			if v.Op == "like" {
+				likes++
+			}
+			walk(v.L)
+			walk(v.R)
+		case *UnaryOp:
+			if v.Op == "not" {
+				if b, ok := v.Arg.(*BinOp); ok && b.Op == "like" {
+					notLikes++
+				}
+			}
+			walk(v.Arg)
+		}
+	}
+	walk(sel.Where)
+	if likes != 2 || notLikes != 1 {
+		t.Errorf("likes = %d (want 2 incl. negated), notLikes = %d (want 1)", likes, notLikes)
+	}
+}

@@ -1,0 +1,210 @@
+// Package scalar implements scalar expression trees: column references,
+// constants, comparisons, boolean connectives, arithmetic, and aggregate
+// function references. It also provides the supporting machinery the
+// optimizer needs around predicates — conjunct splitting, equivalence
+// classes of equated columns (§4.1 of the paper), and deterministic
+// expression fingerprints for memo deduplication.
+package scalar
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ColID identifies one column of one table instance within a single query's
+// metadata. IDs start at 1; 0 is "no column".
+type ColID int32
+
+// ColSet is a set of ColIDs backed by a bitmap.
+type ColSet struct {
+	words []uint64
+}
+
+// MakeColSet returns a set containing the given columns.
+func MakeColSet(cols ...ColID) ColSet {
+	var s ColSet
+	for _, c := range cols {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts c into the set.
+func (s *ColSet) Add(c ColID) {
+	w := int(c) / 64
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(c) % 64)
+}
+
+// Remove deletes c from the set.
+func (s *ColSet) Remove(c ColID) {
+	w := int(c) / 64
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Contains reports whether c is in the set.
+func (s ColSet) Contains(c ColID) bool {
+	w := int(c) / 64
+	return w < len(s.words) && s.words[w]&(1<<(uint(c)%64)) != 0
+}
+
+// Empty reports whether the set has no members.
+func (s ColSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of members.
+func (s ColSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Copy returns an independent copy of the set.
+func (s ColSet) Copy() ColSet {
+	out := ColSet{words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	return out
+}
+
+// UnionWith adds every member of other to s.
+func (s *ColSet) UnionWith(other ColSet) {
+	for len(s.words) < len(other.words) {
+		s.words = append(s.words, 0)
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// Union returns the union of s and other as a new set.
+func (s ColSet) Union(other ColSet) ColSet {
+	out := s.Copy()
+	out.UnionWith(other)
+	return out
+}
+
+// IntersectionWith removes members of s not in other.
+func (s *ColSet) IntersectionWith(other ColSet) {
+	for i := range s.words {
+		if i < len(other.words) {
+			s.words[i] &= other.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Intersection returns the intersection as a new set.
+func (s ColSet) Intersection(other ColSet) ColSet {
+	out := s.Copy()
+	out.IntersectionWith(other)
+	return out
+}
+
+// Difference returns s minus other as a new set.
+func (s ColSet) Difference(other ColSet) ColSet {
+	out := s.Copy()
+	for i := range out.words {
+		if i < len(other.words) {
+			out.words[i] &^= other.words[i]
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether every member of s is in other.
+func (s ColSet) SubsetOf(other ColSet) bool {
+	for i, w := range s.words {
+		var o uint64
+		if i < len(other.words) {
+			o = other.words[i]
+		}
+		if w&^o != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and other share any member.
+func (s ColSet) Intersects(other ColSet) bool {
+	n := len(s.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equals reports whether the two sets have identical members.
+func (s ColSet) Equals(other ColSet) bool {
+	return s.SubsetOf(other) && other.SubsetOf(s)
+}
+
+// ForEach calls fn for each member in ascending order.
+func (s ColSet) ForEach(fn func(ColID)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(ColID(wi*64 + b))
+			w &= w - 1
+		}
+	}
+}
+
+// Ordered returns the members in ascending order.
+func (s ColSet) Ordered() []ColID {
+	out := make([]ColID, 0, s.Len())
+	s.ForEach(func(c ColID) { out = append(out, c) })
+	return out
+}
+
+// SingleCol returns the only member of a one-element set; it panics otherwise.
+func (s ColSet) SingleCol() ColID {
+	if s.Len() != 1 {
+		panic("SingleCol on set of size != 1")
+	}
+	var out ColID
+	s.ForEach(func(c ColID) { out = c })
+	return out
+}
+
+// String renders the set as "(1,4,7)".
+func (s ColSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	first := true
+	s.ForEach(func(c ColID) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(int(c)))
+	})
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// SortColIDs sorts a ColID slice in place and returns it.
+func SortColIDs(cols []ColID) []ColID {
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	return cols
+}

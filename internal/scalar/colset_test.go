@@ -1,0 +1,143 @@
+package scalar
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func setFrom(bits []uint8) ColSet {
+	var s ColSet
+	for _, b := range bits {
+		s.Add(ColID(b%100) + 1)
+	}
+	return s
+}
+
+func TestColSetBasics(t *testing.T) {
+	s := MakeColSet(1, 65, 130)
+	for _, c := range []ColID{1, 65, 130} {
+		if !s.Contains(c) {
+			t.Errorf("missing %d", c)
+		}
+	}
+	if s.Contains(2) {
+		t.Error("spurious member")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.Remove(65)
+	if s.Contains(65) || s.Len() != 2 {
+		t.Error("Remove failed")
+	}
+	s.Remove(999) // removing a member beyond the bitmap is a no-op
+	var empty ColSet
+	if !empty.Empty() || s.Empty() {
+		t.Error("Empty misbehaves")
+	}
+}
+
+func TestColSetOrderedAndString(t *testing.T) {
+	s := MakeColSet(7, 3, 100)
+	if got := s.Ordered(); !reflect.DeepEqual(got, []ColID{3, 7, 100}) {
+		t.Errorf("Ordered = %v", got)
+	}
+	if got := s.String(); got != "(3,7,100)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestColSetAlgebra(t *testing.T) {
+	a := MakeColSet(1, 2, 3)
+	b := MakeColSet(3, 4)
+	if got := a.Union(b).Ordered(); !reflect.DeepEqual(got, []ColID{1, 2, 3, 4}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersection(b).Ordered(); !reflect.DeepEqual(got, []ColID{3}) {
+		t.Errorf("Intersection = %v", got)
+	}
+	if got := a.Difference(b).Ordered(); !reflect.DeepEqual(got, []ColID{1, 2}) {
+		t.Errorf("Difference = %v", got)
+	}
+	if !MakeColSet(1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf misbehaves")
+	}
+	if !a.Intersects(b) || a.Intersects(MakeColSet(9)) {
+		t.Error("Intersects misbehaves")
+	}
+	if !a.Equals(MakeColSet(3, 2, 1)) || a.Equals(b) {
+		t.Error("Equals misbehaves")
+	}
+}
+
+func TestColSetCopyIndependence(t *testing.T) {
+	a := MakeColSet(1)
+	c := a.Copy()
+	c.Add(2)
+	if a.Contains(2) {
+		t.Error("Copy aliases the original")
+	}
+}
+
+func TestColSetSingleCol(t *testing.T) {
+	if MakeColSet(42).SingleCol() != 42 {
+		t.Error("SingleCol wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SingleCol on multi-element set must panic")
+		}
+	}()
+	MakeColSet(1, 2).SingleCol()
+}
+
+func TestColSetUnionLaws(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := setFrom(xs), setFrom(ys)
+		u := a.Union(b)
+		// Union is an upper bound of both, and minimal.
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		if u.Len() != a.Len()+b.Difference(a).Len() {
+			return false
+		}
+		// Commutative.
+		return u.Equals(b.Union(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSetDeMorgan(t *testing.T) {
+	// A \ (B ∪ C) == (A \ B) ∩ (A \ C)
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := setFrom(xs), setFrom(ys), setFrom(zs)
+		left := a.Difference(b.Union(c))
+		right := a.Difference(b).Intersection(a.Difference(c))
+		return left.Equals(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortColIDs(t *testing.T) {
+	got := SortColIDs([]ColID{5, 1, 3})
+	if !reflect.DeepEqual(got, []ColID{1, 3, 5}) {
+		t.Errorf("SortColIDs = %v", got)
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := MakeColSet(64, 1, 128, 63)
+	var prev ColID = -1
+	s.ForEach(func(c ColID) {
+		if c <= prev {
+			t.Errorf("ForEach not ascending: %d after %d", c, prev)
+		}
+		prev = c
+	})
+}

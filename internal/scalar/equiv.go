@@ -1,0 +1,138 @@
+package scalar
+
+import "sort"
+
+// EquivClasses maintains equivalence classes of columns induced by the
+// column-equality conjuncts of a predicate (§4.1). Classes are the connected
+// components of the "column a = column b" relation; they summarize the
+// equijoins of a normalized SPJ expression.
+type EquivClasses struct {
+	parent map[ColID]ColID
+}
+
+// NewEquivClasses returns an empty set of classes.
+func NewEquivClasses() *EquivClasses {
+	return &EquivClasses{parent: make(map[ColID]ColID)}
+}
+
+// EquivFromPredicate builds equivalence classes from the col=col conjuncts
+// of pred.
+func EquivFromPredicate(pred *Expr) *EquivClasses {
+	ec := NewEquivClasses()
+	for _, c := range Conjuncts(pred) {
+		if a, b, ok := c.IsColEqCol(); ok {
+			ec.AddEquality(a, b)
+		}
+	}
+	return ec
+}
+
+func (ec *EquivClasses) find(c ColID) ColID {
+	p, ok := ec.parent[c]
+	if !ok {
+		ec.parent[c] = c
+		return c
+	}
+	if p == c {
+		return c
+	}
+	root := ec.find(p)
+	ec.parent[c] = root
+	return root
+}
+
+// AddEquality records that a and b are equal, merging their classes.
+func (ec *EquivClasses) AddEquality(a, b ColID) {
+	ra, rb := ec.find(a), ec.find(b)
+	if ra != rb {
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		ec.parent[rb] = ra
+	}
+}
+
+// Equal reports whether a and b are in the same class.
+func (ec *EquivClasses) Equal(a, b ColID) bool {
+	if _, ok := ec.parent[a]; !ok {
+		return a == b
+	}
+	if _, ok := ec.parent[b]; !ok {
+		return a == b
+	}
+	return ec.find(a) == ec.find(b)
+}
+
+// Classes returns every class with two or more members, each sorted, and the
+// classes sorted by their smallest member. Singleton classes are omitted:
+// they impose no equality.
+func (ec *EquivClasses) Classes() [][]ColID {
+	byRoot := make(map[ColID][]ColID)
+	cols := make([]ColID, 0, len(ec.parent))
+	for c := range ec.parent {
+		cols = append(cols, c)
+	}
+	SortColIDs(cols)
+	for _, c := range cols {
+		r := ec.find(c)
+		byRoot[r] = append(byRoot[r], c)
+	}
+	out := make([][]ColID, 0, len(byRoot))
+	for _, class := range byRoot {
+		if len(class) >= 2 {
+			out = append(out, class)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ClassOf returns the full class containing c (including c itself).
+func (ec *EquivClasses) ClassOf(c ColID) []ColID {
+	if _, ok := ec.parent[c]; !ok {
+		return []ColID{c}
+	}
+	root := ec.find(c)
+	var out []ColID
+	for m := range ec.parent {
+		if ec.find(m) == root {
+			out = append(out, m)
+		}
+	}
+	return SortColIDs(out)
+}
+
+// Intersect returns the intersection of two collections of equivalence
+// classes in the natural way (§4.1): for every pair of classes, one from
+// each side, their common members form a class of the result (when two or
+// more members remain).
+func Intersect(a, b *EquivClasses) *EquivClasses {
+	out := NewEquivClasses()
+	for _, ca := range a.Classes() {
+		inA := MakeColSet(ca...)
+		for _, cb := range b.Classes() {
+			var common []ColID
+			for _, c := range cb {
+				if inA.Contains(c) {
+					common = append(common, c)
+				}
+			}
+			for i := 1; i < len(common); i++ {
+				out.AddEquality(common[0], common[i])
+			}
+		}
+	}
+	return out
+}
+
+// EqualityConjuncts renders the classes back into a minimal set of col=col
+// predicates (a spanning chain per class, smallest member first).
+func (ec *EquivClasses) EqualityConjuncts() []*Expr {
+	var out []*Expr
+	for _, class := range ec.Classes() {
+		for i := 1; i < len(class); i++ {
+			out = append(out, Eq(Col(class[0]), Col(class[i])))
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package scalar
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func classesOf(ec *EquivClasses) [][]ColID { return ec.Classes() }
+
+func TestEquivBasics(t *testing.T) {
+	ec := NewEquivClasses()
+	ec.AddEquality(1, 2)
+	ec.AddEquality(2, 3)
+	ec.AddEquality(5, 6)
+	if !ec.Equal(1, 3) {
+		t.Error("1 and 3 must be equal transitively")
+	}
+	if ec.Equal(1, 5) {
+		t.Error("1 and 5 are in different classes")
+	}
+	if !ec.Equal(7, 7) {
+		t.Error("a column equals itself even if never added")
+	}
+	classes := classesOf(ec)
+	want := [][]ColID{{1, 2, 3}, {5, 6}}
+	if !reflect.DeepEqual(classes, want) {
+		t.Errorf("Classes = %v, want %v", classes, want)
+	}
+}
+
+func TestEquivFromPredicate(t *testing.T) {
+	pred := And(
+		Eq(Col(1), Col(2)),
+		Cmp(OpGt, Col(3), ConstInt(0)), // not an equality: ignored
+		Eq(Col(2), Col(4)),
+		Eq(Col(5), ConstInt(7)), // col = const: ignored
+	)
+	ec := EquivFromPredicate(pred)
+	if !ec.Equal(1, 4) {
+		t.Error("1 = 2 = 4 must be derived")
+	}
+	if ec.Equal(3, 5) {
+		t.Error("non-equality conjuncts must not merge columns")
+	}
+}
+
+// TestIntersectPaperExample2 is the paper's Example 2 verbatim:
+// {{R.a,S.d},{R.b,S.e}} ∩ {{R.a,S.d},{R.c,S.f}} = {{R.a,S.d}}, and the
+// second pair of expressions has an empty intersection.
+func TestIntersectPaperExample2(t *testing.T) {
+	// Columns: R.a=1 R.b=2 R.c=3 S.d=4 S.e=5 S.f=6.
+	e1 := NewEquivClasses() // R.a=S.d and R.b=S.e
+	e1.AddEquality(1, 4)
+	e1.AddEquality(2, 5)
+	e2 := NewEquivClasses() // R.a=S.d and R.c=S.f
+	e2.AddEquality(1, 4)
+	e2.AddEquality(3, 6)
+	inter := Intersect(e1, e2)
+	want := [][]ColID{{1, 4}}
+	if got := inter.Classes(); !reflect.DeepEqual(got, want) {
+		t.Errorf("intersection = %v, want %v", got, want)
+	}
+
+	e3 := NewEquivClasses() // R.c=S.f only
+	e3.AddEquality(3, 6)
+	inter2 := Intersect(e1, e3)
+	if got := inter2.Classes(); len(got) != 0 {
+		t.Errorf("disjoint equivalences must intersect empty, got %v", got)
+	}
+}
+
+func TestIntersectSplitsClasses(t *testing.T) {
+	// {1,2,3} ∩ ({1,2} {3,4}) = {1,2} (3 falls out of the pairing with 1,2;
+	// the {3} overlap is a singleton and disappears).
+	a := NewEquivClasses()
+	a.AddEquality(1, 2)
+	a.AddEquality(2, 3)
+	b := NewEquivClasses()
+	b.AddEquality(1, 2)
+	b.AddEquality(3, 4)
+	got := Intersect(a, b).Classes()
+	want := [][]ColID{{1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("intersection = %v, want %v", got, want)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	ec := NewEquivClasses()
+	ec.AddEquality(2, 7)
+	ec.AddEquality(7, 4)
+	if got := ec.ClassOf(7); !reflect.DeepEqual(got, []ColID{2, 4, 7}) {
+		t.Errorf("ClassOf(7) = %v", got)
+	}
+	if got := ec.ClassOf(99); !reflect.DeepEqual(got, []ColID{99}) {
+		t.Errorf("ClassOf(unknown) = %v", got)
+	}
+}
+
+func TestEqualityConjuncts(t *testing.T) {
+	ec := NewEquivClasses()
+	ec.AddEquality(3, 1)
+	ec.AddEquality(1, 5)
+	conj := ec.EqualityConjuncts()
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d, want spanning chain of 2", len(conj))
+	}
+	// Rebuilding classes from the conjuncts gives back the same classes.
+	round := NewEquivClasses()
+	for _, c := range conj {
+		a, b, ok := c.IsColEqCol()
+		if !ok {
+			t.Fatalf("non-equality conjunct %s", c.Fingerprint())
+		}
+		round.AddEquality(a, b)
+	}
+	if !reflect.DeepEqual(round.Classes(), ec.Classes()) {
+		t.Errorf("round trip changed classes: %v vs %v", round.Classes(), ec.Classes())
+	}
+}
+
+// TestIntersectIsCommutative checks A∩B == B∩A on random inputs.
+func TestIntersectIsCommutative(t *testing.T) {
+	build := func(pairs []uint16) *EquivClasses {
+		ec := NewEquivClasses()
+		for _, p := range pairs {
+			a := ColID(p%8) + 1
+			b := ColID((p/8)%8) + 1
+			if a != b {
+				ec.AddEquality(a, b)
+			}
+		}
+		return ec
+	}
+	f := func(ps1, ps2 []uint16) bool {
+		if len(ps1) > 10 {
+			ps1 = ps1[:10]
+		}
+		if len(ps2) > 10 {
+			ps2 = ps2[:10]
+		}
+		a, b := build(ps1), build(ps2)
+		return reflect.DeepEqual(Intersect(a, b).Classes(), Intersect(b, a).Classes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntersectIsWeakening checks that every equality in A∩B holds in both
+// A and B.
+func TestIntersectIsWeakening(t *testing.T) {
+	build := func(pairs []uint16) *EquivClasses {
+		ec := NewEquivClasses()
+		for _, p := range pairs {
+			a := ColID(p%8) + 1
+			b := ColID((p/8)%8) + 1
+			if a != b {
+				ec.AddEquality(a, b)
+			}
+		}
+		return ec
+	}
+	f := func(ps1, ps2 []uint16) bool {
+		if len(ps1) > 10 {
+			ps1 = ps1[:10]
+		}
+		if len(ps2) > 10 {
+			ps2 = ps2[:10]
+		}
+		a, b := build(ps1), build(ps2)
+		inter := Intersect(a, b)
+		for _, class := range inter.Classes() {
+			for i := 1; i < len(class); i++ {
+				if !a.Equal(class[0], class[i]) || !b.Equal(class[0], class[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+package scalar
+
+import (
+	"fmt"
+
+	"repro/internal/sqltypes"
+)
+
+// EvalFn is a compiled scalar expression: it evaluates against a physical row.
+type EvalFn func(row sqltypes.Row) sqltypes.Datum
+
+// Compile resolves column references against a row layout and returns an
+// evaluator. The layout maps ColID to the column's position in the rows that
+// will be passed to the evaluator. Aggregate references cannot be compiled;
+// normalization must hoist them first.
+//
+// Comparison and arithmetic follow SQL semantics: any NULL operand yields
+// NULL, and AND/OR use three-valued logic. A filter treats a NULL predicate
+// result as false.
+func Compile(e *Expr, layout map[ColID]int) (EvalFn, error) {
+	if e == nil {
+		return func(sqltypes.Row) sqltypes.Datum { return sqltypes.NewBool(true) }, nil
+	}
+	switch e.Op {
+	case OpConst:
+		d := e.Const
+		return func(sqltypes.Row) sqltypes.Datum { return d }, nil
+
+	case OpCol:
+		idx, ok := layout[e.Col]
+		if !ok {
+			return nil, fmt.Errorf("column @%d not present in row layout", e.Col)
+		}
+		return func(r sqltypes.Row) sqltypes.Datum { return r[idx] }, nil
+
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		l, err := Compile(e.Args[0], layout)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(e.Args[1], layout)
+		if err != nil {
+			return nil, err
+		}
+		op := e.Op
+		return func(row sqltypes.Row) sqltypes.Datum {
+			a, b := l(row), r(row)
+			if a.IsNull() || b.IsNull() {
+				return sqltypes.Null
+			}
+			c := sqltypes.Compare(a, b)
+			var v bool
+			switch op {
+			case OpEq:
+				v = c == 0
+			case OpNe:
+				v = c != 0
+			case OpLt:
+				v = c < 0
+			case OpLe:
+				v = c <= 0
+			case OpGt:
+				v = c > 0
+			case OpGe:
+				v = c >= 0
+			}
+			return sqltypes.NewBool(v)
+		}, nil
+
+	case OpAnd:
+		fns, err := compileAll(e.Args, layout)
+		if err != nil {
+			return nil, err
+		}
+		return func(row sqltypes.Row) sqltypes.Datum {
+			sawNull := false
+			for _, f := range fns {
+				d := f(row)
+				switch {
+				case d.IsNull():
+					sawNull = true
+				case !d.Bool():
+					return sqltypes.NewBool(false)
+				}
+			}
+			if sawNull {
+				return sqltypes.Null
+			}
+			return sqltypes.NewBool(true)
+		}, nil
+
+	case OpOr:
+		fns, err := compileAll(e.Args, layout)
+		if err != nil {
+			return nil, err
+		}
+		return func(row sqltypes.Row) sqltypes.Datum {
+			sawNull := false
+			for _, f := range fns {
+				d := f(row)
+				switch {
+				case d.IsNull():
+					sawNull = true
+				case d.Bool():
+					return sqltypes.NewBool(true)
+				}
+			}
+			if sawNull {
+				return sqltypes.Null
+			}
+			return sqltypes.NewBool(false)
+		}, nil
+
+	case OpNot:
+		f, err := Compile(e.Args[0], layout)
+		if err != nil {
+			return nil, err
+		}
+		return func(row sqltypes.Row) sqltypes.Datum {
+			d := f(row)
+			if d.IsNull() {
+				return sqltypes.Null
+			}
+			return sqltypes.NewBool(!d.Bool())
+		}, nil
+
+	case OpAdd, OpSub, OpMul, OpDiv:
+		l, err := Compile(e.Args[0], layout)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(e.Args[1], layout)
+		if err != nil {
+			return nil, err
+		}
+		op := e.Op
+		return func(row sqltypes.Row) sqltypes.Datum {
+			a, b := l(row), r(row)
+			return EvalArith(op, a, b)
+		}, nil
+
+	case OpLike:
+		l, err := Compile(e.Args[0], layout)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(e.Args[1], layout)
+		if err != nil {
+			return nil, err
+		}
+		return func(row sqltypes.Row) sqltypes.Datum {
+			a, b := l(row), r(row)
+			if a.IsNull() || b.IsNull() {
+				return sqltypes.Null
+			}
+			if a.Kind() != sqltypes.KindString || b.Kind() != sqltypes.KindString {
+				return sqltypes.Null
+			}
+			return sqltypes.NewBool(likeMatch(a.Str(), b.Str()))
+		}, nil
+
+	case OpAgg:
+		return nil, fmt.Errorf("cannot compile aggregate %s outside a GroupBy", e.Agg)
+
+	case OpSubquery:
+		return nil, fmt.Errorf("subquery reference $sq%d not substituted before compilation", e.Col)
+
+	default:
+		return nil, fmt.Errorf("cannot compile scalar op %d", e.Op)
+	}
+}
+
+func compileAll(args []*Expr, layout map[ColID]int) ([]EvalFn, error) {
+	fns := make([]EvalFn, len(args))
+	for i, a := range args {
+		f, err := Compile(a, layout)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return fns, nil
+}
+
+// EvalArith applies an arithmetic operator to two datums with SQL NULL
+// propagation. Integer operands stay integral except for division, which
+// always produces a DOUBLE (and NULL on division by zero).
+func EvalArith(op Op, a, b sqltypes.Datum) sqltypes.Datum {
+	if a.IsNull() || b.IsNull() {
+		return sqltypes.Null
+	}
+	if op == OpDiv {
+		d := b.Float()
+		if d == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(a.Float() / d)
+	}
+	if a.Kind() == sqltypes.KindInt && b.Kind() == sqltypes.KindInt {
+		x, y := a.Int(), b.Int()
+		switch op {
+		case OpAdd:
+			return sqltypes.NewInt(x + y)
+		case OpSub:
+			return sqltypes.NewInt(x - y)
+		case OpMul:
+			return sqltypes.NewInt(x * y)
+		}
+	}
+	x, y := a.Float(), b.Float()
+	switch op {
+	case OpAdd:
+		return sqltypes.NewFloat(x + y)
+	case OpSub:
+		return sqltypes.NewFloat(x - y)
+	case OpMul:
+		return sqltypes.NewFloat(x * y)
+	}
+	panic(fmt.Sprintf("EvalArith with op %d", op))
+}
+
+// EvalPredicate compiles and evaluates e as a filter: NULL counts as false.
+// It is a convenience for tests; execution paths compile once and reuse.
+func EvalPredicate(e *Expr, layout map[ColID]int, row sqltypes.Row) (bool, error) {
+	f, err := Compile(e, layout)
+	if err != nil {
+		return false, err
+	}
+	d := f(row)
+	return !d.IsNull() && d.Bool(), nil
+}
+
+// likeMatch implements SQL LIKE: '%' matches any sequence, '_' any single
+// character. Matching is case-sensitive, by iterative backtracking on '%'.
+func likeMatch(s, pattern string) bool {
+	si, pi := 0, 0
+	star, ss := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			ss++
+			si = ss
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

@@ -1,0 +1,401 @@
+package scalar
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqltypes"
+)
+
+// tri is three-valued logic: -1 false, 0 null, +1 true.
+type tri int
+
+func triOf(d sqltypes.Datum) tri {
+	if d.IsNull() {
+		return 0
+	}
+	if d.Bool() {
+		return 1
+	}
+	return -1
+}
+
+func datumOf(v tri) sqltypes.Datum {
+	switch v {
+	case 0:
+		return sqltypes.Null
+	case 1:
+		return sqltypes.NewBool(true)
+	default:
+		return sqltypes.NewBool(false)
+	}
+}
+
+func eval(t *testing.T, e *Expr, layout map[ColID]int, row sqltypes.Row) sqltypes.Datum {
+	t.Helper()
+	fn, err := Compile(e, layout)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return fn(row)
+}
+
+// TestThreeValuedAnd exhaustively checks Kleene AND over {F, N, T}².
+func TestThreeValuedAnd(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1}
+	e := And(Col(1), Col(2))
+	for _, a := range []tri{-1, 0, 1} {
+		for _, b := range []tri{-1, 0, 1} {
+			want := a
+			if b < want {
+				want = b
+			} // Kleene AND = min
+			got := triOf(eval(t, e, layout, sqltypes.Row{datumOf(a), datumOf(b)}))
+			if got != want {
+				t.Errorf("AND(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestThreeValuedOr exhaustively checks Kleene OR.
+func TestThreeValuedOr(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1}
+	e := Or(Col(1), Col(2))
+	for _, a := range []tri{-1, 0, 1} {
+		for _, b := range []tri{-1, 0, 1} {
+			want := a
+			if b > want {
+				want = b
+			} // Kleene OR = max
+			got := triOf(eval(t, e, layout, sqltypes.Row{datumOf(a), datumOf(b)}))
+			if got != want {
+				t.Errorf("OR(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestThreeValuedNot(t *testing.T) {
+	layout := map[ColID]int{1: 0}
+	e := Not(Col(1))
+	for _, a := range []tri{-1, 0, 1} {
+		got := triOf(eval(t, e, layout, sqltypes.Row{datumOf(a)}))
+		if got != -a {
+			t.Errorf("NOT(%d) = %d", a, got)
+		}
+	}
+}
+
+func TestComparisonsWithNull(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1}
+	for _, op := range []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		e := Cmp(op, Col(1), Col(2))
+		if got := eval(t, e, layout, sqltypes.Row{sqltypes.Null, sqltypes.NewInt(1)}); !got.IsNull() {
+			t.Errorf("op %d with NULL operand must be NULL, got %v", op, got)
+		}
+	}
+}
+
+func TestComparisonSemantics(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1}
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{OpEq, 2, 2, true}, {OpEq, 2, 3, false},
+		{OpNe, 2, 3, true}, {OpNe, 2, 2, false},
+		{OpLt, 2, 3, true}, {OpLt, 3, 2, false}, {OpLt, 2, 2, false},
+		{OpLe, 2, 2, true}, {OpLe, 3, 2, false},
+		{OpGt, 3, 2, true}, {OpGt, 2, 3, false},
+		{OpGe, 2, 2, true}, {OpGe, 2, 3, false},
+	}
+	for _, c := range cases {
+		e := Cmp(c.op, Col(1), Col(2))
+		got := eval(t, e, layout, sqltypes.Row{sqltypes.NewInt(c.a), sqltypes.NewInt(c.b)})
+		if got.Bool() != c.want {
+			t.Errorf("op %d (%d,%d) = %v, want %v", c.op, c.a, c.b, got.Bool(), c.want)
+		}
+	}
+}
+
+func TestArithmeticEvaluation(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1}
+	row := sqltypes.Row{sqltypes.NewInt(7), sqltypes.NewInt(2)}
+	cases := []struct {
+		op   Op
+		want sqltypes.Datum
+	}{
+		{OpAdd, sqltypes.NewInt(9)},
+		{OpSub, sqltypes.NewInt(5)},
+		{OpMul, sqltypes.NewInt(14)},
+		{OpDiv, sqltypes.NewFloat(3.5)},
+	}
+	for _, c := range cases {
+		got := eval(t, Arith(c.op, Col(1), Col(2)), layout, row)
+		if sqltypes.Compare(got, c.want) != 0 {
+			t.Errorf("op %d = %v, want %v", c.op, got, c.want)
+		}
+	}
+	// Mixed int/float promotes.
+	got := eval(t, Arith(OpAdd, Col(1), Col(2)), layout,
+		sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewFloat(0.5)})
+	if got.Kind() != sqltypes.KindFloat || got.Float() != 1.5 {
+		t.Errorf("mixed add = %v", got)
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1}
+	got := eval(t, Arith(OpDiv, Col(1), Col(2)), layout,
+		sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewInt(0)})
+	if !got.IsNull() {
+		t.Errorf("x/0 = %v, want NULL", got)
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1}
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv} {
+		got := eval(t, Arith(op, Col(1), Col(2)), layout,
+			sqltypes.Row{sqltypes.Null, sqltypes.NewInt(2)})
+		if !got.IsNull() {
+			t.Errorf("op %d with NULL = %v", op, got)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(Col(9), map[ColID]int{1: 0}); err == nil {
+		t.Error("unknown column must fail to compile")
+	}
+	if _, err := Compile(Agg(AggSum, Col(1)), map[ColID]int{1: 0}); err == nil {
+		t.Error("aggregate must fail to compile")
+	}
+	if _, err := Compile(SubqueryRef(0), nil); err == nil {
+		t.Error("unsubstituted subquery must fail to compile")
+	}
+	// Error inside nested expression propagates.
+	if _, err := Compile(And(Col(1), Col(9)), map[ColID]int{1: 0}); err == nil {
+		t.Error("nested compile error must propagate")
+	}
+}
+
+func TestCompileNilIsTrue(t *testing.T) {
+	fn, err := Compile(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fn(nil); d.IsNull() || !d.Bool() {
+		t.Error("nil predicate must evaluate TRUE")
+	}
+}
+
+func TestEvalPredicateTreatsNullAsFalse(t *testing.T) {
+	layout := map[ColID]int{1: 0}
+	ok, err := EvalPredicate(Cmp(OpGt, Col(1), ConstInt(0)), layout, sqltypes.Row{sqltypes.Null})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("NULL predicate result must filter the row")
+	}
+}
+
+func TestConstantEvaluation(t *testing.T) {
+	got := eval(t, ConstString("x"), nil, nil)
+	if got.Str() != "x" {
+		t.Errorf("const eval = %v", got)
+	}
+}
+
+// TestRandomPredicateEvalMatchesReference compares compiled evaluation of
+// random AND/OR/NOT trees over comparison leaves against a direct
+// interpreter.
+func TestRandomPredicateEvalMatchesReference(t *testing.T) {
+	layout := map[ColID]int{1: 0, 2: 1, 3: 2}
+
+	var reference func(e *Expr, row sqltypes.Row) tri
+	reference = func(e *Expr, row sqltypes.Row) tri {
+		switch e.Op {
+		case OpAnd:
+			v := tri(1)
+			for _, a := range e.Args {
+				if r := reference(a, row); r < v {
+					v = r
+				}
+			}
+			return v
+		case OpOr:
+			v := tri(-1)
+			for _, a := range e.Args {
+				if r := reference(a, row); r > v {
+					v = r
+				}
+			}
+			return v
+		case OpNot:
+			return -reference(e.Args[0], row)
+		default: // comparison leaf col <op> const
+			d := row[layout[e.Args[0].Col]]
+			if d.IsNull() {
+				return 0
+			}
+			c := sqltypes.Compare(d, e.Args[1].Const)
+			var b bool
+			switch e.Op {
+			case OpEq:
+				b = c == 0
+			case OpLt:
+				b = c < 0
+			case OpGt:
+				b = c > 0
+			}
+			if b {
+				return 1
+			}
+			return -1
+		}
+	}
+
+	// Deterministic tree builder from a seed.
+	var build func(seed int64, depth int) *Expr
+	build = func(seed int64, depth int) *Expr {
+		if depth <= 0 || seed%5 == 0 {
+			col := ColID(seed%3 + 1)
+			if col < 1 {
+				col = -col + 1
+			}
+			val := seed % 4
+			if val < 0 {
+				val = -val
+			}
+			ops := []Op{OpEq, OpLt, OpGt}
+			return Cmp(ops[abs64(seed)%3], Col(col), ConstInt(val))
+		}
+		switch abs64(seed) % 3 {
+		case 0:
+			return And(build(seed/2, depth-1), build(seed/3, depth-1))
+		case 1:
+			return Or(build(seed/2, depth-1), build(seed/3, depth-1))
+		default:
+			return Not(build(seed/2, depth-1))
+		}
+	}
+
+	f := func(seed int64, v1, v2, v3 int8, null1 bool) bool {
+		e := build(seed, 4)
+		row := sqltypes.Row{
+			sqltypes.NewInt(int64(v1 % 4)),
+			sqltypes.NewInt(int64(v2 % 4)),
+			sqltypes.NewInt(int64(v3 % 4)),
+		}
+		if null1 {
+			row[0] = sqltypes.Null
+		}
+		fn, err := Compile(e, layout)
+		if err != nil {
+			return false
+		}
+		return triOf(fn(row)) == reference(e, row)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestLikeMatching(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "%%", true},
+		{"abc", "a%c", true},
+		{"abc", "a%b", false},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%issip%", true},
+		{"mississippi", "%issipp_", true},
+		{"STANDARD ANODIZED TIN", "%ANODIZED%", true},
+		{"STANDARD ANODIZED TIN", "PROMO%", false},
+	}
+	layout := map[ColID]int{1: 0, 2: 1}
+	for _, c := range cases {
+		e := Like(Col(1), Col(2))
+		got := eval(t, e, layout, sqltypes.Row{sqltypes.NewString(c.s), sqltypes.NewString(c.pat)})
+		if got.IsNull() || got.Bool() != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+	// NULL propagation.
+	got := eval(t, Like(Col(1), Col(2)), layout, sqltypes.Row{sqltypes.Null, sqltypes.NewString("%")})
+	if !got.IsNull() {
+		t.Error("NULL LIKE pattern must be NULL")
+	}
+}
+
+// TestLikeMatchesRegexpReference: likeMatch agrees with the equivalent
+// anchored regular expression on random inputs.
+func TestLikeMatchesRegexpReference(t *testing.T) {
+	alphabet := []byte("ab%_")
+	build := func(seed uint64, n int) string {
+		var sb []byte
+		for i := 0; i < n; i++ {
+			sb = append(sb, alphabet[seed%uint64(len(alphabet))])
+			seed /= uint64(len(alphabet))
+		}
+		return string(sb)
+	}
+	toRegexp := func(pattern string) string {
+		var sb []byte
+		sb = append(sb, '^')
+		for i := 0; i < len(pattern); i++ {
+			switch pattern[i] {
+			case '%':
+				sb = append(sb, '.', '*')
+			case '_':
+				sb = append(sb, '.')
+			default:
+				sb = append(sb, pattern[i])
+			}
+		}
+		return string(append(sb, '$'))
+	}
+	f := func(sSeed, pSeed uint64, sLen, pLen uint8) bool {
+		s := build(sSeed, int(sLen%8))
+		// Subject strings only from {a,b} (no wildcards in data).
+		s = strings.Map(func(r rune) rune {
+			if r == '%' {
+				return 'a'
+			}
+			if r == '_' {
+				return 'b'
+			}
+			return r
+		}, s)
+		p := build(pSeed, int(pLen%8))
+		re := regexp.MustCompile(toRegexp(p))
+		return likeMatch(s, p) == re.MatchString(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

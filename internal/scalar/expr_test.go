@@ -1,0 +1,231 @@
+package scalar
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func TestAndFlattening(t *testing.T) {
+	a, b, c := Col(1), Col(2), Col(3)
+	e := And(And(a, b), c)
+	if e.Op != OpAnd || len(e.Args) != 3 {
+		t.Fatalf("nested AND not flattened: %s", e.Fingerprint())
+	}
+	if got := And(); !IsTrue(got) {
+		t.Error("empty AND must be TRUE")
+	}
+	if got := And(True, a); got != a {
+		t.Error("AND with TRUE must drop the TRUE")
+	}
+	if got := And(a); got != a {
+		t.Error("single-arg AND must return the arg")
+	}
+}
+
+func TestOrFlattening(t *testing.T) {
+	a, b, c := Col(1), Col(2), Col(3)
+	e := Or(Or(a, b), c)
+	if e.Op != OpOr || len(e.Args) != 3 {
+		t.Fatalf("nested OR not flattened")
+	}
+	if got := Or(); !IsFalse(got) {
+		t.Error("empty OR must be FALSE")
+	}
+	if got := Or(a, True); !IsTrue(got) {
+		t.Error("OR with TRUE must collapse to TRUE")
+	}
+	if got := Or(False, a); got != a {
+		t.Error("OR must drop FALSE operands")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	a, b, c := Col(1), Col(2), Col(3)
+	e := And(a, And(b, c))
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	if len(Conjuncts(nil)) != 0 || len(Conjuncts(True)) != 0 {
+		t.Error("TRUE has no conjuncts")
+	}
+	if got := Conjuncts(a); len(got) != 1 || got[0] != a {
+		t.Error("single predicate is its own conjunct")
+	}
+}
+
+func TestCmpPanicsOnNonComparison(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cmp(OpAdd, ...) must panic")
+		}
+	}()
+	Cmp(OpAdd, Col(1), Col(2))
+}
+
+func TestArithPanicsOnNonArith(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Arith(OpEq, ...) must panic")
+		}
+	}()
+	Arith(OpEq, Col(1), Col(2))
+}
+
+func TestCols(t *testing.T) {
+	e := And(Eq(Col(1), Col(2)), Cmp(OpGt, Col(3), ConstInt(5)))
+	cols := e.Cols()
+	for _, c := range []ColID{1, 2, 3} {
+		if !cols.Contains(c) {
+			t.Errorf("missing column %d", c)
+		}
+	}
+	if cols.Len() != 3 {
+		t.Errorf("Cols len = %d", cols.Len())
+	}
+}
+
+func TestHasAggAndSubquery(t *testing.T) {
+	agg := Agg(AggSum, Col(1))
+	if !agg.HasAgg() {
+		t.Error("sum(col) has an aggregate")
+	}
+	e := Arith(OpDiv, agg, ConstInt(25))
+	if !e.HasAgg() {
+		t.Error("aggregate must be found in nested expressions")
+	}
+	if e.HasSubquery() {
+		t.Error("no subquery here")
+	}
+	sq := Cmp(OpGt, Col(1), SubqueryRef(0))
+	if !sq.HasSubquery() {
+		t.Error("subquery reference not detected")
+	}
+	if Col(1).HasAgg() {
+		t.Error("plain column has no aggregate")
+	}
+}
+
+func TestIsColEqCol(t *testing.T) {
+	a, b, ok := Eq(Col(1), Col(2)).IsColEqCol()
+	if !ok || a != 1 || b != 2 {
+		t.Errorf("IsColEqCol = %d,%d,%v", a, b, ok)
+	}
+	if _, _, ok := Eq(Col(1), Col(1)).IsColEqCol(); ok {
+		t.Error("c = c is not an equijoin edge")
+	}
+	if _, _, ok := Eq(Col(1), ConstInt(5)).IsColEqCol(); ok {
+		t.Error("col = const is not col = col")
+	}
+	if _, _, ok := Cmp(OpLt, Col(1), Col(2)).IsColEqCol(); ok {
+		t.Error("col < col is not an equality")
+	}
+}
+
+func TestRemap(t *testing.T) {
+	e := And(Eq(Col(1), Col(2)), Cmp(OpGt, Col(3), ConstInt(0)))
+	m := map[ColID]ColID{1: 10, 3: 30}
+	r := e.Remap(m)
+	cols := r.Cols()
+	if !cols.Contains(10) || !cols.Contains(2) || !cols.Contains(30) || cols.Contains(1) {
+		t.Errorf("Remap produced %s", cols)
+	}
+	// Original untouched.
+	if !e.Cols().Contains(1) {
+		t.Error("Remap mutated the original")
+	}
+	// Identity remap returns the same node.
+	if got := e.Remap(map[ColID]ColID{}); got != e {
+		t.Error("no-op remap should return the receiver")
+	}
+}
+
+func TestFingerprintEquality(t *testing.T) {
+	a := And(Eq(Col(1), Col(2)), Cmp(OpLt, Col(3), ConstInt(5)))
+	b := And(Eq(Col(1), Col(2)), Cmp(OpLt, Col(3), ConstInt(5)))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("structurally identical expressions must share fingerprints")
+	}
+	c := And(Eq(Col(1), Col(2)), Cmp(OpLt, Col(3), ConstInt(6)))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different constants must fingerprint differently")
+	}
+	d := And(Eq(Col(2), Col(1)), Cmp(OpLt, Col(3), ConstInt(5)))
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("argument order is significant in fingerprints")
+	}
+	// Distinguish string "5" from int 5.
+	if ConstString("5").Fingerprint() == ConstInt(5).Fingerprint() {
+		t.Error("typed constants must fingerprint by kind")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if !Equivalent(nil, True) {
+		t.Error("nil and TRUE are equivalent predicates")
+	}
+	if !Equivalent(Col(1), Col(1)) {
+		t.Error("identical columns are equivalent")
+	}
+	if Equivalent(Col(1), Col(2)) {
+		t.Error("different columns are not equivalent")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	if AggSum.String() != "sum" || AggCountStar.String() != "count(*)" || AggAvg.String() != "avg" {
+		t.Error("aggregate names changed")
+	}
+}
+
+func TestFormatPrecedence(t *testing.T) {
+	namer := FuncNamer(func(c ColID) string { return "c" + string(rune('0'+c)) })
+	e := Or(And(Eq(Col(1), ConstInt(1)), Eq(Col(2), ConstInt(2))), Eq(Col(3), ConstInt(3)))
+	got := Format(e, namer)
+	want := "c1 = 1 AND c2 = 2 OR c3 = 3"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+	// AND inside OR needs no parens; OR inside AND does.
+	e2 := And(Or(Eq(Col(1), ConstInt(1)), Eq(Col(2), ConstInt(2))), Eq(Col(3), ConstInt(3)))
+	got2 := Format(e2, namer)
+	if !strings.Contains(got2, "(c1 = 1 OR c2 = 2)") {
+		t.Errorf("OR under AND must be parenthesized: %q", got2)
+	}
+	// Arithmetic precedence.
+	e3 := Arith(OpMul, Arith(OpAdd, Col(1), Col(2)), Col(3))
+	if got := Format(e3, namer); got != "(c1 + c2) * c3" {
+		t.Errorf("arith format = %q", got)
+	}
+}
+
+func TestFormatNilIsTrue(t *testing.T) {
+	if Format(nil, nil) != "true" {
+		t.Error("nil predicate formats as true")
+	}
+}
+
+func TestIsTrueIsFalse(t *testing.T) {
+	if !IsTrue(nil) || !IsTrue(True) || IsTrue(False) {
+		t.Error("IsTrue misbehaves")
+	}
+	if !IsFalse(False) || IsFalse(True) || IsFalse(nil) {
+		t.Error("IsFalse misbehaves")
+	}
+	if IsTrue(Const(sqltypes.NewInt(1))) {
+		t.Error("non-boolean constant is not TRUE")
+	}
+}
+
+func TestRemapRoundTrip(t *testing.T) {
+	e := And(Eq(Col(1), Col(2)), Cmp(OpGt, Col(3), ConstInt(5)), Like(Col(4), ConstString("a%")))
+	fwd := map[ColID]ColID{1: 11, 2: 12, 3: 13, 4: 14}
+	back := map[ColID]ColID{11: 1, 12: 2, 13: 3, 14: 4}
+	round := e.Remap(fwd).Remap(back)
+	if round.Fingerprint() != e.Fingerprint() {
+		t.Errorf("remap round trip changed the expression:\n%s\n%s",
+			e.Fingerprint(), round.Fingerprint())
+	}
+}

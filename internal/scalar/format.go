@@ -1,0 +1,132 @@
+package scalar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColNamer resolves a ColID to a human-readable name for plan display.
+type ColNamer interface {
+	ColName(ColID) string
+}
+
+// FuncNamer adapts a func to ColNamer.
+type FuncNamer func(ColID) string
+
+// ColName implements ColNamer.
+func (f FuncNamer) ColName(c ColID) string { return f(c) }
+
+// Format renders the expression using the namer for column references; a nil
+// namer renders columns as "@N".
+func Format(e *Expr, n ColNamer) string {
+	var sb strings.Builder
+	format(e, n, &sb, 0)
+	return sb.String()
+}
+
+func opToken(op Op) string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpLike:
+		return "LIKE"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
+// precedence groups: higher binds tighter.
+func prec(op Op) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpNot:
+		return 3
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
+		return 4
+	case OpAdd, OpSub:
+		return 5
+	case OpMul, OpDiv:
+		return 6
+	default:
+		return 7
+	}
+}
+
+func format(e *Expr, n ColNamer, sb *strings.Builder, outer int) {
+	if e == nil {
+		sb.WriteString("true")
+		return
+	}
+	p := prec(e.Op)
+	paren := p < outer
+	if paren {
+		sb.WriteByte('(')
+	}
+	switch e.Op {
+	case OpConst:
+		sb.WriteString(e.Const.SQLLiteral())
+	case OpCol:
+		if n != nil {
+			sb.WriteString(n.ColName(e.Col))
+		} else {
+			fmt.Fprintf(sb, "@%d", e.Col)
+		}
+	case OpAgg:
+		if e.Agg == AggCountStar {
+			sb.WriteString("count(*)")
+		} else {
+			sb.WriteString(e.Agg.String())
+			sb.WriteByte('(')
+			format(e.Args[0], n, sb, 0)
+			sb.WriteByte(')')
+		}
+	case OpSubquery:
+		fmt.Fprintf(sb, "$subquery(%d)", e.Col)
+	case OpNot:
+		sb.WriteString("NOT ")
+		format(e.Args[0], n, sb, p)
+	case OpAnd, OpOr:
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteByte(' ')
+				sb.WriteString(opToken(e.Op))
+				sb.WriteByte(' ')
+			}
+			format(a, n, sb, p+1)
+		}
+	default:
+		format(e.Args[0], n, sb, p)
+		sb.WriteByte(' ')
+		sb.WriteString(opToken(e.Op))
+		sb.WriteByte(' ')
+		format(e.Args[1], n, sb, p+1)
+	}
+	if paren {
+		sb.WriteByte(')')
+	}
+}

@@ -1,0 +1,320 @@
+// Package sqltypes defines the value domain shared by every layer of the
+// engine: typed datums, rows, comparison, hashing, and formatting.
+//
+// A Datum is a small value struct rather than an interface so that rows can
+// be stored as flat []Datum slices without per-value allocations.
+package sqltypes
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the SQL types supported by the engine.
+type Kind uint8
+
+// Supported datum kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate // stored as days since 1970-01-01
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of this kind participate in arithmetic.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Datum is a single SQL value. The zero value is SQL NULL.
+type Datum struct {
+	kind Kind
+	i    int64 // KindInt and KindDate payload; 0/1 for KindBool
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL datum.
+var Null = Datum{}
+
+// NewInt returns a BIGINT datum.
+func NewInt(v int64) Datum { return Datum{kind: KindInt, i: v} }
+
+// NewFloat returns a DOUBLE datum.
+func NewFloat(v float64) Datum { return Datum{kind: KindFloat, f: v} }
+
+// NewString returns a VARCHAR datum.
+func NewString(v string) Datum { return Datum{kind: KindString, s: v} }
+
+// NewBool returns a BOOLEAN datum.
+func NewBool(v bool) Datum {
+	d := Datum{kind: KindBool}
+	if v {
+		d.i = 1
+	}
+	return d
+}
+
+// NewDate returns a DATE datum from days since the Unix epoch.
+func NewDate(days int64) Datum { return Datum{kind: KindDate, i: days} }
+
+// ParseDate converts a 'YYYY-MM-DD' literal into a DATE datum.
+func ParseDate(s string) (Datum, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("invalid date literal %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// MustParseDate is ParseDate for literals known to be valid; it panics on error.
+func MustParseDate(s string) Datum {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Kind returns the datum's type.
+func (d Datum) Kind() Kind { return d.kind }
+
+// IsNull reports whether the datum is SQL NULL.
+func (d Datum) IsNull() bool { return d.kind == KindNull }
+
+// Int returns the integer payload. It panics unless the kind is BIGINT or DATE.
+func (d Datum) Int() int64 {
+	if d.kind != KindInt && d.kind != KindDate {
+		panic(fmt.Sprintf("Int() on %s datum", d.kind))
+	}
+	return d.i
+}
+
+// Float returns the floating-point payload, widening BIGINT and DATE values.
+func (d Datum) Float() float64 {
+	switch d.kind {
+	case KindFloat:
+		return d.f
+	case KindInt, KindDate:
+		return float64(d.i)
+	case KindBool:
+		return float64(d.i)
+	default:
+		panic(fmt.Sprintf("Float() on %s datum", d.kind))
+	}
+}
+
+// Str returns the string payload. It panics unless the kind is VARCHAR.
+func (d Datum) Str() string {
+	if d.kind != KindString {
+		panic(fmt.Sprintf("Str() on %s datum", d.kind))
+	}
+	return d.s
+}
+
+// Bool returns the boolean payload. It panics unless the kind is BOOLEAN.
+func (d Datum) Bool() bool {
+	if d.kind != KindBool {
+		panic(fmt.Sprintf("Bool() on %s datum", d.kind))
+	}
+	return d.i != 0
+}
+
+// Days returns the DATE payload in days since the epoch.
+func (d Datum) Days() int64 {
+	if d.kind != KindDate {
+		panic(fmt.Sprintf("Days() on %s datum", d.kind))
+	}
+	return d.i
+}
+
+// String renders the datum the way a result printer would.
+func (d Datum) String() string {
+	switch d.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if d.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(d.i, 10)
+	case KindFloat:
+		if abs := math.Abs(d.f); abs != 0 && (abs >= 1e15 || abs < 1e-4) {
+			return strconv.FormatFloat(d.f, 'g', -1, 64)
+		}
+		return strconv.FormatFloat(d.f, 'f', -1, 64)
+	case KindString:
+		return d.s
+	case KindDate:
+		return time.Unix(d.i*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("<bad datum kind %d>", d.kind)
+	}
+}
+
+// SQLLiteral renders the datum as a SQL literal (strings and dates quoted).
+func (d Datum) SQLLiteral() string {
+	switch d.kind {
+	case KindString, KindDate:
+		return "'" + d.String() + "'"
+	default:
+		return d.String()
+	}
+}
+
+// Compare orders two datums. NULL sorts before every non-NULL value; numeric
+// kinds compare by value across INT/FLOAT; otherwise kinds must match.
+// The result is -1, 0, or +1.
+func Compare(a, b Datum) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind.Numeric() && b.kind.Numeric() && a.kind != b.kind {
+		return cmpFloat(a.Float(), b.Float())
+	}
+	if a.kind != b.kind {
+		// Total order across kinds so sorting heterogeneous data is stable.
+		return cmpInt(int64(a.kind), int64(b.kind))
+	}
+	switch a.kind {
+	case KindBool, KindInt, KindDate:
+		return cmpInt(a.i, b.i)
+	case KindFloat:
+		return cmpFloat(a.f, b.f)
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// NaNs sort first so Compare stays a total order.
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports whether two datums compare equal (NULL equals NULL here;
+// SQL ternary logic is applied by the expression evaluator, not by Equal).
+func Equal(a, b Datum) bool { return Compare(a, b) == 0 }
+
+// HashInto mixes the datum into h. Datums that compare equal hash equally,
+// including INT/FLOAT values that are numerically equal.
+func (d Datum) HashInto(h *maphash.Hash) {
+	switch d.kind {
+	case KindNull:
+		h.WriteByte(0)
+	case KindBool:
+		h.WriteByte(1)
+		h.WriteByte(byte(d.i))
+	case KindInt, KindDate, KindFloat:
+		// Hash all numerics through float64 so NewInt(2) and NewFloat(2.0)
+		// land in the same hash bucket, matching Compare.
+		h.WriteByte(2)
+		v := d.Float()
+		if v == 0 {
+			v = 0 // normalize -0.0
+		}
+		bits := math.Float64bits(v)
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	case KindString:
+		h.WriteByte(3)
+		h.WriteString(d.s)
+	}
+}
+
+// EncodedSize returns the approximate in-memory size of the datum in bytes,
+// used by the cost model for materialization and read costs.
+func (d Datum) EncodedSize() int {
+	switch d.kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 1
+	case KindInt, KindFloat, KindDate:
+		return 8
+	case KindString:
+		return 2 + len(d.s)
+	default:
+		return 8
+	}
+}
+
+// KindSize returns the estimated width in bytes for a column of kind k,
+// used when the actual values are not available (cost estimation).
+func KindSize(k Kind) int {
+	switch k {
+	case KindBool, KindNull:
+		return 1
+	case KindString:
+		return 16
+	default:
+		return 8
+	}
+}

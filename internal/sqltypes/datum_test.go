@@ -1,0 +1,300 @@
+package sqltypes
+
+import (
+	"hash/maphash"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindBool:   "BOOLEAN",
+		KindInt:    "BIGINT",
+		KindFloat:  "DOUBLE",
+		KindString: "VARCHAR",
+		KindDate:   "DATE",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if d := NewInt(42); d.Kind() != KindInt || d.Int() != 42 {
+		t.Errorf("NewInt: %v", d)
+	}
+	if d := NewFloat(2.5); d.Kind() != KindFloat || d.Float() != 2.5 {
+		t.Errorf("NewFloat: %v", d)
+	}
+	if d := NewString("abc"); d.Kind() != KindString || d.Str() != "abc" {
+		t.Errorf("NewString: %v", d)
+	}
+	if d := NewBool(true); d.Kind() != KindBool || !d.Bool() {
+		t.Errorf("NewBool(true): %v", d)
+	}
+	if d := NewBool(false); d.Bool() {
+		t.Errorf("NewBool(false) should be false")
+	}
+	if d := NewDate(100); d.Kind() != KindDate || d.Days() != 100 {
+		t.Errorf("NewDate: %v", d)
+	}
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Errorf("Null misbehaves: %v", Null)
+	}
+	var zero Datum
+	if !zero.IsNull() {
+		t.Error("zero Datum must be NULL")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Int on string", func() { NewString("x").Int() })
+	expectPanic("Str on int", func() { NewInt(1).Str() })
+	expectPanic("Bool on int", func() { NewInt(1).Bool() })
+	expectPanic("Days on int", func() { NewInt(1).Days() })
+	expectPanic("Float on string", func() { NewString("x").Float() })
+}
+
+func TestFloatWidening(t *testing.T) {
+	if got := NewInt(3).Float(); got != 3.0 {
+		t.Errorf("int widening = %v", got)
+	}
+	if got := NewDate(5).Float(); got != 5.0 {
+		t.Errorf("date widening = %v", got)
+	}
+	if got := NewBool(true).Float(); got != 1.0 {
+		t.Errorf("bool widening = %v", got)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	d, err := ParseDate("1970-01-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Days() != 1 {
+		t.Errorf("1970-01-02 = day %d, want 1", d.Days())
+	}
+	if d.String() != "1970-01-02" {
+		t.Errorf("round trip = %q", d.String())
+	}
+	d2 := MustParseDate("1996-07-01")
+	if d2.String() != "1996-07-01" {
+		t.Errorf("1996-07-01 round trip = %q", d2.String())
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("expected error for invalid date")
+	}
+	if _, err := ParseDate("1996-13-01"); err == nil {
+		t.Error("expected error for month 13")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseDate did not panic on bad input")
+		}
+	}()
+	MustParseDate("bogus")
+}
+
+func TestDateOrderingMatchesCalendar(t *testing.T) {
+	early := MustParseDate("1992-01-01")
+	late := MustParseDate("1998-08-02")
+	if Compare(early, late) >= 0 {
+		t.Error("1992 should sort before 1998")
+	}
+}
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		// Cross-kind numeric comparison.
+		{NewInt(2), NewFloat(2.0), 0},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(3.0), NewInt(2), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN must equal NaN for a total order")
+	}
+	if Compare(nan, NewFloat(0)) != -1 {
+		t.Error("NaN must sort before numbers")
+	}
+	if Compare(NewFloat(0), nan) != 1 {
+		t.Error("numbers must sort after NaN")
+	}
+}
+
+// randomDatum maps quick-generated inputs onto a datum.
+func randomDatum(kind uint8, i int64, f float64, s string) Datum {
+	switch kind % 6 {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(i%2 == 0)
+	case 2:
+		return NewInt(i % 1000)
+	case 3:
+		return NewFloat(float64(int(f*100) % 1000)) // avoid NaN/Inf, force collisions
+	case 4:
+		if len(s) > 4 {
+			s = s[:4]
+		}
+		return NewString(s)
+	default:
+		return NewDate(i % 1000)
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(k1 uint8, i1 int64, f1 float64, s1 string, k2 uint8, i2 int64, f2 float64, s2 string) bool {
+		a := randomDatum(k1, i1, f1, s1)
+		b := randomDatum(k2, i2, f2, s2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsTransitiveOnSamples(t *testing.T) {
+	f := func(k1 uint8, i1 int64, k2 uint8, i2 int64, k3 uint8, i3 int64) bool {
+		a := randomDatum(k1, i1, 0.5, "aa")
+		b := randomDatum(k2, i2, 0.25, "bb")
+		c := randomDatum(k3, i3, 0.75, "cc")
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualDatumsHashEqually(t *testing.T) {
+	seed := maphash.MakeSeed()
+	hash := func(d Datum) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		d.HashInto(&h)
+		return h.Sum64()
+	}
+	f := func(k1 uint8, i1 int64, f1 float64, s1 string, k2 uint8, i2 int64, f2 float64, s2 string) bool {
+		a := randomDatum(k1, i1, f1, s1)
+		b := randomDatum(k2, i2, f2, s2)
+		if Compare(a, b) == 0 {
+			return hash(a) == hash(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	// The critical cross-kind case explicitly:
+	if hash(NewInt(7)) != hash(NewFloat(7.0)) {
+		t.Error("numerically equal int and float must hash equally")
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(-5), "-5"},
+		{NewFloat(2.5), "2.5"},
+		{NewFloat(276985153.15), "276985153.15"},
+		{NewString("hi"), "hi"},
+		{MustParseDate("1996-07-01"), "1996-07-01"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.d.Kind(), got, c.want)
+		}
+	}
+	if got := NewFloat(1e20).String(); !strings.Contains(got, "e+") {
+		t.Errorf("huge float should use scientific notation, got %q", got)
+	}
+}
+
+func TestSQLLiteral(t *testing.T) {
+	if got := NewString("x").SQLLiteral(); got != "'x'" {
+		t.Errorf("string literal = %q", got)
+	}
+	if got := MustParseDate("1996-07-01").SQLLiteral(); got != "'1996-07-01'" {
+		t.Errorf("date literal = %q", got)
+	}
+	if got := NewInt(3).SQLLiteral(); got != "3" {
+		t.Errorf("int literal = %q", got)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	if Null.EncodedSize() != 1 {
+		t.Error("null size")
+	}
+	if NewInt(1).EncodedSize() != 8 {
+		t.Error("int size")
+	}
+	if got := NewString("abcd").EncodedSize(); got != 6 {
+		t.Errorf("string size = %d, want 6", got)
+	}
+}
+
+func TestKindSize(t *testing.T) {
+	if KindSize(KindBool) != 1 || KindSize(KindInt) != 8 || KindSize(KindString) != 16 {
+		t.Error("KindSize defaults changed")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(NewInt(2), NewFloat(2)) {
+		t.Error("2 must equal 2.0")
+	}
+	if !Equal(Null, Null) {
+		t.Error("Equal(Null, Null) is true by definition here")
+	}
+	if Equal(NewInt(1), NewInt(2)) {
+		t.Error("1 != 2")
+	}
+}

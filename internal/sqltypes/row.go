@@ -1,0 +1,74 @@
+package sqltypes
+
+import (
+	"hash/maphash"
+	"strings"
+)
+
+// Row is a flat tuple of datums.
+type Row []Datum
+
+// Clone returns a copy of the row that does not alias the receiver.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row as a tab-separated line.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, d := range r {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "\t")
+}
+
+// CompareRows orders two rows lexicographically. Shorter rows sort first on a
+// shared prefix tie.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(int64(len(a)), int64(len(b)))
+}
+
+// Hasher hashes rows and datum keys consistently within one process.
+type Hasher struct {
+	seed maphash.Seed
+}
+
+// NewHasher returns a hasher with a process-stable random seed.
+func NewHasher() *Hasher { return &Hasher{seed: maphash.MakeSeed()} }
+
+// HashRow returns a hash of the given columns of the row (all columns when
+// cols is nil).
+func (hs *Hasher) HashRow(r Row, cols []int) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hs.seed)
+	if cols == nil {
+		for _, d := range r {
+			d.HashInto(&h)
+		}
+	} else {
+		for _, c := range cols {
+			r[c].HashInto(&h)
+		}
+	}
+	return h.Sum64()
+}
+
+// RowSize returns the approximate in-memory size of the row in bytes.
+func RowSize(r Row) int {
+	n := 0
+	for _, d := range r {
+		n += d.EncodedSize()
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+// Package storage provides the in-memory row store backing base tables,
+// materialized views, spool work tables, and delta tables.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+)
+
+// Table holds the rows of one stored object, plus any secondary indexes
+// (sorted row-number permutations keyed by column ordinal).
+type Table struct {
+	Name    string
+	Rows    []sqltypes.Row
+	Indexes map[int][]int
+}
+
+// Index returns the sorted permutation for a column, or nil when absent.
+func (t *Table) Index(col int) []int {
+	return t.Indexes[col]
+}
+
+// Append adds a row (without copying).
+func (t *Table) Append(r sqltypes.Row) { t.Rows = append(t.Rows, r) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Store maps table names to their rows. A Store instance is safe for
+// concurrent readers once loading completes; mutations are serialized by the
+// engine.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Create registers an empty table. It replaces any existing table of the
+// same name (used when rebuilding materialized views).
+func (s *Store) Create(name string) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &Table{Name: name}
+	s.tables[strings.ToLower(name)] = t
+	return t
+}
+
+// Drop removes a table's rows.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, strings.ToLower(name))
+}
+
+// Table returns the named table or an error.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("no stored data for table %q", name)
+	}
+	return t, nil
+}
+
+// Insert appends rows to the named table, creating it if absent.
+func (s *Store) Insert(name string, rows []sqltypes.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	t, ok := s.tables[key]
+	if !ok {
+		t = &Table{Name: name}
+		s.tables[key] = t
+	}
+	t.Rows = append(t.Rows, rows...)
+}
+
+// AnalyzeTable computes fresh statistics for a stored table and installs
+// them on the catalog object: row count and, per column, distinct count,
+// min/max, and null fraction.
+func AnalyzeTable(ct *catalog.Table, st *Table) {
+	n := len(st.Rows)
+	stats := catalog.TableStats{RowCount: float64(n), Cols: make([]catalog.ColStat, len(ct.Cols))}
+	var rowBytes int
+	for ci := range ct.Cols {
+		seen := make(map[string]struct{})
+		var min, max sqltypes.Datum
+		nulls := 0
+		first := true
+		for _, r := range st.Rows {
+			d := r[ci]
+			if d.IsNull() {
+				nulls++
+				continue
+			}
+			seen[d.String()] = struct{}{}
+			if first {
+				min, max = d, d
+				first = false
+				continue
+			}
+			if sqltypes.Compare(d, min) < 0 {
+				min = d
+			}
+			if sqltypes.Compare(d, max) > 0 {
+				max = d
+			}
+		}
+		cs := catalog.ColStat{Distinct: float64(len(seen)), Min: min, Max: max}
+		if n > 0 {
+			cs.NullFrac = float64(nulls) / float64(n)
+		}
+		if cs.Distinct == 0 {
+			cs.Distinct = 1
+		}
+		stats.Cols[ci] = cs
+	}
+	for _, r := range st.Rows {
+		rowBytes += sqltypes.RowSize(r)
+	}
+	ct.Stats = stats
+	if n > 0 {
+		ct.AvgRowSize = float64(rowBytes) / float64(n)
+	}
+
+	// (Re)build declared secondary indexes: sorted row permutations.
+	if len(ct.Indexes) > 0 {
+		st.Indexes = make(map[int][]int, len(ct.Indexes))
+		for _, ix := range ct.Indexes {
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = i
+			}
+			col := ix.Col
+			sort.SliceStable(perm, func(a, b int) bool {
+				return sqltypes.Compare(st.Rows[perm[a]][col], st.Rows[perm[b]][col]) < 0
+			})
+			st.Indexes[col] = perm
+		}
+	}
+}
+
+// SortRows sorts rows lexicographically in place; used to canonicalize
+// result sets for comparison in tests.
+func SortRows(rows []sqltypes.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		return sqltypes.CompareRows(rows[i], rows[j]) < 0
+	})
+}

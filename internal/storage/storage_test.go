@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+)
+
+func TestStoreCreateInsertDrop(t *testing.T) {
+	s := NewStore()
+	tab := s.Create("t")
+	tab.Append(sqltypes.Row{sqltypes.NewInt(1)})
+	got, err := s.Table("T") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("rows = %d", got.Len())
+	}
+	s.Insert("t", []sqltypes.Row{{sqltypes.NewInt(2)}, {sqltypes.NewInt(3)}})
+	if got.Len() != 3 {
+		t.Errorf("after insert rows = %d", got.Len())
+	}
+	s.Drop("t")
+	if _, err := s.Table("t"); err == nil {
+		t.Error("dropped table resolvable")
+	}
+}
+
+func TestInsertCreatesTable(t *testing.T) {
+	s := NewStore()
+	s.Insert("fresh", []sqltypes.Row{{sqltypes.NewInt(1)}})
+	tab, err := s.Table("fresh")
+	if err != nil || tab.Len() != 1 {
+		t.Errorf("auto-created table: %v, %v", tab, err)
+	}
+}
+
+func TestCreateReplaces(t *testing.T) {
+	s := NewStore()
+	s.Create("t").Append(sqltypes.Row{sqltypes.NewInt(1)})
+	s.Create("t") // replaces
+	tab, _ := s.Table("t")
+	if tab.Len() != 0 {
+		t.Error("Create must replace existing rows")
+	}
+}
+
+func TestAnalyzeTable(t *testing.T) {
+	ct := &catalog.Table{
+		Name: "t",
+		Cols: []catalog.Column{
+			{Name: "a", Type: sqltypes.KindInt},
+			{Name: "b", Type: sqltypes.KindString},
+		},
+	}
+	st := &Table{Name: "t"}
+	vals := []struct {
+		a int64
+		b sqltypes.Datum
+	}{
+		{1, sqltypes.NewString("x")},
+		{2, sqltypes.NewString("y")},
+		{2, sqltypes.Null},
+		{5, sqltypes.NewString("x")},
+	}
+	for _, v := range vals {
+		st.Append(sqltypes.Row{sqltypes.NewInt(v.a), v.b})
+	}
+	AnalyzeTable(ct, st)
+
+	if ct.Stats.RowCount != 4 {
+		t.Errorf("RowCount = %g", ct.Stats.RowCount)
+	}
+	a := ct.Stats.Cols[0]
+	if a.Distinct != 3 {
+		t.Errorf("a distinct = %g, want 3", a.Distinct)
+	}
+	if a.Min.Int() != 1 || a.Max.Int() != 5 {
+		t.Errorf("a range = [%v, %v]", a.Min, a.Max)
+	}
+	if a.NullFrac != 0 {
+		t.Errorf("a null frac = %g", a.NullFrac)
+	}
+	b := ct.Stats.Cols[1]
+	if b.Distinct != 2 {
+		t.Errorf("b distinct = %g, want 2", b.Distinct)
+	}
+	if b.NullFrac != 0.25 {
+		t.Errorf("b null frac = %g, want 0.25", b.NullFrac)
+	}
+	if ct.AvgRowSize <= 0 {
+		t.Error("AvgRowSize must be positive")
+	}
+}
+
+func TestAnalyzeEmptyTable(t *testing.T) {
+	ct := &catalog.Table{Name: "t", Cols: []catalog.Column{{Name: "a", Type: sqltypes.KindInt}}}
+	AnalyzeTable(ct, &Table{Name: "t"})
+	if ct.Stats.RowCount != 0 {
+		t.Errorf("empty RowCount = %g", ct.Stats.RowCount)
+	}
+	if ct.Stats.Cols[0].Distinct != 1 {
+		t.Error("distinct floor of 1 keeps selectivity math safe")
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(2), sqltypes.NewString("b")},
+		{sqltypes.NewInt(1), sqltypes.NewString("z")},
+		{sqltypes.NewInt(2), sqltypes.NewString("a")},
+	}
+	SortRows(rows)
+	if rows[0][0].Int() != 1 || rows[1][1].Str() != "a" || rows[2][1].Str() != "b" {
+		t.Errorf("SortRows order wrong: %v", rows)
+	}
+}
+
+func TestAnalyzeRebuildsIndexes(t *testing.T) {
+	ct := &catalog.Table{
+		Name:    "t",
+		Cols:    []catalog.Column{{Name: "a", Type: sqltypes.KindInt}},
+		Indexes: []catalog.Index{{Col: 0}},
+	}
+	st := &Table{Name: "t"}
+	for _, v := range []int64{5, 1, 9, 3} {
+		st.Append(sqltypes.Row{sqltypes.NewInt(v)})
+	}
+	AnalyzeTable(ct, st)
+	perm := st.Index(0)
+	if perm == nil {
+		t.Fatal("index not built")
+	}
+	for i := 1; i < len(perm); i++ {
+		if sqltypes.Compare(st.Rows[perm[i-1]][0], st.Rows[perm[i]][0]) > 0 {
+			t.Fatal("index permutation not sorted")
+		}
+	}
+	// Append and re-analyze: the permutation must cover the new row.
+	st.Append(sqltypes.Row{sqltypes.NewInt(2)})
+	AnalyzeTable(ct, st)
+	if len(st.Index(0)) != 5 {
+		t.Error("index not rebuilt after analyze")
+	}
+	if st.Index(1) != nil {
+		t.Error("no index declared on column 1")
+	}
+}

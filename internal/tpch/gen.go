@@ -1,0 +1,229 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// Config controls generation.
+type Config struct {
+	// ScaleFactor scales row counts relative to TPC-H SF=1 (1GB). Tests use
+	// ~0.005, benchmarks 0.05–0.2.
+	ScaleFactor float64
+	// Seed makes generation deterministic; the same (ScaleFactor, Seed)
+	// always produces identical data.
+	Seed int64
+}
+
+// DefaultConfig is a small, test-friendly scale.
+var DefaultConfig = Config{ScaleFactor: 0.005, Seed: 1}
+
+var (
+	segments  = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	shipModes = []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+	nameParts = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon"}
+	typeSyl1   = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2   = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3   = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	statuses   = []string{"O", "F", "P"}
+	flags      = []string{"A", "N", "R"}
+	regions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations    = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM",
+		"RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+)
+
+// epochDay converts a TPC-H style date to days since 1970-01-01.
+func mustDay(s string) int64 { return sqltypes.MustParseDate(s).Days() }
+
+// Generate builds all eight tables into the store and installs fresh
+// statistics on the catalog. The catalog must already contain the Schemas().
+func Generate(cfg Config, cat *catalog.Catalog, st *storage.Store) error {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = DefaultConfig.ScaleFactor
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nCust := scaled(baseCustomer, cfg.ScaleFactor)
+	nOrders := scaled(baseOrders, cfg.ScaleFactor)
+	nPart := scaled(basePart, cfg.ScaleFactor)
+	nSupp := scaled(baseSupplier, cfg.ScaleFactor)
+	nPartSupp := scaled(basePartSupp, cfg.ScaleFactor)
+
+	dateLo := mustDay("1992-01-01")
+	dateHi := mustDay("1998-08-02")
+
+	// region
+	rt := st.Create("region")
+	for i := 0; i < numRegions; i++ {
+		rt.Append(sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(regions[i]),
+			sqltypes.NewString("comment " + regions[i]),
+		})
+	}
+
+	// nation
+	nt := st.Create("nation")
+	for i := 0; i < numNations; i++ {
+		nt.Append(sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(nations[i]),
+			sqltypes.NewInt(int64(i % numRegions)),
+			sqltypes.NewString("comment " + nations[i]),
+		})
+	}
+
+	// customer
+	ct := st.Create("customer")
+	for i := 1; i <= nCust; i++ {
+		ct.Append(sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("Customer#%09d", i)),
+			sqltypes.NewString(randText(rng, 2)),
+			sqltypes.NewInt(int64(rng.Intn(numNations))),
+			sqltypes.NewString(randPhone(rng)),
+			sqltypes.NewFloat(round2(rng.Float64()*11000 - 1000)),
+			sqltypes.NewString(segments[rng.Intn(len(segments))]),
+			sqltypes.NewString(randText(rng, 4)),
+		})
+	}
+
+	// orders + lineitem
+	ot := st.Create("orders")
+	lt := st.Create("lineitem")
+	lineNo := 0
+	for i := 1; i <= nOrders; i++ {
+		custkey := int64(rng.Intn(nCust) + 1)
+		orderDate := dateLo + int64(rng.Intn(int(dateHi-dateLo-121)))
+		nLines := 1 + rng.Intn(7)
+		var total float64
+		for ln := 1; ln <= nLines; ln++ {
+			qty := float64(1 + rng.Intn(50))
+			price := round2(qty * (900 + rng.Float64()*1200))
+			disc := round2(rng.Float64() * 0.1)
+			tax := round2(rng.Float64() * 0.08)
+			total += price * (1 - disc) * (1 + tax)
+			lt.Append(sqltypes.Row{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewInt(int64(rng.Intn(max(nPart, 1)) + 1)),
+				sqltypes.NewInt(int64(rng.Intn(max(nSupp, 1)) + 1)),
+				sqltypes.NewInt(int64(ln)),
+				sqltypes.NewFloat(qty),
+				sqltypes.NewFloat(price),
+				sqltypes.NewFloat(disc),
+				sqltypes.NewFloat(tax),
+				sqltypes.NewString(flags[rng.Intn(len(flags))]),
+				sqltypes.NewDate(orderDate + int64(1+rng.Intn(121))),
+				sqltypes.NewString(shipModes[rng.Intn(len(shipModes))]),
+			})
+			lineNo++
+		}
+		ot.Append(sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(custkey),
+			sqltypes.NewString(statuses[rng.Intn(len(statuses))]),
+			sqltypes.NewFloat(round2(total)),
+			sqltypes.NewDate(orderDate),
+			sqltypes.NewString(priorities[rng.Intn(len(priorities))]),
+			sqltypes.NewString(fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1)),
+			sqltypes.NewInt(0),
+		})
+	}
+
+	// part
+	pt := st.Create("part")
+	for i := 1; i <= nPart; i++ {
+		pt.Append(sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(randName(rng)),
+			sqltypes.NewString(fmt.Sprintf("Manufacturer#%d", rng.Intn(5)+1)),
+			sqltypes.NewString(fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)),
+			sqltypes.NewString(randType(rng)),
+			sqltypes.NewInt(int64(rng.Intn(50) + 1)),
+			sqltypes.NewFloat(round2(900 + rng.Float64()*1200)),
+			sqltypes.NewInt(int64(rng.Intn(9999) + 1)),
+		})
+	}
+
+	// supplier
+	supt := st.Create("supplier")
+	for i := 1; i <= nSupp; i++ {
+		supt.Append(sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			sqltypes.NewInt(int64(rng.Intn(numNations))),
+			sqltypes.NewFloat(round2(rng.Float64()*11000 - 1000)),
+		})
+	}
+
+	// partsupp
+	pst := st.Create("partsupp")
+	for i := 0; i < nPartSupp; i++ {
+		pst.Append(sqltypes.Row{
+			sqltypes.NewInt(int64(rng.Intn(max(nPart, 1)) + 1)),
+			sqltypes.NewInt(int64(rng.Intn(max(nSupp, 1)) + 1)),
+			sqltypes.NewInt(int64(rng.Intn(9999) + 1)),
+			sqltypes.NewFloat(round2(rng.Float64() * 1000)),
+		})
+	}
+
+	// Install statistics.
+	for _, name := range []string{"region", "nation", "customer", "orders", "lineitem", "part", "supplier", "partsupp"} {
+		ctab, err := cat.Table(name)
+		if err != nil {
+			return fmt.Errorf("tpch: %w", err)
+		}
+		stab, err := st.Table(name)
+		if err != nil {
+			return fmt.Errorf("tpch: %w", err)
+		}
+		storage.AnalyzeTable(ctab, stab)
+	}
+	return nil
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+func randPhone(rng *rand.Rand) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+rng.Intn(25), rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+}
+
+func randText(rng *rand.Rand, words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += nameParts[rng.Intn(len(nameParts))]
+	}
+	return out
+}
+
+func randName(rng *rand.Rand) string { return randText(rng, 3) }
+
+func randType(rng *rand.Rand) string {
+	return typeSyl1[rng.Intn(len(typeSyl1))] + " " + typeSyl2[rng.Intn(len(typeSyl2))] + " " + typeSyl3[rng.Intn(len(typeSyl3))]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

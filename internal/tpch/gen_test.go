@@ -1,0 +1,203 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+func generate(t testing.TB, cfg Config) (*catalog.Catalog, *storage.Store) {
+	t.Helper()
+	cat := catalog.New()
+	for _, tab := range Schemas() {
+		if err := cat.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := storage.NewStore()
+	if err := Generate(cfg, cat, st); err != nil {
+		t.Fatal(err)
+	}
+	return cat, st
+}
+
+func TestSchemasComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, tab := range Schemas() {
+		names[tab.Name] = true
+	}
+	for _, want := range []string{"region", "nation", "customer", "orders", "lineitem", "part", "supplier", "partsupp"} {
+		if !names[want] {
+			t.Errorf("missing table %s", want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{ScaleFactor: 0.002, Seed: 99}
+	_, st1 := generate(t, cfg)
+	_, st2 := generate(t, cfg)
+	for _, name := range []string{"customer", "orders", "lineitem"} {
+		t1, _ := st1.Table(name)
+		t2, _ := st2.Table(name)
+		if t1.Len() != t2.Len() {
+			t.Fatalf("%s row counts differ: %d vs %d", name, t1.Len(), t2.Len())
+		}
+		for i := range t1.Rows {
+			if sqltypes.CompareRows(t1.Rows[i], t2.Rows[i]) != 0 {
+				t.Fatalf("%s row %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	_, st1 := generate(t, Config{ScaleFactor: 0.002, Seed: 1})
+	_, st2 := generate(t, Config{ScaleFactor: 0.002, Seed: 2})
+	t1, _ := st1.Table("customer")
+	t2, _ := st2.Table("customer")
+	same := true
+	for i := range t1.Rows {
+		if sqltypes.CompareRows(t1.Rows[i], t2.Rows[i]) != 0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should generate different data")
+	}
+}
+
+func TestScaling(t *testing.T) {
+	_, small := generate(t, Config{ScaleFactor: 0.002, Seed: 1})
+	_, big := generate(t, Config{ScaleFactor: 0.004, Seed: 1})
+	s, _ := small.Table("orders")
+	b, _ := big.Table("orders")
+	if b.Len() != 2*s.Len() {
+		t.Errorf("orders: %d at 2x scale vs %d, want exact doubling", b.Len(), s.Len())
+	}
+	// Fixed-size tables don't scale.
+	rs, _ := small.Table("region")
+	rb, _ := big.Table("region")
+	if rs.Len() != 5 || rb.Len() != 5 {
+		t.Error("region always has 5 rows")
+	}
+	ns, _ := small.Table("nation")
+	if ns.Len() != 25 {
+		t.Error("nation always has 25 rows")
+	}
+}
+
+func TestForeignKeyIntegrity(t *testing.T) {
+	cat, st := generate(t, Config{ScaleFactor: 0.002, Seed: 5})
+	_ = cat
+
+	orders, _ := st.Table("orders")
+	customers, _ := st.Table("customer")
+	lineitems, _ := st.Table("lineitem")
+	nations, _ := st.Table("nation")
+
+	// Every o_custkey references an existing customer.
+	nCust := int64(customers.Len())
+	orderKeys := make(map[int64]bool, orders.Len())
+	for _, r := range orders.Rows {
+		if ck := r[1].Int(); ck < 1 || ck > nCust {
+			t.Fatalf("o_custkey %d out of range", ck)
+		}
+		orderKeys[r[0].Int()] = true
+	}
+	// Every l_orderkey references an existing order.
+	for _, r := range lineitems.Rows {
+		if !orderKeys[r[0].Int()] {
+			t.Fatalf("l_orderkey %d has no order", r[0].Int())
+		}
+	}
+	// Every c_nationkey is a valid nation.
+	for _, r := range customers.Rows {
+		if nk := r[3].Int(); nk < 0 || nk >= int64(nations.Len()) {
+			t.Fatalf("c_nationkey %d out of range", nk)
+		}
+	}
+	// Every nation points at a valid region.
+	for _, r := range nations.Rows {
+		if rk := r[2].Int(); rk < 0 || rk >= 5 {
+			t.Fatalf("n_regionkey %d out of range", rk)
+		}
+	}
+}
+
+func TestDateRanges(t *testing.T) {
+	_, st := generate(t, Config{ScaleFactor: 0.002, Seed: 5})
+	lo := sqltypes.MustParseDate("1992-01-01").Days()
+	hi := sqltypes.MustParseDate("1998-12-31").Days()
+	orders, _ := st.Table("orders")
+	for _, r := range orders.Rows {
+		if d := r[4].Days(); d < lo || d > hi {
+			t.Fatalf("o_orderdate %v out of TPC-H range", r[4])
+		}
+	}
+	lineitems, _ := st.Table("lineitem")
+	for i, r := range lineitems.Rows {
+		if i > 2000 {
+			break
+		}
+		if d := r[9].Days(); d < lo {
+			t.Fatalf("l_shipdate %v before epoch", r[9])
+		}
+	}
+}
+
+func TestStatisticsInstalled(t *testing.T) {
+	cat, _ := generate(t, Config{ScaleFactor: 0.002, Seed: 5})
+	for _, name := range []string{"customer", "orders", "lineitem"} {
+		tab, err := cat.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Stats.RowCount <= 0 {
+			t.Errorf("%s has no row count", name)
+		}
+		if len(tab.Stats.Cols) != len(tab.Cols) {
+			t.Errorf("%s has %d column stats for %d columns", name, len(tab.Stats.Cols), len(tab.Cols))
+		}
+		if tab.AvgRowSize <= 0 {
+			t.Errorf("%s has no row size", name)
+		}
+	}
+	// Selectivity-critical stats: c_nationkey distinct ≈ 25.
+	cust, _ := cat.Table("customer")
+	nk := cust.Stats.Cols[3]
+	if nk.Distinct < 10 || nk.Distinct > 25 {
+		t.Errorf("c_nationkey distinct = %g, want ≈25", nk.Distinct)
+	}
+}
+
+func TestDefaultScaleFactorFallback(t *testing.T) {
+	cat := catalog.New()
+	for _, tab := range Schemas() {
+		if err := cat.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := storage.NewStore()
+	if err := Generate(Config{Seed: 1}, cat, st); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := st.Table("customer")
+	if c.Len() == 0 {
+		t.Error("zero scale factor must fall back to the default")
+	}
+}
+
+func TestMktSegmentDomain(t *testing.T) {
+	_, st := generate(t, Config{ScaleFactor: 0.002, Seed: 5})
+	valid := map[string]bool{"AUTOMOBILE": true, "BUILDING": true, "FURNITURE": true, "MACHINERY": true, "HOUSEHOLD": true}
+	cust, _ := st.Table("customer")
+	for _, r := range cust.Rows {
+		if !valid[r[6].Str()] {
+			t.Fatalf("invalid segment %q", r[6].Str())
+		}
+	}
+}

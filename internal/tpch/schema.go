@@ -1,0 +1,66 @@
+// Package tpch generates a deterministic, TPC-H-shaped database. It stands
+// in for the 1GB (SF=1) TPC-H database used in the paper's experiments; the
+// scale factor is configurable so tests stay fast while benchmarks use
+// larger volumes. The schema follows TPC-H with one documented deviation:
+// part carries a p_availqty column so the paper's §6.2 query Q4 runs
+// verbatim (TPC-H proper puts availqty on partsupp).
+package tpch
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+)
+
+// Base row counts at scale factor 1.0, matching TPC-H.
+const (
+	baseCustomer = 150_000
+	baseOrders   = 1_500_000
+	basePart     = 200_000
+	baseSupplier = 10_000
+	basePartSupp = 800_000
+	numNations   = 25
+	numRegions   = 5
+)
+
+func col(name string, kind sqltypes.Kind) catalog.Column {
+	return catalog.Column{Name: name, Type: kind}
+}
+
+// Schemas returns catalog definitions for the eight TPC-H tables (without
+// statistics; those are computed from generated data). Each table except
+// partsupp is generated in primary-key order, recorded in OrderedBy so the
+// optimizer can elide sorts over base scans.
+func Schemas() []*catalog.Table {
+	i, f, s, d := sqltypes.KindInt, sqltypes.KindFloat, sqltypes.KindString, sqltypes.KindDate
+	return []*catalog.Table{
+		{Name: "region", OrderedBy: []int{0}, Cols: []catalog.Column{
+			col("r_regionkey", i), col("r_name", s), col("r_comment", s),
+		}},
+		{Name: "nation", OrderedBy: []int{0}, Cols: []catalog.Column{
+			col("n_nationkey", i), col("n_name", s), col("n_regionkey", i), col("n_comment", s),
+		}},
+		{Name: "customer", OrderedBy: []int{0}, Cols: []catalog.Column{
+			col("c_custkey", i), col("c_name", s), col("c_address", s), col("c_nationkey", i),
+			col("c_phone", s), col("c_acctbal", f), col("c_mktsegment", s), col("c_comment", s),
+		}},
+		{Name: "orders", OrderedBy: []int{0}, Indexes: []catalog.Index{{Col: 4}}, Cols: []catalog.Column{
+			col("o_orderkey", i), col("o_custkey", i), col("o_orderstatus", s), col("o_totalprice", f),
+			col("o_orderdate", d), col("o_orderpriority", s), col("o_clerk", s), col("o_shippriority", i),
+		}},
+		{Name: "lineitem", OrderedBy: []int{0, 3}, Indexes: []catalog.Index{{Col: 9}}, Cols: []catalog.Column{
+			col("l_orderkey", i), col("l_partkey", i), col("l_suppkey", i), col("l_linenumber", i),
+			col("l_quantity", f), col("l_extendedprice", f), col("l_discount", f), col("l_tax", f),
+			col("l_returnflag", s), col("l_shipdate", d), col("l_shipmode", s),
+		}},
+		{Name: "part", OrderedBy: []int{0}, Cols: []catalog.Column{
+			col("p_partkey", i), col("p_name", s), col("p_mfgr", s), col("p_brand", s),
+			col("p_type", s), col("p_size", i), col("p_retailprice", f), col("p_availqty", i),
+		}},
+		{Name: "supplier", OrderedBy: []int{0}, Cols: []catalog.Column{
+			col("s_suppkey", i), col("s_name", s), col("s_nationkey", i), col("s_acctbal", f),
+		}},
+		{Name: "partsupp", Cols: []catalog.Column{
+			col("ps_partkey", i), col("ps_suppkey", i), col("ps_availqty", i), col("ps_supplycost", f),
+		}},
+	}
+}

@@ -1,0 +1,232 @@
+// Package views manages materialized views and their delta-based
+// maintenance (§6.4 of the paper). Each view stores its defining SELECT; an
+// update to a base table produces a delta work table, and the view's
+// maintenance expression is the defining query with the updated table
+// replaced by the delta. Maintenance expressions for all affected views are
+// optimized together as one batch, so the CSE machinery shares their common
+// subexpressions exactly as it does for user query batches.
+package views
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/parser"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// View is one materialized view definition.
+type View struct {
+	Name string
+
+	sel    *parser.SelectStmt
+	tables map[string]bool
+
+	// Projection roles: keyPos are group-key output positions; aggs are
+	// aggregate output positions with their merge kinds.
+	hasAgg bool
+	keyPos []int
+	aggs   []aggSpec
+}
+
+type aggSpec struct {
+	pos  int
+	kind scalar.AggKind
+}
+
+// Define validates a view's shape for incremental maintenance and returns
+// the view plus its backing table schema. Maintainable views project plain
+// grouping columns and plain aggregate outputs (SUM/COUNT/MIN/MAX) — the
+// shape used in the paper's experiment — or are aggregate-free SPJ views.
+func Define(name string, sel *parser.SelectStmt, blk *logical.Block, md *logical.Metadata) (*View, *catalog.Table, error) {
+	if len(sel.With) > 0 {
+		return nil, nil, fmt.Errorf("materialized view %s: WITH clauses are not maintainable", name)
+	}
+	v := &View{Name: name, sel: sel, tables: make(map[string]bool)}
+	for _, ref := range sel.From {
+		v.tables[strings.ToLower(ref.Table)] = true
+	}
+	v.hasAgg = blk.HasGroup
+
+	if blk.Having != nil {
+		return nil, nil, fmt.Errorf("materialized view %s: HAVING is not maintainable", name)
+	}
+	if v.hasAgg {
+		groupSet := scalar.MakeColSet(blk.GroupCols...)
+		aggKind := make(map[scalar.ColID]scalar.AggKind, len(blk.Aggs))
+		for _, a := range blk.Aggs {
+			aggKind[a.Out] = a.Kind
+		}
+		for i, p := range blk.Projections {
+			if p.Expr.Op != scalar.OpCol {
+				return nil, nil, fmt.Errorf("materialized view %s: output %q must be a plain column or aggregate", name, p.Name)
+			}
+			switch {
+			case groupSet.Contains(p.Expr.Col):
+				v.keyPos = append(v.keyPos, i)
+			default:
+				kind, ok := aggKind[p.Expr.Col]
+				if !ok {
+					return nil, nil, fmt.Errorf("materialized view %s: output %q is neither group column nor aggregate", name, p.Name)
+				}
+				v.aggs = append(v.aggs, aggSpec{pos: i, kind: kind})
+			}
+		}
+		// Every grouping column must appear in the output so deltas can be
+		// matched to stored groups.
+		if len(v.keyPos) != groupSet.Len() {
+			return nil, nil, fmt.Errorf("materialized view %s: all grouping columns must be projected", name)
+		}
+	}
+
+	kinds := blk.OutputKinds(md)
+	backing := &catalog.Table{Name: v.BackingName()}
+	for i, p := range blk.Projections {
+		backing.Cols = append(backing.Cols, catalog.Column{Name: p.Name, Type: kinds[i]})
+	}
+	return v, backing, nil
+}
+
+// BackingName is the stored table holding the view's rows.
+func (v *View) BackingName() string { return "mv_" + strings.ToLower(v.Name) }
+
+// References reports whether the view reads the given base table.
+func (v *View) References(table string) bool { return v.tables[strings.ToLower(table)] }
+
+// MaintenanceStmt returns the view's maintenance query for an insert delta:
+// the defining SELECT with the updated table replaced by the delta table
+// (keeping the original binding name so column references resolve).
+func (v *View) MaintenanceStmt(table, deltaName string) parser.Statement {
+	clone := *v.sel
+	clone.From = make([]parser.TableRef, len(v.sel.From))
+	for i, ref := range v.sel.From {
+		clone.From[i] = ref
+		if strings.EqualFold(ref.Table, table) {
+			clone.From[i] = parser.TableRef{Table: deltaName, Alias: ref.Binding()}
+		}
+	}
+	return &clone
+}
+
+// Merge folds an insert-delta result into the view's backing table: new
+// groups are appended; existing groups have their aggregates combined
+// (sums and counts add, min/max fold).
+func (v *View) Merge(backing *storage.Table, deltaRows []sqltypes.Row) error {
+	if !v.hasAgg {
+		for _, r := range deltaRows {
+			backing.Append(r.Clone())
+		}
+		return nil
+	}
+	hasher := sqltypes.NewHasher()
+	index := make(map[uint64][]int, len(backing.Rows))
+	for i, r := range backing.Rows {
+		h := hasher.HashRow(r, v.keyPos)
+		index[h] = append(index[h], i)
+	}
+	for _, dr := range deltaRows {
+		h := hasher.HashRow(dr, v.keyPos)
+		matched := -1
+		for _, i := range index[h] {
+			if keysMatch(backing.Rows[i], dr, v.keyPos) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			backing.Append(dr.Clone())
+			index[h] = append(index[h], len(backing.Rows)-1)
+			continue
+		}
+		row := backing.Rows[matched]
+		for _, a := range v.aggs {
+			row[a.pos] = mergeAgg(a.kind, row[a.pos], dr[a.pos])
+		}
+	}
+	return nil
+}
+
+func keysMatch(a, b sqltypes.Row, pos []int) bool {
+	for _, p := range pos {
+		if sqltypes.Compare(a[p], b[p]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeAgg(kind scalar.AggKind, old, delta sqltypes.Datum) sqltypes.Datum {
+	switch kind {
+	case scalar.AggSum, scalar.AggCount, scalar.AggCountStar:
+		if old.IsNull() {
+			return delta
+		}
+		if delta.IsNull() {
+			return old
+		}
+		return scalar.EvalArith(scalar.OpAdd, old, delta)
+	case scalar.AggMin:
+		if old.IsNull() {
+			return delta
+		}
+		if delta.IsNull() {
+			return old
+		}
+		if sqltypes.Compare(delta, old) < 0 {
+			return delta
+		}
+		return old
+	case scalar.AggMax:
+		if old.IsNull() {
+			return delta
+		}
+		if delta.IsNull() {
+			return old
+		}
+		if sqltypes.Compare(delta, old) > 0 {
+			return delta
+		}
+		return old
+	default:
+		return old
+	}
+}
+
+// Manager tracks all materialized views of a database.
+type Manager struct {
+	views []*View
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager { return &Manager{} }
+
+// Add registers a view.
+func (m *Manager) Add(v *View) { m.views = append(m.views, v) }
+
+// Affected returns the views referencing the given base table.
+func (m *Manager) Affected(table string) []*View {
+	var out []*View
+	for _, v := range m.views {
+		if v.References(table) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ByName resolves a view by name.
+func (m *Manager) ByName(name string) *View {
+	for _, v := range m.views {
+		if strings.EqualFold(v.Name, name) {
+			return v
+		}
+	}
+	return nil
+}
+
+// All returns every registered view.
+func (m *Manager) All() []*View { return m.views }

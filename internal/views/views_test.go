@@ -1,0 +1,218 @@
+package views_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/parser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/views"
+)
+
+func define(t *testing.T, sql string) (*views.View, *catalog.Table, error) {
+	t.Helper()
+	cat := catalog.New()
+	for _, tab := range tpch.Schemas() {
+		if err := cat.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := logical.BuildBatch([]parser.Statement{sel}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return views.Define("v", sel, batch.Statements[0].Block, batch.Metadata)
+}
+
+func TestDefineAggView(t *testing.T) {
+	v, backing, err := define(t, `
+select c_nationkey, sum(c_acctbal) as total, count(*) as n
+from customer group by c_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.BackingName() != "mv_v" {
+		t.Errorf("backing name = %q", v.BackingName())
+	}
+	if !v.References("customer") || !v.References("CUSTOMER") {
+		t.Error("References must be case-insensitive")
+	}
+	if v.References("orders") {
+		t.Error("view does not reference orders")
+	}
+	if len(backing.Cols) != 3 {
+		t.Errorf("backing columns = %d", len(backing.Cols))
+	}
+	if backing.Cols[1].Type != sqltypes.KindFloat || backing.Cols[2].Type != sqltypes.KindInt {
+		t.Errorf("backing types = %v", backing.Cols)
+	}
+}
+
+func TestDefineSPJView(t *testing.T) {
+	v, backing, err := define(t, "select c_name, c_acctbal from customer where c_acctbal > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backing.Cols[0].Name != "c_name" {
+		t.Errorf("backing col name = %q", backing.Cols[0].Name)
+	}
+	_ = v
+}
+
+func TestDefineRejections(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"select c_nationkey, sum(c_acctbal) as s from customer group by c_nationkey having sum(c_acctbal) > 0", "HAVING"},
+		{"select c_nationkey, sum(c_acctbal) + 1 as s from customer group by c_nationkey", "plain column or aggregate"},
+		{"select sum(c_acctbal) as s from customer group by c_nationkey", "all grouping columns"},
+	}
+	for _, c := range cases {
+		_, _, err := define(t, c.sql)
+		if err == nil {
+			t.Errorf("Define(%q) succeeded, want error about %s", c.sql, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Define(%q) error %q, want mention of %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestMaintenanceStmtRewrite(t *testing.T) {
+	v, _, err := define(t, `
+select c_nationkey, sum(c_acctbal) as s
+from customer, orders
+where c_custkey = o_custkey group by c_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := v.MaintenanceStmt("customer", "delta_customer_1")
+	sel := st.(*parser.SelectStmt)
+	if sel.From[0].Table != "delta_customer_1" {
+		t.Errorf("FROM not rewritten: %+v", sel.From)
+	}
+	if sel.From[0].Binding() != "customer" {
+		t.Errorf("binding must stay %q for column resolution, got %q", "customer", sel.From[0].Binding())
+	}
+	if sel.From[1].Table != "orders" {
+		t.Error("other tables untouched")
+	}
+	// The original is not mutated.
+	st2 := v.MaintenanceStmt("orders", "delta_orders_1")
+	sel2 := st2.(*parser.SelectStmt)
+	if sel2.From[0].Table != "customer" || sel2.From[1].Table != "delta_orders_1" {
+		t.Errorf("second rewrite wrong: %+v", sel2.From)
+	}
+}
+
+func TestMergeAggregates(t *testing.T) {
+	v, _, err := define(t, `
+select c_nationkey, sum(c_acctbal) as s, count(*) as n, min(c_acctbal) as lo, max(c_acctbal) as hi
+from customer group by c_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, ff := sqltypes.NewInt, sqltypes.NewFloat
+	backing := &storage.Table{Name: "mv_v"}
+	backing.Append(sqltypes.Row{ii(1), ff(100), ii(2), ff(10), ff(90)})
+	backing.Append(sqltypes.Row{ii(2), ff(50), ii(1), ff(50), ff(50)})
+
+	delta := []sqltypes.Row{
+		{ii(1), ff(30), ii(1), ff(5), ff(30)},  // existing group: merge
+		{ii(3), ff(70), ii(1), ff(70), ff(70)}, // new group: append
+	}
+	if err := v.Merge(backing, delta); err != nil {
+		t.Fatal(err)
+	}
+	if backing.Len() != 3 {
+		t.Fatalf("rows after merge = %d, want 3", backing.Len())
+	}
+	g1 := backing.Rows[0]
+	if g1[1].Float() != 130 {
+		t.Errorf("sum merged to %v, want 130", g1[1])
+	}
+	if g1[2].Int() != 3 {
+		t.Errorf("count merged to %v, want 3", g1[2])
+	}
+	if g1[3].Float() != 5 {
+		t.Errorf("min merged to %v, want 5", g1[3])
+	}
+	if g1[4].Float() != 90 {
+		t.Errorf("max merged to %v, want 90", g1[4])
+	}
+}
+
+func TestMergeNullHandling(t *testing.T) {
+	v, _, err := define(t, `
+select c_nationkey, sum(c_acctbal) as s from customer group by c_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, ff := sqltypes.NewInt, sqltypes.NewFloat
+	backing := &storage.Table{Name: "mv_v"}
+	backing.Append(sqltypes.Row{ii(1), sqltypes.Null})
+	delta := []sqltypes.Row{{ii(1), ff(10)}}
+	if err := v.Merge(backing, delta); err != nil {
+		t.Fatal(err)
+	}
+	if backing.Rows[0][1].Float() != 10 {
+		t.Errorf("NULL + 10 = %v, want 10", backing.Rows[0][1])
+	}
+	// Delta NULL leaves the old value.
+	delta2 := []sqltypes.Row{{ii(1), sqltypes.Null}}
+	if err := v.Merge(backing, delta2); err != nil {
+		t.Fatal(err)
+	}
+	if backing.Rows[0][1].Float() != 10 {
+		t.Errorf("10 + NULL = %v, want 10", backing.Rows[0][1])
+	}
+}
+
+func TestMergeSPJAppends(t *testing.T) {
+	v, _, err := define(t, "select c_name from customer where c_acctbal > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := &storage.Table{Name: "mv_v"}
+	backing.Append(sqltypes.Row{sqltypes.NewString("a")})
+	if err := v.Merge(backing, []sqltypes.Row{{sqltypes.NewString("b")}}); err != nil {
+		t.Fatal(err)
+	}
+	if backing.Len() != 2 {
+		t.Error("SPJ view merge must append")
+	}
+}
+
+func TestManager(t *testing.T) {
+	m := views.NewManager()
+	v1, _, err := define(t, "select c_nationkey, count(*) as n from customer group by c_nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Add(v1)
+	if m.ByName("V") != v1 {
+		t.Error("ByName must be case-insensitive")
+	}
+	if m.ByName("other") != nil {
+		t.Error("missing view must be nil")
+	}
+	if got := m.Affected("customer"); len(got) != 1 {
+		t.Errorf("Affected(customer) = %d views", len(got))
+	}
+	if got := m.Affected("orders"); len(got) != 0 {
+		t.Errorf("Affected(orders) = %d views", len(got))
+	}
+	if len(m.All()) != 1 {
+		t.Error("All() lost the view")
+	}
+}

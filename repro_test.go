@@ -1,0 +1,44 @@
+package repro_test
+
+// A fast end-to-end reproduction gate at the repository root: the headline
+// result (Table 1's Example 1 batch) must show sharing with the expected
+// structure even at a tiny scale. The full evaluation lives in
+// cmd/csebench and the benchmarks below.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestReproductionSmoke(t *testing.T) {
+	cfg := bench.Config{ScaleFactor: 0.005, Seed: 42, Reps: 1}
+	tr, err := bench.RunTable(cfg, "smoke", bench.Table1SQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := tr.Runs[bench.WithCSE]
+	noH := tr.Runs[bench.NoHeuristics]
+
+	if with.Candidates != 1 || with.CSEOpts != 1 {
+		t.Errorf("heuristic candidates/opts = %d/%d, want 1/1", with.Candidates, with.CSEOpts)
+	}
+	if noH.Candidates != 5 {
+		t.Errorf("no-heuristics candidates = %d, want Figure 6's 5", noH.Candidates)
+	}
+	if with.EstCost >= tr.Runs[bench.NoCSE].EstCost {
+		t.Errorf("sharing must reduce estimated cost: %.2f vs %.2f",
+			with.EstCost, tr.Runs[bench.NoCSE].EstCost)
+	}
+	if with.EstCost != noH.EstCost {
+		t.Errorf("pruning must not change plan quality: %.2f vs %.2f", with.EstCost, noH.EstCost)
+	}
+	if len(with.UsedCSEs) != 1 {
+		t.Errorf("used CSEs = %v, want the single covering aggregate", with.UsedCSEs)
+	}
+	label := with.Labels[with.UsedCSEs[0]]
+	if !strings.HasPrefix(label, "γ(customer ⋈ lineitem ⋈ orders)") {
+		t.Errorf("winning candidate = %q, want the paper's E5", label)
+	}
+}
