@@ -25,18 +25,34 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|all")
-		sf      = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
-		seed    = flag.Int64("seed", 42, "data generation seed")
-		maxN    = flag.Int("figure8-max", 10, "largest batch size for figure8")
-		deltaN  = flag.Int("delta-rows", 200, "delta rows for view maintenance")
-		verbose = flag.Bool("v", false, "print candidate CSE details")
-		format  = flag.String("format", "text", "output format: text|csv")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|all")
+		sf          = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
+		seed        = flag.Int64("seed", 42, "data generation seed")
+		maxN        = flag.Int("figure8-max", 10, "largest batch size for figure8")
+		deltaN      = flag.Int("delta-rows", 200, "delta rows for view maintenance")
+		verbose     = flag.Bool("v", false, "print candidate CSE details")
+		format      = flag.String("format", "text", "output format: text|csv|json")
+		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{ScaleFactor: *sf, Seed: *seed}
-	fmt.Printf("csebench: TPC-H scale factor %g, seed %d\n\n", *sf, *seed)
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "csebench: unknown -format %q (want text, csv, or json)\n", *format)
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{ScaleFactor: *sf, Seed: *seed, Parallelism: *parallelism}
+	asJSON := *format == "json"
+	jsonOut := map[string]any{
+		"scale_factor": *sf,
+		"seed":         *seed,
+		"parallelism":  *parallelism,
+	}
+	if !asJSON {
+		fmt.Printf("csebench: TPC-H scale factor %g, seed %d\n\n", *sf, *seed)
+	}
 
 	run := func(name string) bool {
 		return *exp == "all" || *exp == name
@@ -46,52 +62,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		failed = true
 	}
+	table := func(name, title, sql string) {
+		if !run(name) {
+			return
+		}
+		tr, err := bench.RunTable(cfg, title, sql)
+		switch {
+		case err != nil:
+			report(err)
+		case asJSON:
+			jsonOut[name] = tr.JSONObject()
+		case *format == "csv":
+			fmt.Printf("# %s\n%s", name, tr.CSV())
+		default:
+			fmt.Println(tr.Format())
+			printCandidates(*verbose, tr)
+		}
+	}
 
-	if run("table1") {
-		tr, err := bench.RunTable(cfg, "Table 1: Query batch (Q1, Q2, Q3) of Example 1", bench.Table1SQL())
-		if err != nil {
-			report(err)
-		} else if *format == "csv" {
-			fmt.Printf("# table1\n%s", tr.CSV())
-		} else {
-			fmt.Println(tr.Format())
-			printCandidates(*verbose, tr)
-		}
-	}
-	if run("table2") {
-		tr, err := bench.RunTable(cfg, "Table 2: Query batch (Q1, Q2, Q3, Q4) — stacked CSEs (§6.2)", bench.Table2SQL())
-		if err != nil {
-			report(err)
-		} else {
-			fmt.Println(tr.Format())
-			printCandidates(*verbose, tr)
-		}
-	}
-	if run("table3") {
-		tr, err := bench.RunTable(cfg, "Table 3: Nested query (§6.3, TPC-H Q11-like)", bench.Table3SQL())
-		if err != nil {
-			report(err)
-		} else {
-			fmt.Println(tr.Format())
-			printCandidates(*verbose, tr)
-		}
-	}
-	if run("table4") {
-		tr, err := bench.RunTable(cfg, "Table 4: Complex joins — all 8 TPC-H tables (§6.5)", bench.Table4SQL())
-		if err != nil {
-			report(err)
-		} else {
-			fmt.Println(tr.Format())
-			printCandidates(*verbose, tr)
-		}
-	}
+	table("table1", "Table 1: Query batch (Q1, Q2, Q3) of Example 1", bench.Table1SQL())
+	table("table2", "Table 2: Query batch (Q1, Q2, Q3, Q4) — stacked CSEs (§6.2)", bench.Table2SQL())
+	table("table3", "Table 3: Nested query (§6.3, TPC-H Q11-like)", bench.Table3SQL())
+	table("table4", "Table 4: Complex joins — all 8 TPC-H tables (§6.5)", bench.Table4SQL())
 	if run("figure8") {
 		points, err := bench.RunFigure8(cfg, *maxN)
-		if err != nil {
+		switch {
+		case err != nil:
 			report(err)
-		} else if *format == "csv" {
+		case asJSON:
+			jsonOut["figure8"] = bench.Figure8JSONObjects(points)
+		case *format == "csv":
 			fmt.Print(bench.CSVFigure8(points))
-		} else {
+		default:
 			fmt.Println(bench.FormatFigure8(points))
 		}
 	}
@@ -101,12 +103,21 @@ func main() {
 			report(err)
 		} else if with, err := bench.RunViewMaintenance(cfg, bench.WithCSE, *deltaN); err != nil {
 			report(err)
+		} else if asJSON {
+			jsonOut["viewmaint"] = map[string]any{
+				"no_cse_exec_s": no.ExecTime.Seconds(),
+				"cse_exec_s":    with.ExecTime.Seconds(),
+				"candidates":    with.Candidates,
+				"views":         with.Views,
+			}
 		} else {
 			fmt.Println(bench.FormatMaintenance(no, with))
 		}
 	}
 	if run("ablation") {
-		if err := runAblations(cfg); err != nil {
+		if asJSON {
+			fmt.Fprintln(os.Stderr, "skipping ablation: text output only")
+		} else if err := runAblations(cfg); err != nil {
 			report(err)
 		}
 	}
@@ -114,11 +125,25 @@ func main() {
 		ov, err := bench.RunOverhead(cfg)
 		if err != nil {
 			report(err)
+		} else if asJSON {
+			jsonOut["overhead"] = map[string]any{
+				"opt_s_no_cse":   ov.OptNoCSE.Seconds(),
+				"opt_s_with_cse": ov.OptWithCSE.Seconds(),
+				"candidates":     ov.Candidates,
+			}
 		} else {
 			fmt.Printf("Overhead on a batch with no sharable subexpressions:\n")
 			fmt.Printf("  optimization time, CSE machinery off: %.4fs\n", ov.OptNoCSE.Seconds())
 			fmt.Printf("  optimization time, CSE machinery on:  %.4fs\n", ov.OptWithCSE.Seconds())
 			fmt.Printf("  candidates generated: %d\n\n", ov.Candidates)
+		}
+	}
+	if asJSON && !failed {
+		data, err := bench.MarshalReport(jsonOut)
+		if err != nil {
+			report(err)
+		} else {
+			fmt.Println(string(data))
 		}
 	}
 	if failed {

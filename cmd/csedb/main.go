@@ -13,6 +13,7 @@
 //	\describe           show the next batch's CSE candidates and decisions
 //	\cse on|off         toggle CSE optimization
 //	\heuristics on|off  toggle the §4.3 pruning heuristics
+//	\parallel on|off|N  executor pool: on=GOMAXPROCS, off=sequential, N workers
 //	\tables             list tables
 //	\q                  quit
 //
@@ -27,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/csedb"
@@ -35,19 +37,20 @@ import (
 
 func main() {
 	var (
-		sf      = flag.Float64("sf", 0.05, "TPC-H scale factor")
-		seed    = flag.Int64("seed", 42, "data generation seed")
-		file    = flag.String("f", "", "SQL file to execute as one batch")
-		execSQL = flag.String("e", "", "SQL batch to execute")
-		explain = flag.Bool("explain", false, "print plans instead of executing")
-		noCSE   = flag.Bool("no-cse", false, "disable CSE optimization")
-		maxRows = flag.Int("max-rows", 20, "rows printed per statement")
+		sf          = flag.Float64("sf", 0.05, "TPC-H scale factor")
+		seed        = flag.Int64("seed", 42, "data generation seed")
+		file        = flag.String("f", "", "SQL file to execute as one batch")
+		execSQL     = flag.String("e", "", "SQL batch to execute")
+		explain     = flag.Bool("explain", false, "print plans instead of executing")
+		noCSE       = flag.Bool("no-cse", false, "disable CSE optimization")
+		maxRows     = flag.Int("max-rows", 20, "rows printed per statement")
+		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
 	)
 	flag.Parse()
 
 	settings := core.DefaultSettings()
 	settings.EnableCSE = !*noCSE
-	db := csedb.Open(csedb.Options{CSE: &settings})
+	db := csedb.Open(csedb.Options{CSE: &settings, ExecParallelism: *parallelism})
 	fmt.Fprintf(os.Stderr, "loading TPC-H data (sf=%g, seed=%d)...\n", *sf, *seed)
 	if err := db.LoadTPCH(*sf, *seed); err != nil {
 		fatal(err)
@@ -106,7 +109,16 @@ func printResult(res *csedb.BatchResult, maxRows int) {
 	if res.Stats.Candidates > 0 {
 		fmt.Printf(", %d CSE candidates, %d used", res.Stats.Candidates, len(res.Stats.UsedCSEs))
 	}
-	fmt.Printf("), executed in %v\n", res.ExecTime)
+	fmt.Printf("), executed in %v", res.ExecTime)
+	if es := res.ExecStats; es != nil {
+		if es.Sequential {
+			fmt.Printf(" (sequential)")
+		} else {
+			fmt.Printf(" (%d workers, %d spool waves, %.0f%% utilized)",
+				es.Workers, len(es.Waves), 100*es.Utilization())
+		}
+	}
+	fmt.Println()
 }
 
 func repl(db *csedb.DB, maxRows int) {
@@ -200,6 +212,27 @@ func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext *bool) bool 
 	case "\\tables":
 		for _, name := range db.Catalog().Names() {
 			fmt.Println(name)
+		}
+	case "\\parallel":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\parallel on|off|N")
+			break
+		}
+		switch arg := fields[1]; arg {
+		case "on":
+			db.SetExecParallelism(0)
+			fmt.Println("parallel execution on (GOMAXPROCS workers)")
+		case "off":
+			db.SetExecParallelism(1)
+			fmt.Println("parallel execution off (sequential)")
+		default:
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				fmt.Fprintln(os.Stderr, "usage: \\parallel on|off|N")
+				break
+			}
+			db.SetExecParallelism(n)
+			fmt.Printf("parallel execution with %d workers\n", n)
 		}
 	case "\\cse", "\\heuristics":
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {

@@ -16,6 +16,7 @@
 package csedb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,6 +38,12 @@ type Options struct {
 	// CSE configures the covering-subexpression phase; the zero value means
 	// core.DefaultSettings() (CSE on, heuristics on).
 	CSE *core.Settings
+
+	// ExecParallelism sets the executor worker-pool size: 0 (the default)
+	// means parallel execution on with runtime.GOMAXPROCS(0) workers; 1
+	// forces the sequential executor (a determinism-debugging fallback);
+	// n > 1 uses n workers.
+	ExecParallelism int
 }
 
 // DB is an in-memory database instance. Read-only queries (Run on SELECT
@@ -46,11 +53,12 @@ type Options struct {
 // and mutations (Insert, InsertWithViewMaintenance) must be serialized by
 // the caller and must not overlap reads.
 type DB struct {
-	cat      *catalog.Catalog
-	store    *storage.Store
-	settings core.Settings
-	views    *views.Manager
-	deltaSeq int
+	cat         *catalog.Catalog
+	store       *storage.Store
+	settings    core.Settings
+	views       *views.Manager
+	deltaSeq    int
+	parallelism int
 }
 
 // Row re-exports the value tuple type for insertion APIs.
@@ -63,10 +71,11 @@ func Open(opts Options) *DB {
 		settings = *opts.CSE
 	}
 	return &DB{
-		cat:      catalog.New(),
-		store:    storage.NewStore(),
-		settings: settings,
-		views:    views.NewManager(),
+		cat:         catalog.New(),
+		store:       storage.NewStore(),
+		settings:    settings,
+		views:       views.NewManager(),
+		parallelism: opts.ExecParallelism,
 	}
 }
 
@@ -75,6 +84,14 @@ func (db *DB) Settings() core.Settings { return db.settings }
 
 // SetSettings replaces the CSE settings.
 func (db *DB) SetSettings(s core.Settings) { db.settings = s }
+
+// ExecParallelism returns the executor worker-pool setting (0 = default
+// parallel, 1 = sequential, n > 1 = n workers).
+func (db *DB) ExecParallelism() int { return db.parallelism }
+
+// SetExecParallelism changes the executor worker-pool setting for
+// subsequent batches.
+func (db *DB) SetExecParallelism(n int) { db.parallelism = n }
 
 // Catalog exposes the schema catalog (read-only use expected).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
@@ -151,6 +168,11 @@ type BatchResult struct {
 	// its work table; every CSE is computed exactly once per batch.
 	SpoolRows map[int]int
 
+	// ExecStats carries the executor's detailed instrumentation: per-spool
+	// wall time, per-statement time, the topological spool schedule, and
+	// worker utilization.
+	ExecStats *exec.Stats
+
 	// Explain is the physical plan rendering.
 	Explain string
 }
@@ -159,11 +181,17 @@ type BatchResult struct {
 // batch are optimized together; CREATE MATERIALIZED VIEW statements execute
 // their defining query and materialize the result.
 func (db *DB) Run(sql string) (*BatchResult, error) {
+	return db.RunContext(context.Background(), sql)
+}
+
+// RunContext is Run with a cancellation context: cancelling it stops the
+// executor (including all parallel workers) with the context's error.
+func (db *DB) RunContext(ctx context.Context, sql string) (*BatchResult, error) {
 	stmts, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.runStatements(stmts)
+	return db.runStatements(ctx, stmts)
 }
 
 // Optimize parses and optimizes a batch without executing it. It returns
@@ -206,7 +234,7 @@ func (db *DB) Explain(sql string) (string, error) {
 	return sb.String(), nil
 }
 
-func (db *DB) runStatements(stmts []parser.Statement) (*BatchResult, error) {
+func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*BatchResult, error) {
 	batch, err := logical.BuildBatch(stmts, db.cat)
 	if err != nil {
 		return nil, err
@@ -224,7 +252,8 @@ func (db *DB) runStatements(stmts []parser.Statement) (*BatchResult, error) {
 	optTime := time.Since(start)
 
 	start = time.Now()
-	results, spoolRows, err := exec.RunWithStats(out.Result, batch.Metadata, db.store)
+	results, execStats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
+		exec.Options{Parallelism: db.parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +275,8 @@ func (db *DB) runStatements(stmts []parser.Statement) (*BatchResult, error) {
 		OptimizeTime:  optTime,
 		ExecTime:      execTime,
 		EstimatedCost: out.Result.Cost,
-		SpoolRows:     spoolRows,
+		SpoolRows:     execStats.SpoolRows,
+		ExecStats:     execStats,
 		Explain:       out.Result.Format(batch.Metadata),
 	}, nil
 }
@@ -336,7 +366,7 @@ func (db *DB) InsertWithViewMaintenance(table string, rows []Row) (*MaintenanceR
 		stmts[i] = v.MaintenanceStmt(table, deltaName)
 		out.ViewsMaintained = append(out.ViewsMaintained, v.Name)
 	}
-	res, err := db.runStatements(stmts)
+	res, err := db.runStatements(context.Background(), stmts)
 	if err != nil {
 		return nil, fmt.Errorf("maintaining views: %w", err)
 	}

@@ -56,6 +56,12 @@ type Config struct {
 	// the minimum time is reported (standard practice for noisy wall-clock
 	// measurements). 0 means 3.
 	Reps int
+
+	// Parallelism is the executor worker-pool setting for the measured
+	// runs: 0 = parallel with GOMAXPROCS workers (the default), 1 =
+	// sequential, n > 1 = n workers. The harness always takes an additional
+	// sequential measurement for the speedup comparison.
+	Parallelism int
 }
 
 // DefaultConfig matches the benchmark defaults.
@@ -69,7 +75,7 @@ func (c Config) reps() int {
 }
 
 // Measurement is one (mode, batch) run: the quantities the paper's tables
-// report.
+// report, plus the parallel-executor comparison.
 type Measurement struct {
 	Mode       Mode
 	Candidates int
@@ -80,13 +86,46 @@ type Measurement struct {
 	UsedCSEs   []int
 	Labels     []string
 	RowCounts  []int
+
+	// ExecTimeSeq is the batch execution time on the sequential executor
+	// (minimum over reps), measured on the same database; ExecTime is the
+	// configured (by default parallel) executor.
+	ExecTimeSeq time.Duration
+
+	// Workers and Utilization describe the measured parallel run: pool size
+	// and the busy-time fraction of available worker time.
+	Workers     int
+	Utilization float64
+
+	// WallTime is the minimum end-to-end wall time of one rep
+	// (parse+optimize+execute), measured by the harness itself on the
+	// monotonic clock rather than summed from reported phases.
+	WallTime time.Duration
+}
+
+// stopwatch measures per-phase elapsed time. time.Now values carry Go's
+// monotonic clock reading and subtracting them uses it, so phase durations
+// are immune to wall-clock steps (NTP adjustments, suspend); the stopwatch
+// only ever stores and subtracts the original readings — it never
+// serializes them, which would strip the monotonic part.
+type stopwatch struct{ last time.Time }
+
+func newStopwatch() *stopwatch { return &stopwatch{last: time.Now()} }
+
+// Lap returns the monotonic elapsed time since the previous lap (or since
+// construction) and starts the next phase.
+func (s *stopwatch) Lap() time.Duration {
+	now := time.Now()
+	d := now.Sub(s.last)
+	s.last = now
+	return d
 }
 
 // NewDB opens a database loaded with the configured TPC-H data under the
 // given mode.
 func NewDB(cfg Config, mode Mode) (*csedb.DB, error) {
 	s := mode.Settings()
-	db := csedb.Open(csedb.Options{CSE: &s})
+	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism})
 	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
 		return nil, err
 	}
@@ -95,18 +134,24 @@ func NewDB(cfg Config, mode Mode) (*csedb.DB, error) {
 
 // RunBatch measures one batch under one mode on a fresh database,
 // re-running it cfg.Reps times and reporting the minimum optimization and
-// execution times.
+// execution times per phase, measured on the monotonic clock. It then
+// re-executes the batch on the sequential executor (same reps) to record
+// the parallel-vs-sequential comparison, verifying both executors return
+// identical per-statement row counts.
 func RunBatch(cfg Config, mode Mode, sql string) (*Measurement, error) {
 	db, err := NewDB(cfg, mode)
 	if err != nil {
 		return nil, err
 	}
 	var m *Measurement
+	sw := newStopwatch()
 	for rep := 0; rep < cfg.reps(); rep++ {
+		sw.Lap()
 		res, err := db.Run(sql)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", mode, err)
 		}
+		wall := sw.Lap()
 		if m == nil {
 			m = &Measurement{
 				Mode:       mode,
@@ -121,13 +166,43 @@ func RunBatch(cfg Config, mode Mode, sql string) (*Measurement, error) {
 			for _, st := range res.Statements {
 				m.RowCounts = append(m.RowCounts, len(st.Rows))
 			}
-			continue
+		} else {
+			if res.OptimizeTime < m.OptTime {
+				m.OptTime = res.OptimizeTime
+			}
+			if res.ExecTime < m.ExecTime {
+				m.ExecTime = res.ExecTime
+			}
 		}
-		if res.OptimizeTime < m.OptTime {
-			m.OptTime = res.OptimizeTime
+		if m.WallTime == 0 || wall < m.WallTime {
+			m.WallTime = wall
 		}
-		if res.ExecTime < m.ExecTime {
-			m.ExecTime = res.ExecTime
+		if es := res.ExecStats; es != nil && rep == 0 {
+			m.Workers = es.Workers
+			m.Utilization = es.Utilization()
+		}
+	}
+
+	// Sequential comparison phase on the same database and plan settings.
+	db.SetExecParallelism(1)
+	defer db.SetExecParallelism(cfg.Parallelism)
+	for rep := 0; rep < cfg.reps(); rep++ {
+		res, err := db.Run(sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s (sequential): %w", mode, err)
+		}
+		if len(res.Statements) != len(m.RowCounts) {
+			return nil, fmt.Errorf("%s: sequential run returned %d statements, parallel %d",
+				mode, len(res.Statements), len(m.RowCounts))
+		}
+		for i, st := range res.Statements {
+			if len(st.Rows) != m.RowCounts[i] {
+				return nil, fmt.Errorf("%s: statement %d returned %d rows sequentially, %d in parallel",
+					mode, i+1, len(st.Rows), m.RowCounts[i])
+			}
+		}
+		if m.ExecTimeSeq == 0 || res.ExecTime < m.ExecTimeSeq {
+			m.ExecTimeSeq = res.ExecTime
 		}
 	}
 	return m, nil
@@ -202,8 +277,19 @@ func (tr *TableRow) Format() string {
 		fmt.Sprintf("%.4f", tr.Runs[1].ExecTime.Seconds()),
 		fmt.Sprintf("%.4f", tr.Runs[2].ExecTime.Seconds()),
 	})
+	w("Exec time, sequential", [3]string{
+		fmt.Sprintf("%.4f", tr.Runs[0].ExecTimeSeq.Seconds()),
+		fmt.Sprintf("%.4f", tr.Runs[1].ExecTimeSeq.Seconds()),
+		fmt.Sprintf("%.4f", tr.Runs[2].ExecTimeSeq.Seconds()),
+	})
 	if sp := speedup(tr.Runs[0].ExecTime, tr.Runs[1].ExecTime); sp > 0 {
 		fmt.Fprintf(&sb, "  execution speedup with CSEs: %.2fx\n", sp)
+	}
+	if m := tr.Runs[1]; m.Workers > 1 {
+		if sp := speedup(m.ExecTimeSeq, m.ExecTime); sp > 0 {
+			fmt.Fprintf(&sb, "  parallel exec speedup vs sequential: %.2fx (%d workers, %.0f%% utilized)\n",
+				sp, m.Workers, 100*m.Utilization)
+		}
 	}
 	return sb.String()
 }
@@ -384,11 +470,12 @@ func CSVFigure8(points []Figure8Point) string {
 // CSVTable renders a table row comparison as CSV.
 func (tr *TableRow) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("mode,candidates,cse_opts,opt_s,est_cost,exec_s\n")
+	sb.WriteString("mode,candidates,cse_opts,opt_s,est_cost,exec_s,exec_seq_s,workers,utilization\n")
 	for _, m := range tr.Runs {
-		fmt.Fprintf(&sb, "%q,%d,%d,%.6f,%.2f,%.6f\n",
+		fmt.Fprintf(&sb, "%q,%d,%d,%.6f,%.2f,%.6f,%.6f,%d,%.3f\n",
 			m.Mode.String(), m.Candidates, m.CSEOpts,
-			m.OptTime.Seconds(), m.EstCost, m.ExecTime.Seconds())
+			m.OptTime.Seconds(), m.EstCost, m.ExecTime.Seconds(),
+			m.ExecTimeSeq.Seconds(), m.Workers, m.Utilization)
 	}
 	return sb.String()
 }

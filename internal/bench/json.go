@@ -1,0 +1,97 @@
+package bench
+
+import "encoding/json"
+
+// MeasurementJSON is the machine-readable form of one measurement, with
+// durations in seconds.
+type MeasurementJSON struct {
+	Mode        string  `json:"mode"`
+	Candidates  int     `json:"candidates"`
+	CSEOpts     int     `json:"cse_opts"`
+	OptSeconds  float64 `json:"opt_s"`
+	EstCost     float64 `json:"est_cost"`
+	ExecSeconds float64 `json:"exec_s"`
+	ExecSeqSecs float64 `json:"exec_seq_s"`
+	WallSeconds float64 `json:"wall_s"`
+	Workers     int     `json:"workers"`
+	Utilization float64 `json:"utilization"`
+	RowCounts   []int   `json:"row_counts"`
+	UsedCSEs    []int   `json:"used_cses"`
+}
+
+// JSONObject converts a measurement for serialization.
+func (m *Measurement) JSONObject() MeasurementJSON {
+	return MeasurementJSON{
+		Mode:        m.Mode.String(),
+		Candidates:  m.Candidates,
+		CSEOpts:     m.CSEOpts,
+		OptSeconds:  m.OptTime.Seconds(),
+		EstCost:     m.EstCost,
+		ExecSeconds: m.ExecTime.Seconds(),
+		ExecSeqSecs: m.ExecTimeSeq.Seconds(),
+		WallSeconds: m.WallTime.Seconds(),
+		Workers:     m.Workers,
+		Utilization: m.Utilization,
+		RowCounts:   m.RowCounts,
+		UsedCSEs:    m.UsedCSEs,
+	}
+}
+
+// TableJSON is the machine-readable form of a three-mode comparison.
+type TableJSON struct {
+	Title string            `json:"title"`
+	Runs  []MeasurementJSON `json:"runs"`
+
+	// ParallelSpeedup is exec_seq_s / exec_s of the "Using CSEs" run: > 1
+	// means the parallel executor beat sequential execution.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// JSONObject converts a table row for serialization.
+func (tr *TableRow) JSONObject() TableJSON {
+	out := TableJSON{Title: tr.Title}
+	for _, m := range tr.Runs {
+		if m != nil {
+			out.Runs = append(out.Runs, m.JSONObject())
+		}
+	}
+	if m := tr.Runs[WithCSE]; m != nil {
+		out.ParallelSpeedup = speedup(m.ExecTimeSeq, m.ExecTime)
+	}
+	return out
+}
+
+// Figure8JSON is one machine-readable scale-up point.
+type Figure8JSON struct {
+	Queries        int     `json:"queries"`
+	CostNoCSE      float64 `json:"est_cost_no_cse"`
+	CostCSE        float64 `json:"est_cost_cse"`
+	OptNoCSE       float64 `json:"opt_s_no_cse"`
+	OptCSE         float64 `json:"opt_s_cse"`
+	OptNoPruning   float64 `json:"opt_s_no_pruning"`
+	CandsCSE       int     `json:"cands_cse"`
+	CandsNoPruning int     `json:"cands_no_pruning"`
+}
+
+// Figure8JSONObjects converts the sweep for serialization.
+func Figure8JSONObjects(points []Figure8Point) []Figure8JSON {
+	out := make([]Figure8JSON, len(points))
+	for i, p := range points {
+		out[i] = Figure8JSON{
+			Queries:        p.Queries,
+			CostNoCSE:      p.CostNoCSE,
+			CostCSE:        p.CostCSE,
+			OptNoCSE:       p.OptNoCSE.Seconds(),
+			OptCSE:         p.OptCSE.Seconds(),
+			OptNoPruning:   p.OptNoPruning.Seconds(),
+			CandsCSE:       p.CandsCSE,
+			CandsNoPruning: p.CandsNoPruning,
+		}
+	}
+	return out
+}
+
+// MarshalReport renders a named set of experiment results as indented JSON.
+func MarshalReport(report map[string]any) ([]byte, error) {
+	return json.MarshalIndent(report, "", "  ")
+}

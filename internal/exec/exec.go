@@ -4,11 +4,22 @@
 // spools shared across all their consumers (each CSE is computed exactly
 // once per batch execution), and uncorrelated scalar subqueries evaluated
 // once per statement.
+//
+// Batches execute in parallel by default: the spool dependency DAG derived
+// from the optimized plan is materialized in topological waves on a bounded
+// worker pool, then independent statements run concurrently once their
+// spools are ready, with results merged in statement order. Options
+// configures the pool; Parallelism 1 selects the deterministic sequential
+// path.
 package exec
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/logical"
 	"repro/internal/opt"
@@ -23,57 +34,147 @@ type StatementResult struct {
 	Rows  []sqltypes.Row
 }
 
-// Context executes one batch plan.
+// Options configures batch execution.
+type Options struct {
+	// Parallelism is the worker-pool size: 0 (or negative) means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential executor, kept as a
+	// fallback for determinism debugging; n > 1 uses n workers.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// spoolEntry is one CSE's shared work table. In parallel mode once
+// guarantees exactly-once materialization across goroutines; the sequential
+// path uses the done flag together with Context.materializing so that
+// cyclic dependencies are reported instead of deadlocking.
+type spoolEntry struct {
+	id   int
+	plan *opt.Plan
+	once sync.Once
+	done bool
+	rows []sqltypes.Row
+	err  error
+}
+
+// Context executes one batch plan. In parallel mode every statement (and
+// every spool-materialization worker) gets its own shallow copy with a
+// private subqueryVals map; the spool table and stats are shared.
 type Context struct {
 	Store *storage.Store
 	Md    *logical.Metadata
 	CSEs  map[int]*opt.CSEPlan
 
-	spools        map[int][]sqltypes.Row
+	ctx           context.Context
+	parallel      bool
+	spools        map[int]*spoolEntry
 	materializing map[int]bool
 	subqueryVals  map[int]sqltypes.Datum
-
-	// SpoolRows records materialized spool sizes for instrumentation.
-	SpoolRows map[int]int
+	stats         *Stats
 }
 
-// Run executes an optimized batch and returns per-statement results.
-func Run(res *opt.Result, md *logical.Metadata, store *storage.Store) ([]*StatementResult, error) {
-	out, _, err := RunWithStats(res, md, store)
-	return out, err
-}
-
-// RunWithStats additionally reports per-spool materialized row counts —
-// each CSE appears exactly once regardless of its number of consumers.
-func RunWithStats(res *opt.Result, md *logical.Metadata, store *storage.Store) ([]*StatementResult, map[int]int, error) {
+func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *Stats) *Context {
 	c := &Context{
 		Store:         store,
 		Md:            md,
 		CSEs:          res.CSEs,
-		spools:        make(map[int][]sqltypes.Row),
+		ctx:           ctx,
+		spools:        make(map[int]*spoolEntry, len(res.CSEs)),
 		materializing: make(map[int]bool),
 		subqueryVals:  make(map[int]sqltypes.Datum),
-		SpoolRows:     make(map[int]int),
+		stats:         stats,
 	}
-	root := res.Root
-	var stmtPlans []*opt.Plan
-	if root.Op == opt.PSeq {
-		stmtPlans = root.Children
-	} else {
-		stmtPlans = []*opt.Plan{root}
+	for id, cse := range res.CSEs {
+		c.spools[id] = &spoolEntry{id: id, plan: cse.Plan}
 	}
-	out := make([]*StatementResult, 0, len(stmtPlans))
+	return c
+}
+
+// fork returns a Context sharing the spool table and stats but with private
+// per-statement state, for use by one goroutine.
+func (c *Context) fork(ctx context.Context) *Context {
+	cc := *c
+	cc.ctx = ctx
+	cc.materializing = make(map[int]bool)
+	cc.subqueryVals = make(map[int]sqltypes.Datum)
+	return &cc
+}
+
+// Run executes an optimized batch and returns per-statement results.
+func Run(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store) ([]*StatementResult, error) {
+	out, _, err := RunWithStats(ctx, res, md, store)
+	return out, err
+}
+
+// RunWithStats executes with default options and additionally reports
+// execution statistics — each CSE appears exactly once in the spool stats
+// regardless of its number of consumers.
+func RunWithStats(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store) ([]*StatementResult, *Stats, error) {
+	return RunWithOptions(ctx, res, md, store, Options{})
+}
+
+// RunWithOptions executes an optimized batch on a worker pool of the
+// configured size. The parallel scheduler materializes spools in
+// topological waves, then runs statements concurrently; the first error (or
+// a context cancellation) cancels all remaining work. Results are returned
+// in statement order and are identical to sequential execution.
+func RunWithOptions(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, opts Options) ([]*StatementResult, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stmtPlans := res.StatementPlans()
 	for _, sp := range stmtPlans {
-		if sp.Op != opt.PRoot {
-			return nil, nil, fmt.Errorf("statement plan has op %s, want Output", sp.Op)
+		if sp == nil || sp.Op != opt.PRoot {
+			return nil, nil, fmt.Errorf("statement plan has op %s, want Output", planOp(sp))
 		}
+	}
+	workers := opts.workers()
+	stats := newStats(len(stmtPlans), workers)
+	c := newContext(ctx, res, md, store, stats)
+
+	start := time.Now()
+	var out []*StatementResult
+	var err error
+	if workers <= 1 {
+		stats.Sequential = true
+		stats.Workers = 1
+		out, err = c.runSequential(stmtPlans)
+	} else {
+		out, err = c.runParallel(res, stmtPlans, workers)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.finish(time.Since(start))
+	return out, stats, nil
+}
+
+func planOp(p *opt.Plan) string {
+	if p == nil {
+		return "<nil>"
+	}
+	return p.Op.String()
+}
+
+// runSequential is the deterministic fallback: statements in order, spools
+// materialized lazily at first use.
+func (c *Context) runSequential(stmtPlans []*opt.Plan) ([]*StatementResult, error) {
+	out := make([]*StatementResult, 0, len(stmtPlans))
+	for i, sp := range stmtPlans {
+		start := time.Now()
 		sr, err := c.runStatement(sp)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+		c.stats.recordStmt(i, time.Since(start))
 		out = append(out, sr)
 	}
-	return out, c.SpoolRows, nil
+	return out, nil
 }
 
 func (c *Context) runStatement(p *opt.Plan) (*StatementResult, error) {
@@ -194,6 +295,11 @@ func layoutOf(cols []scalar.ColID) map[scalar.ColID]int {
 
 // exec runs one plan node to a materialized row set with layout p.Cols.
 func (c *Context) exec(p *opt.Plan) ([]sqltypes.Row, error) {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	switch p.Op {
 	case opt.PScan:
 		return c.execScan(p)
@@ -226,27 +332,41 @@ func (c *Context) exec(p *opt.Plan) ([]sqltypes.Row, error) {
 
 // spool returns the materialized work table for a candidate CSE, computing
 // it on first use. All consumers — including other CSE plans — share the
-// result.
+// result. In parallel mode the per-entry sync.Once makes the computation
+// exactly-once across goroutines (the scheduler has already rejected
+// cycles); the sequential path tracks the in-flight chain to report cycles.
 func (c *Context) spool(id int) ([]sqltypes.Row, error) {
-	if rows, ok := c.spools[id]; ok {
-		return rows, nil
+	e, ok := c.spools[id]
+	if !ok {
+		return nil, fmt.Errorf("no plan for CSE %d", id)
+	}
+	if c.parallel {
+		e.once.Do(func() { e.materialize(c) })
+		return e.rows, e.err
+	}
+	if e.done {
+		return e.rows, e.err
 	}
 	if c.materializing[id] {
 		return nil, fmt.Errorf("cyclic spool dependency on CSE %d", id)
 	}
-	cse, ok := c.CSEs[id]
-	if !ok {
-		return nil, fmt.Errorf("no plan for CSE %d", id)
-	}
 	c.materializing[id] = true
-	rows, err := c.exec(cse.Plan)
+	e.materialize(c)
 	c.materializing[id] = false
+	e.done = true
+	return e.rows, e.err
+}
+
+// materialize executes the spool's plan exactly once and records stats.
+func (e *spoolEntry) materialize(c *Context) {
+	start := time.Now()
+	rows, err := c.exec(e.plan)
 	if err != nil {
-		return nil, fmt.Errorf("materializing CSE %d: %w", id, err)
+		e.err = fmt.Errorf("materializing CSE %d: %w", e.id, err)
+		return
 	}
-	c.spools[id] = rows
-	c.SpoolRows[id] = len(rows)
-	return rows, nil
+	e.rows = rows
+	c.stats.recordSpool(e.id, len(rows), time.Since(start))
 }
 
 func (c *Context) execScan(p *opt.Plan) ([]sqltypes.Row, error) {

@@ -72,10 +72,10 @@ func orderedFixture(t *testing.T) (*Context, *opt.Plan, *opt.Plan, []scalar.ColI
 	ctx := &Context{
 		Store:         st,
 		Md:            md,
-		spools:        map[int][]sqltypes.Row{},
+		spools:        map[int]*spoolEntry{},
 		materializing: map[int]bool{},
 		subqueryVals:  map[int]sqltypes.Datum{},
-		SpoolRows:     map[int]int{},
+		stats:         newStats(1, 1),
 	}
 	return ctx, lscan, rscan,
 		[]scalar.ColID{lrel.ColID(0)}, []scalar.ColID{rrel.ColID(0)}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/opt"
+)
+
+// runParallel is the DAG scheduler: spools are materialized in topological
+// waves on a bounded worker pool, then statements run concurrently, each
+// with a private Context fork. The first error cancels everything in
+// flight; results are merged in statement order.
+func (c *Context) runParallel(res *opt.Result, stmtPlans []*opt.Plan, workers int) ([]*StatementResult, error) {
+	deps := res.Dependencies()
+	if deps.AnySpoolSubquery() {
+		// A spool whose plan references a scalar-subquery value can only be
+		// computed after the owning statement evaluated the subquery, which
+		// only the lazy sequential executor orders correctly.
+		c.stats.Sequential = true
+		c.stats.Workers = 1
+		c.stats.FallbackReason = "a spool plan references a scalar subquery"
+		return c.runSequential(stmtPlans)
+	}
+	waves, err := deps.Waves()
+	if err != nil {
+		return nil, err
+	}
+	c.parallel = true
+	c.stats.Waves = waves
+
+	// Phase 1: materialize spools wave by wave; within a wave every spool
+	// only depends on completed waves, so all of them can run concurrently.
+	for _, wave := range waves {
+		g := newGroup(c.ctx, workers)
+		for _, id := range wave {
+			id := id
+			g.Go(func(ctx context.Context) error {
+				_, err := c.fork(ctx).spool(id)
+				return err
+			})
+		}
+		if err := g.Wait(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: statements are independent once their spools exist; run them
+	// concurrently and merge by position.
+	out := make([]*StatementResult, len(stmtPlans))
+	g := newGroup(c.ctx, workers)
+	for i, sp := range stmtPlans {
+		i, sp := i, sp
+		g.Go(func(ctx context.Context) error {
+			start := time.Now()
+			sr, err := c.fork(ctx).runStatement(sp)
+			if err != nil {
+				return err
+			}
+			c.stats.recordStmt(i, time.Since(start))
+			out[i] = sr
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// group is a minimal errgroup: a bounded pool of goroutines whose first
+// error cancels the shared context and is returned by Wait.
+type group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+	err    error
+}
+
+func newGroup(parent context.Context, limit int) *group {
+	ctx, cancel := context.WithCancel(parent)
+	return &group{ctx: ctx, cancel: cancel, sem: make(chan struct{}, limit)}
+}
+
+// Go schedules f on the pool, blocking while all workers are busy. f is
+// skipped (with the cancellation error reported by Wait) once the group is
+// cancelled.
+func (g *group) Go(f func(ctx context.Context) error) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := g.ctx.Err(); err != nil {
+			g.fail(err)
+			return
+		}
+		if err := f(g.ctx); err != nil {
+			g.fail(err)
+		}
+	}()
+}
+
+func (g *group) fail(err error) {
+	g.once.Do(func() {
+		g.err = err
+		g.cancel()
+	})
+}
+
+// Wait blocks until every scheduled task finished and returns the first
+// error. It releases the group's context resources.
+func (g *group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}

@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"sync"
+	"time"
+)
+
+// Stats reports what one batch execution did. All per-spool maps are keyed
+// by CSE id. A Stats value is safe for concurrent updates during execution;
+// after Run returns it is plain data.
+type Stats struct {
+	mu sync.Mutex
+
+	// SpoolRows is the number of rows materialized into each spool's work
+	// table; every CSE is computed exactly once per batch.
+	SpoolRows map[int]int
+
+	// SpoolTimes is the wall-clock time spent materializing each spool.
+	SpoolTimes map[int]time.Duration
+
+	// SpoolRuns counts how many times each spool's plan was actually
+	// executed; the scheduler guarantees 1 per spool.
+	SpoolRuns map[int]int
+
+	// StmtTimes is the wall-clock execution time of each statement (spool
+	// materialization excluded when it happened in the spool phase).
+	StmtTimes []time.Duration
+
+	// Workers is the worker-pool size the batch ran with (1 = sequential).
+	Workers int
+
+	// Waves is the topological spool schedule: each inner slice is one wave
+	// of spools materialized concurrently. Empty in sequential mode.
+	Waves [][]int
+
+	// Sequential records that the batch ran on the sequential path, and
+	// FallbackReason says why when that was not requested explicitly.
+	Sequential     bool
+	FallbackReason string
+
+	// WallTime is the total batch execution time; BusyTime is the summed
+	// spool and statement work time across workers.
+	WallTime time.Duration
+	BusyTime time.Duration
+}
+
+func newStats(nStatements, workers int) *Stats {
+	return &Stats{
+		SpoolRows:  make(map[int]int),
+		SpoolTimes: make(map[int]time.Duration),
+		SpoolRuns:  make(map[int]int),
+		StmtTimes:  make([]time.Duration, nStatements),
+		Workers:    workers,
+	}
+}
+
+func (s *Stats) recordSpool(id, rows int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.SpoolRows[id] = rows
+	s.SpoolTimes[id] = d
+	s.SpoolRuns[id]++
+}
+
+func (s *Stats) recordStmt(i int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.StmtTimes[i] = d
+}
+
+// finish computes the aggregate timing figures. Sequential statements
+// materialize spools lazily inside the statement, so their spool time is
+// already part of StmtTimes and is not added twice.
+func (s *Stats) finish(wall time.Duration) {
+	s.WallTime = wall
+	var busy time.Duration
+	if !s.Sequential {
+		for _, d := range s.SpoolTimes {
+			busy += d
+		}
+	}
+	for _, d := range s.StmtTimes {
+		busy += d
+	}
+	s.BusyTime = busy
+}
+
+// Utilization is the fraction of available worker time spent doing spool or
+// statement work: BusyTime / (WallTime × Workers). Sequential runs are ~1;
+// a parallel run limited by one long chain approaches 1/Workers.
+func (s *Stats) Utilization() float64 {
+	if s.WallTime <= 0 || s.Workers <= 0 {
+		return 0
+	}
+	return s.BusyTime.Seconds() / (s.WallTime.Seconds() * float64(s.Workers))
+}

@@ -1,0 +1,175 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scalar"
+)
+
+// BatchDeps is the dependency metadata of an optimized batch: which spools
+// (candidate CSE work tables) each statement consumes and which spools each
+// spool's own plan consumes. The executor uses it to schedule spool
+// materialization in topological waves and to run independent statements
+// concurrently once their spools are ready.
+type BatchDeps struct {
+	// Statements holds the per-statement plans in batch order (the children
+	// of the PSeq root, or the single PRoot plan).
+	Statements []*Plan
+
+	// StmtSpools lists, per statement, the spool IDs the statement's plan
+	// scans anywhere (including inside scalar-subquery plans), sorted.
+	StmtSpools [][]int
+
+	// SpoolDeps maps each spool ID to the sorted spool IDs its plan scans;
+	// every spool of the batch has an entry (possibly empty).
+	SpoolDeps map[int][]int
+
+	// SpoolSubquery marks spools whose plans reference a scalar-subquery
+	// value. Such spools can only be materialized after the owning
+	// statement evaluated the subquery, so the executor must fall back to
+	// sequential, lazy materialization for the batch.
+	SpoolSubquery map[int]bool
+}
+
+// StatementPlans flattens the batch root into per-statement plans.
+func (r *Result) StatementPlans() []*Plan {
+	if r.Root != nil && r.Root.Op == PSeq {
+		return r.Root.Children
+	}
+	return []*Plan{r.Root}
+}
+
+// Dependencies derives the batch's spool/statement dependency DAG.
+func (r *Result) Dependencies() *BatchDeps {
+	d := &BatchDeps{
+		Statements:    r.StatementPlans(),
+		SpoolDeps:     make(map[int][]int, len(r.CSEs)),
+		SpoolSubquery: make(map[int]bool),
+	}
+	d.StmtSpools = make([][]int, len(d.Statements))
+	for i, sp := range d.Statements {
+		used := make(map[int]bool)
+		sp.UsedSpoolIDs(used)
+		d.StmtSpools[i] = sortedIDs(used)
+	}
+	for id, cse := range r.CSEs {
+		used := make(map[int]bool)
+		cse.Plan.UsedSpoolIDs(used)
+		d.SpoolDeps[id] = sortedIDs(used)
+		if cse.Plan.ReferencesSubquery() {
+			d.SpoolSubquery[id] = true
+		}
+	}
+	return d
+}
+
+// AnySpoolSubquery reports whether any spool plan references a scalar
+// subquery value and therefore cannot be materialized ahead of statements.
+func (d *BatchDeps) AnySpoolSubquery() bool { return len(d.SpoolSubquery) > 0 }
+
+// Waves orders the spool IDs into topological levels: every spool in wave k
+// depends only on spools in waves < k, so all spools within one wave can be
+// materialized concurrently. Dependencies on unknown spool IDs are ignored
+// here (execution reports them); a dependency cycle is an error.
+func (d *BatchDeps) Waves() ([][]int, error) {
+	// Kahn's algorithm by levels over the known spool set.
+	indeg := make(map[int]int, len(d.SpoolDeps))
+	consumers := make(map[int][]int, len(d.SpoolDeps))
+	for id, deps := range d.SpoolDeps {
+		if _, ok := indeg[id]; !ok {
+			indeg[id] = 0
+		}
+		for _, dep := range deps {
+			if _, known := d.SpoolDeps[dep]; !known {
+				continue
+			}
+			indeg[id]++
+			consumers[dep] = append(consumers[dep], id)
+		}
+	}
+	var waves [][]int
+	frontier := make([]int, 0, len(indeg))
+	for id, n := range indeg {
+		if n == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	placed := 0
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		waves = append(waves, frontier)
+		placed += len(frontier)
+		var next []int
+		for _, id := range frontier {
+			for _, c := range consumers[id] {
+				indeg[c]--
+				if indeg[c] == 0 {
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	if placed != len(indeg) {
+		cyclic := make(map[int]bool, len(indeg)-placed)
+		for id, n := range indeg {
+			if n > 0 {
+				cyclic[id] = true
+			}
+		}
+		return nil, fmt.Errorf("cyclic spool dependency among CSEs %v", sortedIDs(cyclic))
+	}
+	return waves, nil
+}
+
+// ReferencesSubquery reports whether any scalar expression in the plan tree
+// contains an unresolved scalar-subquery reference.
+func (p *Plan) ReferencesSubquery() bool {
+	if p == nil {
+		return false
+	}
+	if exprHasSubquery(p.Filter) || exprHasSubquery(p.InnerFilter) {
+		return true
+	}
+	for _, pr := range p.Projections {
+		if exprHasSubquery(pr.Expr) {
+			return true
+		}
+	}
+	for _, a := range p.Aggs {
+		if exprHasSubquery(a.Arg) {
+			return true
+		}
+	}
+	for _, c := range p.Children {
+		if c.ReferencesSubquery() {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasSubquery(e *scalar.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if e.Op == scalar.OpSubquery {
+		return true
+	}
+	for _, a := range e.Args {
+		if exprHasSubquery(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedIDs(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
