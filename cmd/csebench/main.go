@@ -21,6 +21,7 @@ import (
 	"repro/csedb"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "print candidate CSE details")
 		format      = flag.String("format", "text", "output format: text|csv|json")
 		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
+		traceJSON   = flag.String("trace-json", "", "enable optimizer tracing and write the last table experiment's CSE-run trace as JSON to this file")
 	)
 	flag.Parse()
 
@@ -43,7 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := bench.Config{ScaleFactor: *sf, Seed: *seed, Parallelism: *parallelism}
+	cfg := bench.Config{ScaleFactor: *sf, Seed: *seed, Parallelism: *parallelism, Tracing: *traceJSON != ""}
 	asJSON := *format == "json"
 	jsonOut := map[string]any{
 		"scale_factor": *sf,
@@ -62,6 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		failed = true
 	}
+	var lastTrace *obs.Trace
 	table := func(name, title, sql string) {
 		if !run(name) {
 			return
@@ -77,6 +80,11 @@ func main() {
 		default:
 			fmt.Println(tr.Format())
 			printCandidates(*verbose, tr)
+		}
+		if err == nil && *traceJSON != "" {
+			if m := tr.Runs[bench.WithCSE]; m != nil && m.Trace != nil {
+				lastTrace = m.Trace
+			}
 		}
 	}
 
@@ -144,6 +152,18 @@ func main() {
 			report(err)
 		} else {
 			fmt.Println(string(data))
+		}
+	}
+	if *traceJSON != "" && !failed {
+		if lastTrace == nil {
+			fmt.Fprintln(os.Stderr, "csebench: -trace-json set but no table experiment produced an optimizer trace")
+			failed = true
+		} else if data, err := lastTrace.JSON(); err != nil {
+			report(err)
+		} else if err := os.WriteFile(*traceJSON, append(data, '\n'), 0o644); err != nil {
+			report(err)
+		} else if !asJSON {
+			fmt.Printf("optimizer trace (%d events) written to %s\n", lastTrace.Len(), *traceJSON)
 		}
 	}
 	if failed {

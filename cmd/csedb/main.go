@@ -9,8 +9,11 @@
 //
 // Shell meta-commands:
 //
-//	\explain <sql...>   show the optimized plan (terminate with ;)
+//	\explain            show the next batch's optimized plan, not its rows
+//	\explain analyze    execute the next batch and show the plan with actuals
 //	\describe           show the next batch's CSE candidates and decisions
+//	\trace on|off       record and print the optimizer decision trace
+//	\metrics            dump the metrics registry
 //	\cse on|off         toggle CSE optimization
 //	\heuristics on|off  toggle the §4.3 pruning heuristics
 //	\parallel on|off|N  executor pool: on=GOMAXPROCS, off=sequential, N workers
@@ -30,6 +33,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/csedb"
 	"repro/internal/core"
@@ -45,12 +49,13 @@ func main() {
 		noCSE       = flag.Bool("no-cse", false, "disable CSE optimization")
 		maxRows     = flag.Int("max-rows", 20, "rows printed per statement")
 		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
+		trace       = flag.Bool("trace", false, "record the optimizer decision trace and print it after each batch")
 	)
 	flag.Parse()
 
 	settings := core.DefaultSettings()
 	settings.EnableCSE = !*noCSE
-	db := csedb.Open(csedb.Options{CSE: &settings, ExecParallelism: *parallelism})
+	db := csedb.Open(csedb.Options{CSE: &settings, ExecParallelism: *parallelism, Tracing: *trace})
 	fmt.Fprintf(os.Stderr, "loading TPC-H data (sf=%g, seed=%d)...\n", *sf, *seed)
 	if err := db.LoadTPCH(*sf, *seed); err != nil {
 		fatal(err)
@@ -112,13 +117,21 @@ func printResult(res *csedb.BatchResult, maxRows int) {
 	fmt.Printf("), executed in %v", res.ExecTime)
 	if es := res.ExecStats; es != nil {
 		if es.Sequential {
-			fmt.Printf(" (sequential)")
+			fmt.Printf(" (sequential")
+			if es.FallbackReason != "" {
+				fmt.Printf(": %s", es.FallbackReason)
+			}
+			fmt.Printf(", busy %v)", es.BusyTime.Round(time.Microsecond))
 		} else {
-			fmt.Printf(" (%d workers, %d spool waves, %.0f%% utilized)",
-				es.Workers, len(es.Waves), 100*es.Utilization())
+			fmt.Printf(" (%d workers, %d spool waves, %.0f%% utilized, busy %v)",
+				es.Workers, len(es.Waves), 100*es.Utilization(), es.BusyTime.Round(time.Microsecond))
 		}
 	}
 	fmt.Println()
+	if res.Trace != nil {
+		fmt.Println("-- optimizer trace")
+		fmt.Print(res.Trace.Text())
+	}
 }
 
 func repl(db *csedb.DB, maxRows int) {
@@ -128,6 +141,7 @@ func repl(db *csedb.DB, maxRows int) {
 	var buf strings.Builder
 	explainNext := false
 	describeNext := false
+	analyzeNext := false
 	prompt := func() {
 		if buf.Len() == 0 {
 			fmt.Print("csedb> ")
@@ -140,7 +154,7 @@ func repl(db *csedb.DB, maxRows int) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if handleMeta(db, trimmed, &explainNext, &describeNext) {
+			if handleMeta(db, trimmed, &explainNext, &describeNext, &analyzeNext) {
 				return
 			}
 			prompt()
@@ -164,6 +178,16 @@ func repl(db *csedb.DB, maxRows int) {
 						fmt.Fprintf(os.Stderr, "internal error: %v\n", r)
 					}
 				}()
+				if analyzeNext {
+					text, err := db.ExplainAnalyze(sql)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "error: %v\n", err)
+					} else {
+						fmt.Print(text)
+					}
+					analyzeNext = false
+					return
+				}
 				if explainNext {
 					plan, err := db.Explain(sql)
 					if err != nil {
@@ -198,14 +222,28 @@ func repl(db *csedb.DB, maxRows int) {
 }
 
 // handleMeta processes a meta-command; it returns true to quit.
-func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext *bool) bool {
+func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext, analyzeNext *bool) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return true
 	case "\\explain":
+		if len(fields) == 2 && fields[1] == "analyze" {
+			*analyzeNext = true
+			fmt.Println("next batch will be executed and shown with per-operator actuals")
+			break
+		}
 		*explainNext = true
 		fmt.Println("next batch will be explained, not executed")
+	case "\\trace":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(os.Stderr, "usage: \\trace on|off")
+			break
+		}
+		db.SetTracing(fields[1] == "on")
+		fmt.Printf("optimizer tracing %s\n", fields[1])
+	case "\\metrics":
+		fmt.Print(db.Metrics().Dump())
 	case "\\describe":
 		*describeNext = true
 		fmt.Println("next batch's CSE decisions will be described, not executed")

@@ -26,6 +26,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/logical"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
@@ -44,6 +45,11 @@ type Options struct {
 	// forces the sequential executor (a determinism-debugging fallback);
 	// n > 1 uses n workers.
 	ExecParallelism int
+
+	// Tracing records a structured optimizer decision trace on every batch
+	// (BatchResult.Trace / core.Output.Trace). Off by default: the untraced
+	// optimizer path carries no trace hooks.
+	Tracing bool
 }
 
 // DB is an in-memory database instance. Read-only queries (Run on SELECT
@@ -59,6 +65,8 @@ type DB struct {
 	views       *views.Manager
 	deltaSeq    int
 	parallelism int
+	tracing     bool
+	metrics     *obs.Registry
 }
 
 // Row re-exports the value tuple type for insertion APIs.
@@ -76,6 +84,8 @@ func Open(opts Options) *DB {
 		settings:    settings,
 		views:       views.NewManager(),
 		parallelism: opts.ExecParallelism,
+		tracing:     opts.Tracing,
+		metrics:     obs.NewRegistry(),
 	}
 }
 
@@ -92,6 +102,16 @@ func (db *DB) ExecParallelism() int { return db.parallelism }
 // SetExecParallelism changes the executor worker-pool setting for
 // subsequent batches.
 func (db *DB) SetExecParallelism(n int) { db.parallelism = n }
+
+// Tracing reports whether optimizer decision tracing is on.
+func (db *DB) Tracing() bool { return db.tracing }
+
+// SetTracing toggles optimizer decision tracing for subsequent batches.
+func (db *DB) SetTracing(on bool) { db.tracing = on }
+
+// Metrics exposes the database's metrics registry. It is always collecting
+// (a handful of atomic updates per batch); render it with Dump or Snapshot.
+func (db *DB) Metrics() *obs.Registry { return db.metrics }
 
 // Catalog exposes the schema catalog (read-only use expected).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
@@ -175,6 +195,9 @@ type BatchResult struct {
 
 	// Explain is the physical plan rendering.
 	Explain string
+
+	// Trace is the optimizer decision trace; nil unless tracing is on.
+	Trace *obs.Trace
 }
 
 // Run parses, optimizes, and executes a batch of statements. Queries in the
@@ -209,11 +232,20 @@ func (db *DB) Optimize(sql string) (*core.Output, *logical.Metadata, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := core.Optimize(m, db.settings)
+	out, err := core.OptimizeTraced(m, db.settings, db.newTrace())
 	if err != nil {
 		return nil, nil, err
 	}
 	return out, batch.Metadata, nil
+}
+
+// newTrace returns a fresh trace when tracing is on, else nil (which
+// disables every trace hook in the optimizer).
+func (db *DB) newTrace() *obs.Trace {
+	if !db.tracing {
+		return nil
+	}
+	return obs.NewTrace()
 }
 
 // Explain returns the physical plan for a batch, including any CSE plans.
@@ -245,7 +277,7 @@ func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*Bat
 	if err != nil {
 		return nil, err
 	}
-	out, err := core.Optimize(m, db.settings)
+	out, err := core.OptimizeTraced(m, db.settings, db.newTrace())
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +290,7 @@ func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*Bat
 		return nil, err
 	}
 	execTime := time.Since(start)
+	db.recordMetrics(len(results), &out.Stats, execStats, optTime, execTime)
 
 	// Materialize any views defined by the batch.
 	for i, st := range batch.Statements {
@@ -278,7 +311,32 @@ func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*Bat
 		SpoolRows:     execStats.SpoolRows,
 		ExecStats:     execStats,
 		Explain:       out.Result.Format(batch.Metadata),
+		Trace:         out.Trace,
 	}, nil
+}
+
+// recordMetrics updates the registry after one executed batch.
+func (db *DB) recordMetrics(nStatements int, stats *core.Stats, es *exec.Stats, optTime, execTime time.Duration) {
+	r := db.metrics
+	r.Counter("csedb_batches_total").Inc()
+	r.Counter("csedb_statements_total").Add(int64(nStatements))
+	r.Counter("cse_candidates_total").Add(int64(stats.Candidates))
+	r.Counter("cse_used_total").Add(int64(len(stats.UsedCSEs)))
+	r.Counter("cse_reoptimizations_total").Add(int64(stats.CSEOptimizations))
+	r.Counter("cse_pruned_h1_total").Add(int64(stats.PrunedH1))
+	r.Counter("cse_pruned_h2_total").Add(int64(stats.PrunedH2))
+	r.Counter("cse_pruned_h3_total").Add(int64(stats.PrunedH3))
+	r.Counter("cse_pruned_h4_total").Add(int64(stats.PrunedH4))
+	for _, rows := range es.SpoolRows {
+		r.Counter("spool_rows_total").Add(int64(rows))
+	}
+	r.Counter("exec_waves_total").Add(int64(len(es.Waves)))
+	if es.FallbackReason != "" {
+		r.Counter("exec_sequential_fallbacks_total").Inc()
+	}
+	r.Gauge("exec_worker_utilization").Set(es.Utilization())
+	r.Histogram("opt_seconds").Observe(optTime.Seconds())
+	r.Histogram("exec_seconds").Observe(execTime.Seconds())
 }
 
 func (db *DB) materializeView(st *logical.Statement, astStmt parser.Statement, md *logical.Metadata, res *exec.StatementResult) error {

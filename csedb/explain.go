@@ -1,0 +1,101 @@
+package csedb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/parser"
+)
+
+// ExplainAnalyze executes a batch with per-operator instrumentation and
+// renders the executed plan with runtime actuals (rows produced, cumulative
+// wall time, spool hit counts) next to the optimizer's estimates, followed
+// by the CSE decision trail (every H1–H4 prune with its thresholds) and an
+// execution summary. The batch really runs: side effects (view
+// materialization is the only one for SELECT batches — none) apply.
+func (db *DB) ExplainAnalyze(sql string) (string, error) {
+	return db.ExplainAnalyzeContext(context.Background(), sql)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with a cancellation context.
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string) (string, error) {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	batch, err := logical.BuildBatch(stmts, db.cat)
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	m, err := memo.Build(batch)
+	if err != nil {
+		return "", err
+	}
+	// EXPLAIN ANALYZE always traces: the decision trail is part of its
+	// output regardless of the database-wide tracing toggle.
+	tr := obs.NewTrace()
+	out, err := core.OptimizeTraced(m, db.settings, tr)
+	if err != nil {
+		return "", err
+	}
+	optTime := time.Since(start)
+
+	start = time.Now()
+	results, stats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
+		exec.Options{Parallelism: db.parallelism, Analyze: true})
+	if err != nil {
+		return "", err
+	}
+	execTime := time.Since(start)
+	db.recordMetrics(len(results), &out.Stats, stats, optTime, execTime)
+
+	return renderAnalyzed(out, batch.Metadata, stats, tr, optTime, execTime), nil
+}
+
+// renderAnalyzed assembles the EXPLAIN ANALYZE text.
+func renderAnalyzed(out *core.Output, md *logical.Metadata, stats *exec.Stats, tr *obs.Trace, optTime, execTime time.Duration) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "estimated cost: %.2f (base %.2f), optimized in %s, executed in %s\n",
+		out.Stats.FinalCost, out.Stats.BaseCost, optTime.Round(time.Microsecond), execTime.Round(time.Microsecond))
+
+	sb.WriteString(out.Result.FormatAnnotated(md, func(p *opt.Plan) string {
+		ns, ok := stats.Nodes[p]
+		if !ok {
+			return ""
+		}
+		actual := fmt.Sprintf("[actual rows=%d time=%s", ns.Rows, ns.Time.Round(time.Microsecond))
+		if ns.Execs > 1 {
+			actual += fmt.Sprintf(" execs=%d", ns.Execs)
+		}
+		if p.Op == opt.PSpoolScan {
+			actual += fmt.Sprintf(" hits=%d", stats.SpoolHits[p.SpoolID])
+		}
+		return actual + "]"
+	}))
+
+	// The CSE decision trail: every pruning decision with its evidence, plus
+	// candidates, charge groups, and the subset search.
+	sb.WriteString("CSE decisions:\n")
+	for _, e := range tr.Events() {
+		sb.WriteString("  ")
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&sb, "execution: workers=%d waves=%d utilization=%.0f%% busy=%s wall=%s\n",
+		stats.Workers, len(stats.Waves), stats.Utilization()*100,
+		stats.BusyTime.Round(time.Microsecond), stats.WallTime.Round(time.Microsecond))
+	if stats.FallbackReason != "" {
+		fmt.Fprintf(&sb, "sequential fallback: %s\n", stats.FallbackReason)
+	}
+	return sb.String()
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/csedb"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sqltypes"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// sequential, n > 1 = n workers. The harness always takes an additional
 	// sequential measurement for the speedup comparison.
 	Parallelism int
+
+	// Tracing records the optimizer decision trace on every measured run
+	// (Measurement.Trace). Off by default so timing measurements stay free
+	// of trace overhead.
+	Tracing bool
 }
 
 // DefaultConfig matches the benchmark defaults.
@@ -97,10 +103,24 @@ type Measurement struct {
 	Workers     int
 	Utilization float64
 
+	// BusyTime is the summed spool and statement work time across workers
+	// of the first measured run; FallbackReason is non-empty when that run
+	// fell back to the sequential executor.
+	BusyTime       time.Duration
+	FallbackReason string
+
 	// WallTime is the minimum end-to-end wall time of one rep
 	// (parse+optimize+execute), measured by the harness itself on the
 	// monotonic clock rather than summed from reported phases.
 	WallTime time.Duration
+
+	// Metrics is the database's metrics registry snapshot after the
+	// measured reps (sequential-comparison reps included).
+	Metrics map[string]float64
+
+	// Trace is the first run's optimizer decision trace when cfg.Tracing is
+	// on; nil otherwise.
+	Trace *obs.Trace
 }
 
 // stopwatch measures per-phase elapsed time. time.Now values carry Go's
@@ -125,7 +145,7 @@ func (s *stopwatch) Lap() time.Duration {
 // given mode.
 func NewDB(cfg Config, mode Mode) (*csedb.DB, error) {
 	s := mode.Settings()
-	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism})
+	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing})
 	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
 		return nil, err
 	}
@@ -180,6 +200,11 @@ func RunBatch(cfg Config, mode Mode, sql string) (*Measurement, error) {
 		if es := res.ExecStats; es != nil && rep == 0 {
 			m.Workers = es.Workers
 			m.Utilization = es.Utilization()
+			m.BusyTime = es.BusyTime
+			m.FallbackReason = es.FallbackReason
+		}
+		if rep == 0 {
+			m.Trace = res.Trace
 		}
 	}
 
@@ -205,6 +230,7 @@ func RunBatch(cfg Config, mode Mode, sql string) (*Measurement, error) {
 			m.ExecTimeSeq = res.ExecTime
 		}
 	}
+	m.Metrics = db.Metrics().Snapshot()
 	return m, nil
 }
 

@@ -5,35 +5,41 @@ import "encoding/json"
 // MeasurementJSON is the machine-readable form of one measurement, with
 // durations in seconds.
 type MeasurementJSON struct {
-	Mode        string  `json:"mode"`
-	Candidates  int     `json:"candidates"`
-	CSEOpts     int     `json:"cse_opts"`
-	OptSeconds  float64 `json:"opt_s"`
-	EstCost     float64 `json:"est_cost"`
-	ExecSeconds float64 `json:"exec_s"`
-	ExecSeqSecs float64 `json:"exec_seq_s"`
-	WallSeconds float64 `json:"wall_s"`
-	Workers     int     `json:"workers"`
-	Utilization float64 `json:"utilization"`
-	RowCounts   []int   `json:"row_counts"`
-	UsedCSEs    []int   `json:"used_cses"`
+	Mode           string             `json:"mode"`
+	Candidates     int                `json:"candidates"`
+	CSEOpts        int                `json:"cse_opts"`
+	OptSeconds     float64            `json:"opt_s"`
+	EstCost        float64            `json:"est_cost"`
+	ExecSeconds    float64            `json:"exec_s"`
+	ExecSeqSecs    float64            `json:"exec_seq_s"`
+	WallSeconds    float64            `json:"wall_s"`
+	Workers        int                `json:"workers"`
+	Utilization    float64            `json:"utilization"`
+	BusySeconds    float64            `json:"busy_s"`
+	FallbackReason string             `json:"fallback_reason,omitempty"`
+	RowCounts      []int              `json:"row_counts"`
+	UsedCSEs       []int              `json:"used_cses"`
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
 }
 
 // JSONObject converts a measurement for serialization.
 func (m *Measurement) JSONObject() MeasurementJSON {
 	return MeasurementJSON{
-		Mode:        m.Mode.String(),
-		Candidates:  m.Candidates,
-		CSEOpts:     m.CSEOpts,
-		OptSeconds:  m.OptTime.Seconds(),
-		EstCost:     m.EstCost,
-		ExecSeconds: m.ExecTime.Seconds(),
-		ExecSeqSecs: m.ExecTimeSeq.Seconds(),
-		WallSeconds: m.WallTime.Seconds(),
-		Workers:     m.Workers,
-		Utilization: m.Utilization,
-		RowCounts:   m.RowCounts,
-		UsedCSEs:    m.UsedCSEs,
+		Mode:           m.Mode.String(),
+		Candidates:     m.Candidates,
+		CSEOpts:        m.CSEOpts,
+		OptSeconds:     m.OptTime.Seconds(),
+		EstCost:        m.EstCost,
+		ExecSeconds:    m.ExecTime.Seconds(),
+		ExecSeqSecs:    m.ExecTimeSeq.Seconds(),
+		WallSeconds:    m.WallTime.Seconds(),
+		Workers:        m.Workers,
+		Utilization:    m.Utilization,
+		BusySeconds:    m.BusyTime.Seconds(),
+		FallbackReason: m.FallbackReason,
+		RowCounts:      m.RowCounts,
+		UsedCSEs:       m.UsedCSEs,
+		Metrics:        m.Metrics,
 	}
 }
 

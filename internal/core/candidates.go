@@ -5,9 +5,19 @@ import (
 	"sort"
 
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/scalar"
 )
+
+// groupInts converts memo group IDs for an obs.Event's Groups field.
+func groupInts(ids []memo.GroupID) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
 
 // detectSets queries the CSE manager's signature table for signatures
 // referenced by two or more expressions from different parts of the query
@@ -84,6 +94,7 @@ type generator struct {
 	cq  float64 // cost of the best plan found before CSE optimization
 
 	stats *Stats
+	trace *obs.Trace // nil when tracing is off
 }
 
 // lowerOf returns a group's lower cost bound.
@@ -105,8 +116,9 @@ func (g *generator) upperOf(gid memo.GroupID) (float64, error) {
 }
 
 // heuristic1 (§4.3.1): the consumers' maximum possible contribution must be
-// a significant fraction of the whole-query cost.
-func (g *generator) heuristic1(consumers []memo.GroupID) (bool, error) {
+// a significant fraction of the whole-query cost. label names the unit being
+// tested ("signature set" or "compat class") in the trace.
+func (g *generator) heuristic1(consumers []memo.GroupID, label string) (bool, error) {
 	sum := 0.0
 	for _, cid := range consumers {
 		lo, err := g.lowerOf(cid)
@@ -115,7 +127,27 @@ func (g *generator) heuristic1(consumers []memo.GroupID) (bool, error) {
 		}
 		sum += lo
 	}
-	return sum >= g.set.Alpha*g.cq, nil
+	threshold := g.set.Alpha * g.cq
+	ok := sum >= threshold
+	if !ok {
+		g.stats.PrunedH1++
+	}
+	if g.trace != nil {
+		g.trace.Add(obs.Event{
+			Kind:   obs.EvH1,
+			Label:  label,
+			Groups: groupInts(consumers),
+			Pruned: !ok,
+			Reason: "sum of consumer lower bounds vs alpha*C_Q",
+			Values: map[string]float64{
+				"sum_lower": sum,
+				"alpha":     g.set.Alpha,
+				"cq":        g.cq,
+				"threshold": threshold,
+			},
+		})
+	}
+	return ok, nil
 }
 
 // heuristic2 (§4.3.2) drops consumers whose results are cheap to compute but
@@ -133,6 +165,22 @@ func (g *generator) heuristic2(consumers []memo.GroupID) ([]memo.GroupID, error)
 		cw := opt.SpoolWriteCost(grp.Rows, bytes)
 		cr := opt.SpoolReadCost(grp.Rows, bytes)
 		if upper < cr+(upper+cw)/n {
+			g.stats.PrunedH2++
+			if g.trace != nil {
+				g.trace.Add(obs.Event{
+					Kind:   obs.EvH2,
+					Groups: []int{int(cid)},
+					Pruned: true,
+					Reason: "cheap to compute, expensive to spool and read back",
+					Values: map[string]float64{
+						"upper":      upper,
+						"read_cost":  cr,
+						"write_cost": cw,
+						"consumers":  n,
+						"threshold":  cr + (upper+cw)/n,
+					},
+				})
+			}
 			continue // discard consumer
 		}
 		kept = append(kept, cid)
@@ -179,10 +227,12 @@ func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
 		cur := r[0]
 		r = r[1:]
 		isCandidate := false
+		lastDelta := 0.0
 		for len(r) > 0 {
 			bestIdx := -1
 			var bestMerged *spec
 			bestDelta := 0.0
+			bestMergedCost := 0.0
 			curCost, err := g.costUsing(cur)
 			if err != nil {
 				return nil, err
@@ -205,10 +255,24 @@ func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
 					bestDelta = delta
 					bestIdx = i
 					bestMerged = merged
+					bestMergedCost = mergedCost
 				}
 			}
+			lastDelta = bestDelta
 			if bestIdx < 0 {
 				break // no more beneficial merging exists
+			}
+			if g.trace != nil {
+				g.trace.Add(obs.Event{
+					Kind:   obs.EvH3Merge,
+					Groups: groupInts(bestMerged.consumers),
+					Reason: "Algorithm 1 greedy merge with positive Δ benefit",
+					Values: map[string]float64{
+						"delta":       bestDelta,
+						"cur_cost":    curCost,
+						"merged_cost": bestMergedCost,
+					},
+				})
 			}
 			r = append(r[:bestIdx], r[bestIdx+1:]...)
 			cur = bestMerged
@@ -216,6 +280,17 @@ func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
 		}
 		if isCandidate {
 			out = append(out, cur)
+		} else {
+			g.stats.PrunedH3++
+			if g.trace != nil {
+				g.trace.Add(obs.Event{
+					Kind:   obs.EvH3Drop,
+					Groups: groupInts(cur.consumers),
+					Pruned: true,
+					Reason: "no merge with positive Δ benefit; trivial spec discarded",
+					Values: map[string]float64{"best_delta": lastDelta},
+				})
+			}
 		}
 	}
 	return out, nil
@@ -227,8 +302,15 @@ func (g *generator) generate() ([]*spec, error) {
 	g.stats.SignatureSets = len(sets)
 	var specs []*spec
 	for _, set := range sets {
+		if g.trace != nil {
+			g.trace.Add(obs.Event{
+				Kind:   obs.EvSignatureSet,
+				Label:  g.m.Group(set[0]).Sig.String(),
+				Groups: groupInts(set),
+			})
+		}
 		if g.set.Heuristics {
-			ok, err := g.heuristic1(set)
+			ok, err := g.heuristic1(set, "signature set")
 			if err != nil {
 				return nil, err
 			}
@@ -240,8 +322,14 @@ func (g *generator) generate() ([]*spec, error) {
 			if len(class) < 2 {
 				continue
 			}
+			if g.trace != nil {
+				g.trace.Add(obs.Event{
+					Kind:   obs.EvCompatClass,
+					Groups: groupInts(class),
+				})
+			}
 			if g.set.Heuristics {
-				ok, err := g.heuristic1(class)
+				ok, err := g.heuristic1(class, "compat class")
 				if err != nil {
 					return nil, err
 				}
@@ -337,6 +425,22 @@ func (g *generator) containmentPrune(specs []*spec) []*spec {
 			}
 			if contained(c, p) && c.bytes > g.set.Beta*p.bytes {
 				discarded[i] = true
+				g.stats.PrunedH4++
+				if g.trace != nil {
+					g.trace.Add(obs.Event{
+						Kind:   obs.EvH4,
+						Label:  c.label(),
+						Groups: groupInts(c.consumers),
+						Pruned: true,
+						Reason: fmt.Sprintf("contained in %s and not meaningfully smaller", p.label()),
+						Values: map[string]float64{
+							"bytes":           c.bytes,
+							"container_bytes": p.bytes,
+							"ratio":           c.bytes / p.bytes,
+							"beta":            g.set.Beta,
+						},
+					})
+				}
 				break
 			}
 		}
@@ -396,6 +500,14 @@ func (g *generator) finalize(specs []*spec) ([]*opt.Candidate, error) {
 			cand.Consumers = append(cand.Consumers, cid)
 			cand.Subs[cid] = sub
 			cand.Stmts[g.m.Group(cid).StmtIdx] = true
+		}
+		if g.trace != nil {
+			g.trace.Add(obs.Event{
+				Kind:   obs.EvCandidate,
+				Label:  fmt.Sprintf("CSE%d: %s", cand.ID, cand.Label),
+				Groups: groupInts(cand.Consumers),
+				Values: map[string]float64{"rows": cand.Rows, "bytes": cand.Bytes},
+			})
 		}
 		cands = append(cands, cand)
 	}

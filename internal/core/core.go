@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/opt"
 )
 
@@ -101,6 +102,17 @@ type Stats struct {
 
 	// UsedCSEs lists the candidate IDs the final plan actually uses.
 	UsedCSEs []int
+
+	// PrunedH1..PrunedH4 count the §4.3 heuristic prune decisions: signature
+	// sets / compatibility classes rejected by Heuristic 1, consumers dropped
+	// by Heuristic 2, trivial specs discarded by Algorithm 1's Δ-benefit test
+	// (Heuristic 3), and contained candidates discarded by Heuristic 4. They
+	// are always counted (no tracing required) so the metrics registry can
+	// report them cheaply.
+	PrunedH1 int
+	PrunedH2 int
+	PrunedH3 int
+	PrunedH4 int
 }
 
 // Output bundles everything the engine and harnesses need.
@@ -110,6 +122,10 @@ type Output struct {
 	Stats      Stats
 	Candidates []*opt.Candidate
 	Optimizer  *opt.Optimizer
+
+	// Trace holds the structured optimizer trace when one was requested via
+	// OptimizeTraced; nil otherwise.
+	Trace *obs.Trace
 }
 
 // Optimize runs normal optimization followed, when enabled and worthwhile,
@@ -117,19 +133,28 @@ type Output struct {
 // heuristic pruning, and cost-based selection over candidate subsets. The
 // returned plan is the cheapest found; it may use no CSEs at all.
 func Optimize(m *memo.Memo, settings Settings) (*Output, error) {
+	return OptimizeTraced(m, settings, nil)
+}
+
+// OptimizeTraced is Optimize with a structured decision trace: when tr is
+// non-nil, every signature-match, heuristic prune (with the cost bounds and
+// α/β/Δ thresholds that triggered it), Algorithm 1 merge, charge-group
+// assignment, and subset reoptimization is recorded on it. A nil tr disables
+// all trace hooks, keeping the untraced path free of overhead.
+func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, error) {
 	o := opt.NewOptimizer(m)
 	base, err := o.OptimizeBase()
 	if err != nil {
 		return nil, err
 	}
-	out := &Output{Result: base, Base: base, Optimizer: o}
+	out := &Output{Result: base, Base: base, Optimizer: o, Trace: tr}
 	out.Stats.BaseCost = base.Cost
 	out.Stats.FinalCost = base.Cost
 	if !settings.EnableCSE || base.Cost < settings.MinQueryCost {
 		return out, nil
 	}
 
-	gen := &generator{m: m, o: o, set: settings, cq: base.Cost, stats: &out.Stats}
+	gen := &generator{m: m, o: o, set: settings, cq: base.Cost, stats: &out.Stats, trace: tr}
 	specs, err := gen.generate()
 	if err != nil {
 		return nil, err
@@ -157,10 +182,21 @@ func Optimize(m *memo.Memo, settings Settings) (*Output, error) {
 	o.ChargeAtRoot = settings.ChargeAtRoot
 	o.NoHistoryReuse = settings.NoHistoryReuse
 	o.PrepareCSE(cands)
+	if tr != nil {
+		for _, c := range cands {
+			tr.Add(obs.Event{
+				Kind:   obs.EvCharge,
+				Label:  fmt.Sprintf("CSE%d: %s", c.ID, c.Label),
+				Groups: []int{int(c.ChargeGroup)},
+				Reason: "initial cost charged at the consumers' common dominator",
+			})
+		}
+	}
 	best, used, nOpts, err := optimizeSubsets(o, m, cands, subsetOpts{
 		pruning:  settings.SubsetPruning,
 		extended: settings.ExtendedSubsetPruning,
 		maxOpts:  maxOpts,
+		trace:    tr,
 	})
 	if err != nil {
 		return nil, err
@@ -170,6 +206,16 @@ func Optimize(m *memo.Memo, settings Settings) (*Output, error) {
 		out.Result = best
 		out.Stats.FinalCost = best.Cost
 		out.Stats.UsedCSEs = used
+	}
+	if tr != nil {
+		tr.Add(obs.Event{
+			Kind: obs.EvFinal,
+			Used: append([]int(nil), out.Stats.UsedCSEs...),
+			Values: map[string]float64{
+				"base_cost":  out.Stats.BaseCost,
+				"final_cost": out.Stats.FinalCost,
+			},
+		})
 	}
 	// The CSE phase caches per-group plan alternatives for history reuse;
 	// the chosen plan no longer needs them.

@@ -35,8 +35,10 @@ func hullSimplify(covering *scalar.Expr) *scalar.Expr {
 	seenIn := make(map[scalar.ColID]int)
 
 	for _, disjunct := range covering.Args {
-		// Per-disjunct bounds.
+		// Per-disjunct bounds, in conjunct order so the rebuilt predicate is
+		// deterministic.
 		local := make(map[scalar.ColID]*bound)
+		localOrder := []scalar.ColID{}
 		for _, c := range scalar.Conjuncts(disjunct) {
 			col, lo, hi, loInc, hiInc, ok := rangeOf(c)
 			if !ok {
@@ -46,6 +48,7 @@ func hullSimplify(covering *scalar.Expr) *scalar.Expr {
 			if b == nil {
 				b = &bound{}
 				local[col] = b
+				localOrder = append(localOrder, col)
 			}
 			if !lo.IsNull() && (b.lo.IsNull() || sqltypes.Compare(lo, b.lo) > 0) {
 				b.lo, b.loInc = lo, loInc
@@ -57,7 +60,8 @@ func hullSimplify(covering *scalar.Expr) *scalar.Expr {
 		}
 		// Fold into the hull: widen bounds; a column absent from this
 		// disjunct becomes unconstrained overall.
-		for col, lb := range local {
+		for _, col := range localOrder {
+			lb := local[col]
 			hb := hull[col]
 			if hb == nil {
 				hb = &bound{lo: lb.lo, hi: lb.hi, loInc: lb.loInc, hiInc: lb.hiInc, constrained: true}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/opt"
 )
 
@@ -31,6 +32,7 @@ type subsetOpts struct {
 	pruning  bool // Propositions 5.4–5.6
 	extended bool // interval strengthening of Proposition 5.6
 	maxOpts  int
+	trace    *obs.Trace // nil when tracing is off
 }
 
 // intervalRule skips every set strictly between lo and hi (inclusive of lo,
@@ -149,6 +151,14 @@ func optimizeSubsets(o *opt.Optimizer, m *memo.Memo, cands []*opt.Candidate, opt
 			return nil, nil, nOpts, err
 		}
 		nOpts++
+		if opts.trace != nil {
+			opts.trace.Add(obs.Event{
+				Kind:    obs.EvSubsetOpt,
+				Enabled: append([]int(nil), enabled...),
+				Used:    append([]int(nil), usedIDs...),
+				Values:  map[string]float64{"cost": res.Cost},
+			})
+		}
 		if best == nil || res.Cost < best.Cost {
 			best = res
 			bestUsed = usedIDs
@@ -206,6 +216,14 @@ func optimizeSubsetsLarge(o *opt.Optimizer, m *memo.Memo, cands []*opt.Candidate
 			return nil, nil, nOpts, err
 		}
 		nOpts++
+		if opts.trace != nil {
+			opts.trace.Add(obs.Event{
+				Kind:    obs.EvSubsetOpt,
+				Enabled: append([]int(nil), cur...),
+				Used:    append([]int(nil), used...),
+				Values:  map[string]float64{"cost": res.Cost},
+			})
+		}
 		if best == nil || res.Cost < best.Cost {
 			best = res
 			bestUsed = used

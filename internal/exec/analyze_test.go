@@ -1,0 +1,88 @@
+package exec_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/csedb"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/opt"
+)
+
+// TestAnalyzeNodeStats: Options.Analyze populates per-operator actuals for
+// every node of every statement plan, the root actuals match the statement
+// output, and spool hit counts equal the number of spool-scan reads.
+func TestAnalyzeNodeStats(t *testing.T) {
+	s := core.DefaultSettings()
+	db := csedb.Open(csedb.Options{CSE: &s})
+	if err := db.LoadTPCH(0.01, 42); err != nil {
+		t.Fatal(err)
+	}
+	out, md, err := db.Optimize(bench.Table2SQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.CSEs) == 0 {
+		t.Fatal("fixture batch must share at least one CSE")
+	}
+
+	for _, par := range []int{1, 4} {
+		res, stats, err := exec.RunWithOptions(context.Background(), out.Result, md, db.Store(),
+			exec.Options{Parallelism: par, Analyze: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Nodes == nil {
+			t.Fatalf("par=%d: Analyze run returned no node stats", par)
+		}
+
+		// Every operator in every statement plan must have been recorded,
+		// and the root's row count must equal the statement's output.
+		spoolScans := 0
+		for i, sp := range out.Result.StatementPlans() {
+			var walk func(p *opt.Plan)
+			walk = func(p *opt.Plan) {
+				ns, ok := stats.Nodes[p]
+				if !ok {
+					t.Errorf("par=%d: stmt %d node %s has no actuals", par, i, p.Op)
+					return
+				}
+				if ns.Execs < 1 {
+					t.Errorf("par=%d: stmt %d node %s executed %d times", par, i, p.Op, ns.Execs)
+				}
+				if p.Op == opt.PSpoolScan {
+					spoolScans++
+				}
+				for _, ch := range p.Children {
+					walk(ch)
+				}
+			}
+			walk(sp)
+			if got := stats.Nodes[sp].Rows; got != len(res[i].Rows) {
+				t.Errorf("par=%d: stmt %d root rows = %d, output has %d", par, i, got, len(res[i].Rows))
+			}
+		}
+
+		hits := 0
+		for _, n := range stats.SpoolHits {
+			hits += n
+		}
+		if spoolScans == 0 || hits < spoolScans {
+			t.Errorf("par=%d: %d spool hits recorded for %d statement-plan spool scans", par, hits, spoolScans)
+		}
+	}
+
+	// The plain path carries no node stats.
+	_, stats, err := exec.RunWithOptions(context.Background(), out.Result, md, db.Store(), exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != nil {
+		t.Error("non-Analyze run must not allocate node stats")
+	}
+	if len(stats.SpoolHits) == 0 {
+		t.Error("spool hit counts must be maintained even without Analyze")
+	}
+}

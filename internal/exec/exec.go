@@ -40,6 +40,12 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces the sequential executor, kept as a
 	// fallback for determinism debugging; n > 1 uses n workers.
 	Parallelism int
+
+	// Analyze turns on per-operator instrumentation (rows produced,
+	// cumulative wall time, execution counts) reported in Stats.Nodes for
+	// EXPLAIN ANALYZE rendering. Off by default: the plain path pays no
+	// per-node timing cost.
+	Analyze bool
 }
 
 func (o Options) workers() int {
@@ -75,10 +81,10 @@ type Context struct {
 	spools        map[int]*spoolEntry
 	materializing map[int]bool
 	subqueryVals  map[int]sqltypes.Datum
-	stats         *Stats
+	stats         *collector
 }
 
-func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *Stats) *Context {
+func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *collector) *Context {
 	c := &Context{
 		Store:         store,
 		Md:            md,
@@ -134,15 +140,15 @@ func RunWithOptions(ctx context.Context, res *opt.Result, md *logical.Metadata, 
 		}
 	}
 	workers := opts.workers()
-	stats := newStats(len(stmtPlans), workers)
+	stats := newCollector(len(stmtPlans), workers, opts.Analyze)
 	c := newContext(ctx, res, md, store, stats)
 
 	start := time.Now()
 	var out []*StatementResult
 	var err error
 	if workers <= 1 {
-		stats.Sequential = true
-		stats.Workers = 1
+		stats.sequential = true
+		stats.workers = 1
 		out, err = c.runSequential(stmtPlans)
 	} else {
 		out, err = c.runParallel(res, stmtPlans, workers)
@@ -150,8 +156,7 @@ func RunWithOptions(ctx context.Context, res *opt.Result, md *logical.Metadata, 
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.finish(time.Since(start))
-	return out, stats, nil
+	return out, stats.snapshot(time.Since(start)), nil
 }
 
 func planOp(p *opt.Plan) string {
@@ -178,6 +183,10 @@ func (c *Context) runSequential(stmtPlans []*opt.Plan) ([]*StatementResult, erro
 }
 
 func (c *Context) runStatement(p *opt.Plan) (*StatementResult, error) {
+	var start time.Time
+	if c.stats.analyze {
+		start = time.Now()
+	}
 	// Evaluate scalar subqueries first.
 	for i, sq := range p.Children[1:] {
 		idx := p.SubqueryIdxs[i]
@@ -225,6 +234,9 @@ func (c *Context) runStatement(p *opt.Plan) (*StatementResult, error) {
 	}
 	if p.Limit > 0 && len(out) > p.Limit {
 		out = out[:p.Limit]
+	}
+	if c.stats.analyze {
+		c.stats.recordNode(p, len(out), time.Since(start))
 	}
 	return &StatementResult{Names: p.OutputNames, Rows: out}, nil
 }
@@ -293,8 +305,22 @@ func layoutOf(cols []scalar.ColID) map[scalar.ColID]int {
 	return m
 }
 
-// exec runs one plan node to a materialized row set with layout p.Cols.
+// exec runs one plan node to a materialized row set with layout p.Cols,
+// recording per-node actuals when Analyze mode is on.
 func (c *Context) exec(p *opt.Plan) ([]sqltypes.Row, error) {
+	if !c.stats.analyze {
+		return c.execNode(p)
+	}
+	start := time.Now()
+	rows, err := c.execNode(p)
+	if err == nil {
+		c.stats.recordNode(p, len(rows), time.Since(start))
+	}
+	return rows, err
+}
+
+// execNode dispatches one plan node.
+func (c *Context) execNode(p *opt.Plan) ([]sqltypes.Row, error) {
 	if c.ctx != nil {
 		if err := c.ctx.Err(); err != nil {
 			return nil, err
@@ -324,6 +350,9 @@ func (c *Context) exec(p *opt.Plan) ([]sqltypes.Row, error) {
 	case opt.PProject:
 		return c.execProject(p)
 	case opt.PSpoolScan:
+		// Every spool scan is one read of the shared work table; the
+		// scheduler's own materialization calls bypass this path.
+		c.stats.recordSpoolHit(p.SpoolID)
 		return c.spool(p.SpoolID)
 	default:
 		return nil, fmt.Errorf("cannot execute plan op %s", p.Op)

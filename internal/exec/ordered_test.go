@@ -75,7 +75,7 @@ func orderedFixture(t *testing.T) (*Context, *opt.Plan, *opt.Plan, []scalar.ColI
 		spools:        map[int]*spoolEntry{},
 		materializing: map[int]bool{},
 		subqueryVals:  map[int]sqltypes.Datum{},
-		stats:         newStats(1, 1),
+		stats:         newCollector(1, 1, false),
 	}
 	return ctx, lscan, rscan,
 		[]scalar.ColID{lrel.ColID(0)}, []scalar.ColID{rrel.ColID(0)}

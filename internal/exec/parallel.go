@@ -18,9 +18,9 @@ func (c *Context) runParallel(res *opt.Result, stmtPlans []*opt.Plan, workers in
 		// A spool whose plan references a scalar-subquery value can only be
 		// computed after the owning statement evaluated the subquery, which
 		// only the lazy sequential executor orders correctly.
-		c.stats.Sequential = true
-		c.stats.Workers = 1
-		c.stats.FallbackReason = "a spool plan references a scalar subquery"
+		c.stats.sequential = true
+		c.stats.workers = 1
+		c.stats.fallback = "a spool plan references a scalar subquery"
 		return c.runSequential(stmtPlans)
 	}
 	waves, err := deps.Waves()
@@ -28,7 +28,7 @@ func (c *Context) runParallel(res *opt.Result, stmtPlans []*opt.Plan, workers in
 		return nil, err
 	}
 	c.parallel = true
-	c.stats.Waves = waves
+	c.stats.waves = waves
 
 	// Phase 1: materialize spools wave by wave; within a wave every spool
 	// only depends on completed waves, so all of them can run concurrently.

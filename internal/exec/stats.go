@@ -3,14 +3,23 @@ package exec
 import (
 	"sync"
 	"time"
+
+	"repro/internal/opt"
 )
 
-// Stats reports what one batch execution did. All per-spool maps are keyed
-// by CSE id. A Stats value is safe for concurrent updates during execution;
-// after Run returns it is plain data.
-type Stats struct {
-	mu sync.Mutex
+// NodeStats holds per-operator actuals collected when Options.Analyze is set:
+// output rows, cumulative wall time (children included, mirroring how
+// Plan.Cost is cumulative), and the number of executions of the node.
+type NodeStats struct {
+	Rows  int
+	Time  time.Duration
+	Execs int
+}
 
+// Stats reports what one batch execution did. It is a plain-data snapshot
+// produced after the run completes — copy it freely. All per-spool maps are
+// keyed by CSE id.
+type Stats struct {
 	// SpoolRows is the number of rows materialized into each spool's work
 	// table; every CSE is computed exactly once per batch.
 	SpoolRows map[int]int
@@ -21,6 +30,10 @@ type Stats struct {
 	// SpoolRuns counts how many times each spool's plan was actually
 	// executed; the scheduler guarantees 1 per spool.
 	SpoolRuns map[int]int
+
+	// SpoolHits counts reads of each spool's work table by consumers
+	// (including other CSE plans when stacking).
+	SpoolHits map[int]int
 
 	// StmtTimes is the wall-clock execution time of each statement (spool
 	// materialization excluded when it happened in the spool phase).
@@ -42,47 +55,10 @@ type Stats struct {
 	// spool and statement work time across workers.
 	WallTime time.Duration
 	BusyTime time.Duration
-}
 
-func newStats(nStatements, workers int) *Stats {
-	return &Stats{
-		SpoolRows:  make(map[int]int),
-		SpoolTimes: make(map[int]time.Duration),
-		SpoolRuns:  make(map[int]int),
-		StmtTimes:  make([]time.Duration, nStatements),
-		Workers:    workers,
-	}
-}
-
-func (s *Stats) recordSpool(id, rows int, d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.SpoolRows[id] = rows
-	s.SpoolTimes[id] = d
-	s.SpoolRuns[id]++
-}
-
-func (s *Stats) recordStmt(i int, d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.StmtTimes[i] = d
-}
-
-// finish computes the aggregate timing figures. Sequential statements
-// materialize spools lazily inside the statement, so their spool time is
-// already part of StmtTimes and is not added twice.
-func (s *Stats) finish(wall time.Duration) {
-	s.WallTime = wall
-	var busy time.Duration
-	if !s.Sequential {
-		for _, d := range s.SpoolTimes {
-			busy += d
-		}
-	}
-	for _, d := range s.StmtTimes {
-		busy += d
-	}
-	s.BusyTime = busy
+	// Nodes holds per-operator actuals, populated only when the batch ran
+	// with Options.Analyze.
+	Nodes map[*opt.Plan]NodeStats
 }
 
 // Utilization is the fraction of available worker time spent doing spool or
@@ -93,4 +69,107 @@ func (s *Stats) Utilization() float64 {
 		return 0
 	}
 	return s.BusyTime.Seconds() / (s.WallTime.Seconds() * float64(s.Workers))
+}
+
+// collector accumulates execution statistics while a batch is running. It is
+// internal so the mutex never escapes to callers (copying a finished Stats
+// snapshot is safe and vet-clean).
+type collector struct {
+	mu         sync.Mutex
+	analyze    bool
+	spoolRows  map[int]int
+	spoolTimes map[int]time.Duration
+	spoolRuns  map[int]int
+	spoolHits  map[int]int
+	stmtTimes  []time.Duration
+	workers    int
+	waves      [][]int
+	sequential bool
+	fallback   string
+	nodes      map[*opt.Plan]*NodeStats
+}
+
+func newCollector(nStatements, workers int, analyze bool) *collector {
+	c := &collector{
+		analyze:    analyze,
+		spoolRows:  make(map[int]int),
+		spoolTimes: make(map[int]time.Duration),
+		spoolRuns:  make(map[int]int),
+		spoolHits:  make(map[int]int),
+		stmtTimes:  make([]time.Duration, nStatements),
+		workers:    workers,
+	}
+	if analyze {
+		c.nodes = make(map[*opt.Plan]*NodeStats)
+	}
+	return c
+}
+
+func (s *collector) recordSpool(id, rows int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spoolRows[id] = rows
+	s.spoolTimes[id] = d
+	s.spoolRuns[id]++
+}
+
+func (s *collector) recordSpoolHit(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spoolHits[id]++
+}
+
+func (s *collector) recordStmt(i int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stmtTimes[i] = d
+}
+
+// recordNode accumulates one execution of a plan node (Analyze mode only).
+func (s *collector) recordNode(p *opt.Plan, rows int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns, ok := s.nodes[p]
+	if !ok {
+		ns = &NodeStats{}
+		s.nodes[p] = ns
+	}
+	ns.Rows += rows
+	ns.Time += d
+	ns.Execs++
+}
+
+// snapshot freezes the collector into a plain Stats value. Sequential
+// statements materialize spools lazily inside the statement, so their spool
+// time is already part of stmtTimes and is not added to BusyTime twice.
+func (s *collector) snapshot(wall time.Duration) *Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &Stats{
+		SpoolRows:      s.spoolRows,
+		SpoolTimes:     s.spoolTimes,
+		SpoolRuns:      s.spoolRuns,
+		SpoolHits:      s.spoolHits,
+		StmtTimes:      s.stmtTimes,
+		Workers:        s.workers,
+		Waves:          s.waves,
+		Sequential:     s.sequential,
+		FallbackReason: s.fallback,
+		WallTime:       wall,
+	}
+	if !s.sequential {
+		for _, d := range s.spoolTimes {
+			out.BusyTime += d
+		}
+	}
+	for _, d := range s.stmtTimes {
+		out.BusyTime += d
+	}
+	if s.nodes != nil {
+		out.Nodes = make(map[*opt.Plan]NodeStats, len(s.nodes))
+		for p, ns := range s.nodes {
+			out.Nodes[p] = *ns
+		}
+	}
+	return out
 }

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Add(Event{Kind: EvH1})
+	if tr.Enabled() {
+		t.Error("nil trace must report disabled")
+	}
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil trace must hold no events")
+	}
+}
+
+func TestTraceRecordAndFilter(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Event{Kind: EvH1, Pruned: true, Values: map[string]float64{"alpha": 0.1}})
+	tr.Add(Event{Kind: EvH4, Label: "E1"})
+	tr.Add(Event{Kind: EvH1, Values: map[string]float64{"alpha": 0.1}})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	h1 := tr.OfKind(EvH1)
+	if len(h1) != 2 || !h1[0].Pruned || h1[1].Pruned {
+		t.Errorf("OfKind(h1) = %+v", h1)
+	}
+}
+
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Add(Event{Kind: EvSubsetOpt})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tr.Len())
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Event{
+		Kind:   EvH1,
+		Groups: []int{5, 9},
+		Pruned: true,
+		Reason: "below alpha threshold",
+		Values: map[string]float64{"alpha": 0.10, "sum_lower": 12.5, "threshold": 100},
+	})
+	text := tr.Text()
+	for _, want := range []string{"[h1]", "G5,G9", "PRUNED", "alpha=0.1", "threshold=100"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(events) != 1 || events[0].Kind != EvH1 || events[0].Values["alpha"] != 0.10 {
+		t.Errorf("round-tripped events = %+v", events)
+	}
+
+	// An empty trace still marshals to a valid (empty) JSON array.
+	data, err = NewTrace().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "[]" {
+		t.Errorf("empty trace JSON = %q, want []", data)
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(3)
+	r.Counter("queries_total").Inc()
+	if got := r.Counter("queries_total").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	r.Counter("queries_total").Add(-5) // ignored
+	if got := r.Counter("queries_total").Value(); got != 4 {
+		t.Errorf("counter after negative add = %d, want 4", got)
+	}
+
+	r.Gauge("utilization").Set(0.75)
+	if got := r.Gauge("utilization").Value(); got != 0.75 {
+		t.Errorf("gauge = %g, want 0.75", got)
+	}
+
+	h := r.Histogram("exec_seconds")
+	h.Observe(0.002)
+	h.Observe(0.2)
+	if h.Count() != 2 {
+		t.Errorf("histogram count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 0.202 {
+		t.Errorf("histogram sum = %g, want 0.202", h.Sum())
+	}
+
+	snap := r.Snapshot()
+	if snap["queries_total"] != 4 || snap["utilization"] != 0.75 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if snap["exec_seconds_count"] != 2 {
+		t.Errorf("snapshot histogram count = %g", snap["exec_seconds_count"])
+	}
+
+	dump := r.Dump()
+	for _, want := range []string{
+		"# TYPE queries_total counter",
+		"queries_total 4",
+		"# TYPE utilization gauge",
+		"# TYPE exec_seconds histogram",
+		`exec_seconds_bucket{le="+Inf"} 2`,
+		"exec_seconds_count 2",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}

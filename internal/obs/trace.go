@@ -1,0 +1,217 @@
+// Package obs is the engine's observability layer: a structured optimizer
+// trace recording every CSE decision (signature matching, candidate
+// generation, the §4.3 pruning heuristics with the cost bounds and
+// thresholds that triggered them, and §5's cost-based selection), and a
+// lightweight metrics registry with a text exposition dump.
+//
+// Both facilities are off the hot path by design: tracing is opt-in (a nil
+// *Trace disables every hook at the call site), and metric updates are a
+// handful of atomic operations per batch, not per row.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies one optimizer trace event.
+type EventKind string
+
+// The trace event taxonomy (documented in DESIGN.md).
+const (
+	// EvSignatureSet: a table signature referenced by >= 2 expressions was
+	// detected (§3 signature matching). Groups holds the member memo groups.
+	EvSignatureSet EventKind = "signature-set"
+
+	// EvCompatClass: a join-compatible class (Definition 4.1) formed within a
+	// signature set.
+	EvCompatClass EventKind = "compat-class"
+
+	// EvH1: Heuristic 1 (§4.3.1) decision — the consumers' summed lower
+	// bounds against the alpha·C_Q threshold. Values: sum_lower, alpha, cq,
+	// threshold.
+	EvH1 EventKind = "h1"
+
+	// EvH2: Heuristic 2 (§4.3.2) consumer drop — cheap to compute, expensive
+	// to spool. Values: upper, read_cost, write_cost, consumers, threshold.
+	EvH2 EventKind = "h2"
+
+	// EvH3Merge: one greedy merge step of Algorithm 1 (§4.3.3) with its
+	// Δ benefit. Values: delta, cur_cost, merged_cost.
+	EvH3Merge EventKind = "h3-merge"
+
+	// EvH3Drop: Heuristic 3 discarded a trivial spec because no merge had a
+	// positive Δ benefit. Values: best_delta.
+	EvH3Drop EventKind = "h3-drop"
+
+	// EvH4: Heuristic 4 (§4.3.4) containment prune — a contained candidate
+	// whose result is not meaningfully smaller than its container's. Values:
+	// bytes, container_bytes, ratio, beta.
+	EvH4 EventKind = "h4"
+
+	// EvCandidate: a candidate survived generation and was handed to the
+	// cost-based selection phase. Values: rows, bytes.
+	EvCandidate EventKind = "candidate"
+
+	// EvCharge: the candidate's initial-cost charge group (the consumers'
+	// common dominator, §5.2) was assigned during PrepareCSE.
+	EvCharge EventKind = "charge"
+
+	// EvSubsetOpt: one reoptimization of the §5.3 subset enumeration.
+	// Enabled is the candidate set optimized with; Used is what the winner
+	// actually used. Values: cost.
+	EvSubsetOpt EventKind = "subset-opt"
+
+	// EvFinal: the chosen CSE set. Values: base_cost, final_cost.
+	EvFinal EventKind = "final"
+)
+
+// Event is one recorded optimizer decision. Numeric evidence (cost bounds,
+// thresholds, the α/β/Δ parameters in force) lives in Values under stable
+// names so tests and tools can assert on it.
+type Event struct {
+	Kind    EventKind          `json:"kind"`
+	Label   string             `json:"label,omitempty"`
+	Groups  []int              `json:"groups,omitempty"`
+	Enabled []int              `json:"enabled,omitempty"`
+	Used    []int              `json:"used,omitempty"`
+	Pruned  bool               `json:"pruned,omitempty"`
+	Reason  string             `json:"reason,omitempty"`
+	Values  map[string]float64 `json:"values,omitempty"`
+}
+
+// Trace accumulates optimizer events for one optimization. A nil *Trace is a
+// valid no-op receiver for Add, so call sites guard with a single nil check
+// (or none) and disabled tracing costs nothing.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Enabled reports whether events are being recorded.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Add appends one event. Safe on a nil trace and for concurrent use.
+func (t *Trace) Add(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of all recorded events in order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// OfKind returns the recorded events of one kind, in order.
+func (t *Trace) OfKind(kind EventKind) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// JSON renders the full event list as indented JSON.
+func (t *Trace) JSON() ([]byte, error) {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	return json.MarshalIndent(events, "", "  ")
+}
+
+// Text renders the trace as one line per event for shell output.
+func (t *Trace) Text() string {
+	events := t.Events()
+	if len(events) == 0 {
+		return "(no optimizer trace events)\n"
+	}
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders one event as a single line.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s]", e.Kind)
+	if e.Label != "" {
+		fmt.Fprintf(&sb, " %s", e.Label)
+	}
+	if len(e.Groups) > 0 {
+		sb.WriteString(" groups=")
+		writeIntList(&sb, e.Groups, "G")
+	}
+	if len(e.Enabled) > 0 {
+		sb.WriteString(" enabled=")
+		writeIntList(&sb, e.Enabled, "CSE")
+	}
+	if len(e.Used) > 0 {
+		sb.WriteString(" used=")
+		writeIntList(&sb, e.Used, "CSE")
+	}
+	switch {
+	case e.Pruned:
+		sb.WriteString(" PRUNED")
+	case e.Kind == EvH1 || e.Kind == EvH2 || e.Kind == EvH4:
+		sb.WriteString(" kept")
+	}
+	if e.Reason != "" {
+		fmt.Fprintf(&sb, ": %s", e.Reason)
+	}
+	if len(e.Values) > 0 {
+		keys := make([]string, 0, len(e.Values))
+		for k := range e.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString(" {")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%.4g", k, e.Values[k])
+		}
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+func writeIntList(sb *strings.Builder, ids []int, prefix string) {
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(sb, "%s%d", prefix, id)
+	}
+}

@@ -160,12 +160,20 @@ func (p *Plan) UsedSpoolIDs(into map[int]bool) {
 
 // Format renders the plan tree for EXPLAIN.
 func (p *Plan) Format(md *logical.Metadata) string {
+	return p.FormatAnnotated(md, nil)
+}
+
+// FormatAnnotated renders the plan tree with ann's text appended to each
+// node line, after the optimizer's estimates. The hook lets callers that
+// hold runtime actuals (which this package cannot depend on) line them up
+// with the estimates for EXPLAIN ANALYZE; a nil ann renders plain EXPLAIN.
+func (p *Plan) FormatAnnotated(md *logical.Metadata, ann func(*Plan) string) string {
 	var sb strings.Builder
-	p.format(md, &sb, 0)
+	p.format(md, &sb, 0, ann)
 	return sb.String()
 }
 
-func (p *Plan) format(md *logical.Metadata, sb *strings.Builder, indent int) {
+func (p *Plan) format(md *logical.Metadata, sb *strings.Builder, indent int, ann func(*Plan) string) {
 	pad := strings.Repeat("  ", indent)
 	fmt.Fprintf(sb, "%s%s", pad, p.Op)
 	namer := scalar.FuncNamer(func(c scalar.ColID) string { return md.ColName(c) })
@@ -239,17 +247,30 @@ func (p *Plan) format(md *logical.Metadata, sb *strings.Builder, indent int) {
 			fmt.Fprintf(sb, " [%s]", strings.Join(projs, ", "))
 		}
 	}
-	fmt.Fprintf(sb, "  (rows=%.0f cost=%.2f)\n", p.Rows, p.Cost)
+	fmt.Fprintf(sb, "  (rows=%.0f cost=%.2f)", p.Rows, p.Cost)
+	if ann != nil {
+		if extra := ann(p); extra != "" {
+			sb.WriteString("  ")
+			sb.WriteString(extra)
+		}
+	}
+	sb.WriteByte('\n')
 	for _, c := range p.Children {
-		c.format(md, sb, indent+1)
+		c.format(md, sb, indent+1, ann)
 	}
 }
 
 // Format renders the full result including CSE plans.
 func (r *Result) Format(md *logical.Metadata) string {
+	return r.FormatAnnotated(md, nil)
+}
+
+// FormatAnnotated renders the full result including CSE plans, threading the
+// per-node annotation hook through every tree (see Plan.FormatAnnotated).
+func (r *Result) FormatAnnotated(md *logical.Metadata, ann func(*Plan) string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "total cost: %.2f\n", r.Cost)
-	sb.WriteString(r.Root.Format(md))
+	sb.WriteString(r.Root.FormatAnnotated(md, ann))
 	ids := make([]int, 0, len(r.CSEs))
 	for id := range r.CSEs {
 		ids = append(ids, id)
@@ -258,7 +279,7 @@ func (r *Result) Format(md *logical.Metadata) string {
 	for _, id := range ids {
 		c := r.CSEs[id]
 		fmt.Fprintf(&sb, "CSE%d: %s (rows=%.0f)\n", id, c.Label, c.Rows)
-		sb.WriteString(c.Plan.Format(md))
+		sb.WriteString(c.Plan.FormatAnnotated(md, ann))
 	}
 	return sb.String()
 }
