@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|repeated|all")
 		sf          = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
 		maxN        = flag.Int("figure8-max", 10, "largest batch size for figure8")
@@ -127,6 +127,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "skipping ablation: text output only")
 		} else if err := runAblations(cfg); err != nil {
 			report(err)
+		}
+	}
+	if run("repeated") {
+		rm, err := bench.RunRepeated(cfg, bench.Table1SQL())
+		switch {
+		case err != nil:
+			report(err)
+		case asJSON:
+			jsonOut["repeated"] = rm.JSONObject()
+		default:
+			fmt.Println(rm.FormatRepeated())
 		}
 	}
 	if run("overhead") {

@@ -14,6 +14,9 @@
 //	\describe           show the next batch's CSE candidates and decisions
 //	\trace on|off       record and print the optimizer decision trace
 //	\metrics            dump the metrics registry
+//	\cache              show cross-batch result-cache state and counters
+//	\cache clear        drop every cached spool result
+//	\cache on|off       enable/disable the result cache
 //	\cse on|off         toggle CSE optimization
 //	\heuristics on|off  toggle the §4.3 pruning heuristics
 //	\parallel on|off|N  executor pool: on=GOMAXPROCS, off=sequential, N workers
@@ -244,6 +247,29 @@ func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext, analyzeNext
 		fmt.Printf("optimizer tracing %s\n", fields[1])
 	case "\\metrics":
 		fmt.Print(db.Metrics().Dump())
+	case "\\cache":
+		rc := db.ResultCache()
+		switch {
+		case len(fields) == 1:
+			if rc == nil {
+				fmt.Println("result cache off")
+			} else {
+				fmt.Printf("result cache: %s\n", rc.Stats())
+			}
+		case len(fields) == 2 && fields[1] == "clear":
+			if rc != nil {
+				rc.Clear()
+			}
+			fmt.Println("result cache cleared")
+		case len(fields) == 2 && fields[1] == "on":
+			db.SetCacheBudget(0)
+			fmt.Println("result cache on")
+		case len(fields) == 2 && fields[1] == "off":
+			db.SetCacheBudget(-1)
+			fmt.Println("result cache off")
+		default:
+			fmt.Fprintln(os.Stderr, "usage: \\cache [clear|on|off]")
+		}
 	case "\\describe":
 		*describeNext = true
 		fmt.Println("next batch's CSE decisions will be described, not executed")

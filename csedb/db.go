@@ -18,15 +18,18 @@ package csedb
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/logical"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/parser"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
@@ -50,6 +53,12 @@ type Options struct {
 	// (BatchResult.Trace / core.Output.Trace). Off by default: the untraced
 	// optimizer path carries no trace hooks.
 	Tracing bool
+
+	// CacheBudget configures the cross-batch spool result cache's byte
+	// budget: 0 (the default) enables it at cache.DefaultBudget, a positive
+	// value enables it at that budget, and a negative value disables the
+	// cache entirely.
+	CacheBudget int64
 }
 
 // DB is an in-memory database instance. Read-only queries (Run on SELECT
@@ -67,6 +76,7 @@ type DB struct {
 	parallelism int
 	tracing     bool
 	metrics     *obs.Registry
+	cache       *cache.Cache
 }
 
 // Row re-exports the value tuple type for insertion APIs.
@@ -78,7 +88,7 @@ func Open(opts Options) *DB {
 	if opts.CSE != nil {
 		settings = *opts.CSE
 	}
-	return &DB{
+	db := &DB{
 		cat:         catalog.New(),
 		store:       storage.NewStore(),
 		settings:    settings,
@@ -87,6 +97,10 @@ func Open(opts Options) *DB {
 		tracing:     opts.Tracing,
 		metrics:     obs.NewRegistry(),
 	}
+	if opts.CacheBudget >= 0 {
+		db.cache = cache.New(opts.CacheBudget, db.metrics)
+	}
+	return db
 }
 
 // Settings returns the current CSE settings.
@@ -113,6 +127,26 @@ func (db *DB) SetTracing(on bool) { db.tracing = on }
 // (a handful of atomic updates per batch); render it with Dump or Snapshot.
 func (db *DB) Metrics() *obs.Registry { return db.metrics }
 
+// ResultCache exposes the cross-batch spool result cache; nil when disabled.
+func (db *DB) ResultCache() *cache.Cache { return db.cache }
+
+// SetCacheBudget reconfigures the result cache for subsequent batches: a
+// negative budget disables it (dropping all entries), 0 enables it at the
+// default budget, and a positive value enables it at that byte budget. When
+// the cache is already on, its budget is adjusted in place (evicting as
+// needed) so existing entries survive.
+func (db *DB) SetCacheBudget(budget int64) {
+	if budget < 0 {
+		db.cache = nil
+		return
+	}
+	if db.cache == nil {
+		db.cache = cache.New(budget, db.metrics)
+		return
+	}
+	db.cache.SetBudget(budget)
+}
+
 // Catalog exposes the schema catalog (read-only use expected).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
@@ -132,10 +166,13 @@ func (db *DB) LoadTPCH(scaleFactor float64, seed int64) error {
 
 // CreateTable registers an empty table.
 func (db *DB) CreateTable(name string, cols []catalog.Column) error {
-	if err := db.cat.Add(&catalog.Table{Name: name, Cols: cols}); err != nil {
+	ctab := &catalog.Table{Name: name, Cols: cols}
+	if err := db.cat.Add(ctab); err != nil {
 		return err
 	}
-	db.store.Create(name)
+	// Analyze even the empty table so per-column stats start at their
+	// floors instead of zero values that skew selectivity math.
+	storage.AnalyzeTable(ctab, db.store.Create(name))
 	return nil
 }
 
@@ -149,7 +186,9 @@ func (db *DB) Insert(table string, rows []Row) error {
 	if err := db.checkRows(ctab, rows); err != nil {
 		return err
 	}
-	db.store.Insert(table, rows)
+	if err := db.store.Insert(table, rows); err != nil {
+		return err
+	}
 	// Appended rows void any physical ordering guarantee.
 	ctab.OrderedBy = nil
 	stab, err := db.store.Table(table)
@@ -285,12 +324,13 @@ func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*Bat
 
 	start = time.Now()
 	results, execStats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
-		exec.Options{Parallelism: db.parallelism})
+		exec.Options{Parallelism: db.parallelism, Cache: db.cache})
 	if err != nil {
 		return nil, err
 	}
 	execTime := time.Since(start)
 	db.recordMetrics(len(results), &out.Stats, execStats, optTime, execTime)
+	db.traceCacheEvents(out.Trace, out.Result, execStats)
 
 	// Materialize any views defined by the batch.
 	for i, st := range batch.Statements {
@@ -334,9 +374,40 @@ func (db *DB) recordMetrics(nStatements int, stats *core.Stats, es *exec.Stats, 
 	if es.FallbackReason != "" {
 		r.Counter("exec_sequential_fallbacks_total").Inc()
 	}
+	r.Counter("exec_spools_cached_total").Add(int64(es.CacheHits()))
 	r.Gauge("exec_worker_utilization").Set(es.Utilization())
 	r.Histogram("opt_seconds").Observe(optTime.Seconds())
 	r.Histogram("exec_seconds").Observe(execTime.Seconds())
+}
+
+// traceCacheEvents appends one EvCache event per executed spool to the
+// batch's optimizer trace, recording whether the cross-batch result cache
+// served it. No-op when tracing is off or the cache is disabled.
+func (db *DB) traceCacheEvents(tr *obs.Trace, res *opt.Result, es *exec.Stats) {
+	if tr == nil || db.cache == nil {
+		return
+	}
+	ids := make([]int, 0, len(es.SpoolRows))
+	for id := range es.SpoolRows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		outcome := "miss"
+		if es.SpoolCached[id] {
+			outcome = "hit"
+		}
+		label := fmt.Sprintf("CSE%d", id)
+		if c := res.CSEs[id]; c != nil && c.SpecKey == "" {
+			outcome = "uncacheable"
+		}
+		tr.Add(obs.Event{
+			Kind:   obs.EvCache,
+			Label:  label,
+			Reason: outcome,
+			Values: map[string]float64{"rows": float64(es.SpoolRows[id])},
+		})
+	}
 }
 
 func (db *DB) materializeView(st *logical.Statement, astStmt parser.Statement, md *logical.Metadata, res *exec.StatementResult) error {
@@ -406,7 +477,9 @@ func (db *DB) InsertWithViewMaintenance(table string, rows []Row) (*MaintenanceR
 	}()
 
 	// Apply the base-table insert itself.
-	db.store.Insert(table, rows)
+	if err := db.store.Insert(table, rows); err != nil {
+		return nil, err
+	}
 	ctab.OrderedBy = nil
 	stab, err := db.store.Table(table)
 	if err != nil {
@@ -456,6 +529,9 @@ func (db *DB) applyDelta(v *views.View, deltaRows []Row) error {
 	if err := v.Merge(vt, deltaRows); err != nil {
 		return err
 	}
+	// Merge mutates the backing table in place, bypassing Store.Insert, so
+	// bump its version by hand to invalidate cached results that read it.
+	db.store.Touch(v.BackingName())
 	storage.AnalyzeTable(backing, vt)
 	return nil
 }

@@ -142,10 +142,13 @@ func (s *stopwatch) Lap() time.Duration {
 }
 
 // NewDB opens a database loaded with the configured TPC-H data under the
-// given mode.
+// given mode. The cross-batch result cache is disabled: the paper's tables
+// report cold-run execution times, and min-over-reps measurement would
+// silently turn into cache-hit measurement otherwise. The repeated-batch
+// scenario (RunRepeated) measures the cache deliberately.
 func NewDB(cfg Config, mode Mode) (*csedb.DB, error) {
 	s := mode.Settings()
-	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing})
+	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing, CacheBudget: -1})
 	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
 		return nil, err
 	}
@@ -478,6 +481,107 @@ func RunOverhead(cfg Config) (*OverheadMeasurement, error) {
 		OptWithCSE: with.OptTime,
 		Candidates: with.Candidates,
 	}, nil
+}
+
+// RepeatedMeasurement reports the repeated-batch scenario: one database with
+// the cross-batch result cache enabled runs the same batch several times.
+// The first (cold) run materializes every spool; warm runs serve them from
+// the cache, so WarmExec should beat ColdExec whenever the batch shares
+// work at all.
+type RepeatedMeasurement struct {
+	Candidates int
+	UsedCSEs   []int
+	RowCounts  []int
+
+	// ColdExec is the first run's execution time; WarmExec is the minimum
+	// execution time over the warm reps.
+	ColdExec time.Duration
+	WarmExec time.Duration
+
+	// SpoolsCached is how many spools the first warm run served from the
+	// cache (out of SpoolsTotal executed spools).
+	SpoolsCached int
+	SpoolsTotal  int
+
+	// Hits/Misses/Invalidations/CacheBytes snapshot the cache after the
+	// scenario.
+	Hits, Misses, Invalidations int64
+	CacheBytes                  int64
+
+	// Metrics is the database's metrics registry snapshot at the end.
+	Metrics map[string]float64
+}
+
+// WarmSpeedup is ColdExec / WarmExec (> 1 means the cache paid off).
+func (r *RepeatedMeasurement) WarmSpeedup() float64 { return speedup(r.ColdExec, r.WarmExec) }
+
+// RunRepeated measures the repeated-batch scenario under the WithCSE mode:
+// the batch runs once cold and cfg.Reps times warm on the same database with
+// the result cache on, verifying warm runs return the same per-statement row
+// counts as the cold run.
+func RunRepeated(cfg Config, sql string) (*RepeatedMeasurement, error) {
+	s := WithCSE.Settings()
+	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing})
+	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
+		return nil, err
+	}
+	cold, err := db.Run(sql)
+	if err != nil {
+		return nil, fmt.Errorf("repeated (cold): %w", err)
+	}
+	m := &RepeatedMeasurement{
+		Candidates: cold.Stats.Candidates,
+		UsedCSEs:   cold.Stats.UsedCSEs,
+		ColdExec:   cold.ExecTime,
+	}
+	for _, st := range cold.Statements {
+		m.RowCounts = append(m.RowCounts, len(st.Rows))
+	}
+	for rep := 0; rep < cfg.reps(); rep++ {
+		warm, err := db.Run(sql)
+		if err != nil {
+			return nil, fmt.Errorf("repeated (warm rep %d): %w", rep, err)
+		}
+		if len(warm.Statements) != len(m.RowCounts) {
+			return nil, fmt.Errorf("warm rep %d returned %d statements, cold run %d",
+				rep, len(warm.Statements), len(m.RowCounts))
+		}
+		for i, st := range warm.Statements {
+			if len(st.Rows) != m.RowCounts[i] {
+				return nil, fmt.Errorf("warm rep %d statement %d returned %d rows, cold run %d",
+					rep, i+1, len(st.Rows), m.RowCounts[i])
+			}
+		}
+		if m.WarmExec == 0 || warm.ExecTime < m.WarmExec {
+			m.WarmExec = warm.ExecTime
+		}
+		if rep == 0 && warm.ExecStats != nil {
+			m.SpoolsCached = warm.ExecStats.CacheHits()
+			m.SpoolsTotal = len(warm.ExecStats.SpoolRows)
+		}
+	}
+	if c := db.ResultCache(); c != nil {
+		st := c.Stats()
+		m.Hits, m.Misses, m.Invalidations, m.CacheBytes = st.Hits, st.Misses, st.Invalidations, st.Bytes
+	}
+	m.Metrics = db.Metrics().Snapshot()
+	return m, nil
+}
+
+// FormatRepeated renders the repeated-batch scenario.
+func (r *RepeatedMeasurement) FormatRepeated() string {
+	var sb strings.Builder
+	sb.WriteString("Repeated batch with cross-batch result cache\n")
+	fmt.Fprintf(&sb, "  candidates: %d (used: %d)\n", r.Candidates, len(r.UsedCSEs))
+	fmt.Fprintf(&sb, "  cold execution time (secs): %.4f\n", r.ColdExec.Seconds())
+	fmt.Fprintf(&sb, "  warm execution time (secs): %.4f\n", r.WarmExec.Seconds())
+	if sp := r.WarmSpeedup(); sp > 0 {
+		fmt.Fprintf(&sb, "  warm-cache speedup: %.2fx\n", sp)
+	}
+	fmt.Fprintf(&sb, "  spools served from cache (first warm run): %d/%d\n", r.SpoolsCached, r.SpoolsTotal)
+	fmt.Fprintf(&sb, "  cache counters: %d hits, %d misses, %d invalidations, %d bytes\n",
+		r.Hits, r.Misses, r.Invalidations, r.CacheBytes)
+	return sb.String()
 }
 
 // CSVFigure8 renders the sweep as CSV for plotting.

@@ -97,6 +97,43 @@ func Figure8JSONObjects(points []Figure8Point) []Figure8JSON {
 	return out
 }
 
+// RepeatedJSON is the machine-readable form of the repeated-batch (result
+// cache) scenario.
+type RepeatedJSON struct {
+	Candidates    int                `json:"candidates"`
+	UsedCSEs      []int              `json:"used_cses"`
+	RowCounts     []int              `json:"row_counts"`
+	ColdExecSecs  float64            `json:"cold_exec_s"`
+	WarmExecSecs  float64            `json:"warm_exec_s"`
+	WarmSpeedup   float64            `json:"warm_speedup"`
+	SpoolsCached  int                `json:"spools_cached"`
+	SpoolsTotal   int                `json:"spools_total"`
+	CacheHits     int64              `json:"cache_hits"`
+	CacheMisses   int64              `json:"cache_misses"`
+	Invalidations int64              `json:"cache_invalidations"`
+	CacheBytes    int64              `json:"cache_bytes"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
+}
+
+// JSONObject converts a repeated-batch measurement for serialization.
+func (r *RepeatedMeasurement) JSONObject() RepeatedJSON {
+	return RepeatedJSON{
+		Candidates:    r.Candidates,
+		UsedCSEs:      r.UsedCSEs,
+		RowCounts:     r.RowCounts,
+		ColdExecSecs:  r.ColdExec.Seconds(),
+		WarmExecSecs:  r.WarmExec.Seconds(),
+		WarmSpeedup:   r.WarmSpeedup(),
+		SpoolsCached:  r.SpoolsCached,
+		SpoolsTotal:   r.SpoolsTotal,
+		CacheHits:     r.Hits,
+		CacheMisses:   r.Misses,
+		Invalidations: r.Invalidations,
+		CacheBytes:    r.CacheBytes,
+		Metrics:       r.Metrics,
+	}
+}
+
 // MarshalReport renders a named set of experiment results as indented JSON.
 func MarshalReport(report map[string]any) ([]byte, error) {
 	return json.MarshalIndent(report, "", "  ")

@@ -1,0 +1,250 @@
+// Package cache implements the cross-batch spool result cache: materialized
+// CSE work tables kept across query batches, keyed by the candidate's
+// batch-independent normalized spec (core spec.cacheKey, carried on
+// opt.CSEPlan.SpecKey).
+//
+// Consistency is version-based. Every entry records the monotonic version
+// counter of each base table its plan read (storage.Store versions, bumped
+// by Create/Insert/Drop/Touch), snapshotted *before* the spool was computed.
+// A lookup whose current versions differ from the entry's — any table, any
+// direction — removes the entry and reports a miss, so a write racing a
+// materialization at worst produces an entry that the next lookup discards.
+//
+// Admission is cost-based, reusing the engine's H2-style bound: an entry is
+// admitted only when reading it back (opt.SpoolReadCost over the actual row
+// set) is cheaper than recomputing its plan (the plan's estimated cost), and
+// only when it fits the byte budget. Eviction is LRU.
+//
+// Cached rows are shared by reference, never copied: the executor already
+// treats spool rows as immutable (parallel consumers of one batch share
+// them), and the cache inherits that invariant.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sqltypes"
+)
+
+// DefaultBudget is the byte budget used when a Cache is created with a
+// non-positive budget: 64 MiB, small enough to be harmless in tests and
+// large enough to hold every spool the bench workloads produce.
+const DefaultBudget = 64 << 20
+
+// entry is one cached spool result.
+type entry struct {
+	key      string
+	rows     []sqltypes.Row
+	bytes    int64
+	versions map[string]uint64
+	elem     *list.Element
+}
+
+// Stats is a point-in-time snapshot of cache state and counters.
+type Stats struct {
+	Entries       int
+	Bytes         int64
+	Budget        int64
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Rejected      int64
+}
+
+// Cache is a byte-budgeted LRU over cached spool results. All methods are
+// safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	hits, misses, evictions, invalidations, rejected int64
+
+	metrics *obs.Registry
+}
+
+// New returns an empty cache with the given byte budget (non-positive means
+// DefaultBudget). The registry receives hit/miss/eviction/invalidation
+// counters, a bytes gauge, and a hit-latency histogram; nil disables metrics.
+func New(budget int64, metrics *obs.Registry) *Cache {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Cache{
+		budget:  budget,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		metrics: metrics,
+	}
+}
+
+// Lookup returns the cached rows for a key when present and still valid
+// against the caller's current version snapshot. A version mismatch removes
+// the entry (counted as an invalidation) and reports a miss, so hits+misses
+// always equals lookups.
+func (c *Cache) Lookup(key string, versions map[string]uint64) ([]sqltypes.Row, bool) {
+	start := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok && !versionsEqual(e.versions, versions) {
+		c.removeLocked(e)
+		c.invalidations++
+		c.count("cache_invalidations_total")
+		ok = false
+	}
+	if !ok {
+		c.misses++
+		c.count("cache_misses_total")
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits++
+	c.count("cache_hits_total")
+	if c.metrics != nil {
+		c.metrics.Histogram("cache_hit_seconds").Observe(time.Since(start).Seconds())
+	}
+	return e.rows, true
+}
+
+// Admit offers a freshly materialized spool result to the cache. versions
+// must be the source-table snapshot taken before the plan ran. The entry is
+// rejected when reading it back (readCost) would not beat recomputing it
+// (computeCost) — the H2-style bound — or when it alone exceeds the budget;
+// otherwise LRU entries are evicted until it fits. Reports whether the entry
+// was admitted.
+func (c *Cache) Admit(key string, rows []sqltypes.Row, versions map[string]uint64, readCost, computeCost float64) bool {
+	if key == "" {
+		return false
+	}
+	var bytes int64
+	for _, r := range rows {
+		bytes += int64(sqltypes.RowSize(r))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if readCost >= computeCost || bytes > c.budget {
+		c.rejected++
+		c.count("cache_rejected_total")
+		return false
+	}
+	if old, ok := c.entries[key]; ok {
+		// Concurrent batches can materialize the same spool; last admit wins.
+		c.removeLocked(old)
+	}
+	for c.bytes+bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*entry))
+		c.evictions++
+		c.count("cache_evictions_total")
+	}
+	e := &entry{key: key, rows: rows, bytes: bytes, versions: copyVersions(versions)}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += bytes
+	c.gaugeBytes()
+	return true
+}
+
+// Clear drops every entry.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry)
+	c.lru.Init()
+	c.bytes = 0
+	c.gaugeBytes()
+}
+
+// SetBudget changes the byte budget (non-positive means DefaultBudget) and
+// evicts LRU entries until the cache fits.
+func (c *Cache) SetBudget(budget int64) {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budget
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*entry))
+		c.evictions++
+		c.count("cache_evictions_total")
+	}
+	c.gaugeBytes()
+}
+
+// Stats snapshots the cache's state and counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:       len(c.entries),
+		Bytes:         c.bytes,
+		Budget:        c.budget,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Rejected:      c.rejected,
+	}
+}
+
+// String renders a one-line summary for the shell's \cache command.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d entries, %d/%d bytes; %d hits, %d misses, %d invalidations, %d evictions, %d rejected",
+		s.Entries, s.Bytes, s.Budget, s.Hits, s.Misses, s.Invalidations, s.Evictions, s.Rejected)
+}
+
+// removeLocked unlinks an entry; callers hold mu.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+	c.gaugeBytes()
+}
+
+func (c *Cache) count(name string) {
+	if c.metrics != nil {
+		c.metrics.Counter(name).Inc()
+	}
+}
+
+func (c *Cache) gaugeBytes() {
+	if c.metrics != nil {
+		c.metrics.Gauge("cache_bytes").Set(float64(c.bytes))
+	}
+}
+
+func versionsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func copyVersions(v map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}

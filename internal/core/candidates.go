@@ -488,6 +488,7 @@ func (g *generator) finalize(specs []*spec) ([]*opt.Candidate, error) {
 			Tables:    s.tables,
 			Grouped:   s.grouped,
 			Label:     s.label(),
+			SpecKey:   s.cacheKey(),
 		}
 		for _, cid := range s.sortedConsumers() {
 			sub, err := s.substituteFor(cid)

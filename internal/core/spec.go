@@ -473,6 +473,98 @@ func (s *spec) label() string {
 	return sb.String()
 }
 
+// cacheKey renders a batch-independent fingerprint of the normalized spec:
+// the signature [G; T] plus the canonicalized join, shared, and covering
+// predicates, grouping columns, aggregates, and the positional output
+// layout. Columns are named in base space (table.ordinal) instead of
+// batch-local column IDs, and aggregate outputs by their aggregate's
+// base-space rendering, so two batches that construct the same CSE — even
+// with different statement counts or orderings — produce the same key. That
+// is what lets a cross-batch result cache recognize a spool. Order-sensitive
+// components (the output layout) are kept in order, because cached rows are
+// positional; order-free components are sorted. An empty key means some
+// referenced column has no base-space name, so the spec must not be cached.
+func (s *spec) cacheKey() string {
+	ok := true
+	var aggName func(c scalar.ColID) (string, bool)
+	baseName := func(c scalar.ColID) (string, bool) {
+		if k, isBase := s.canonCM.baseOf(c); isBase {
+			return fmt.Sprintf("%s.%d", k.table, k.ord), true
+		}
+		return aggName(c)
+	}
+	namer := scalar.FuncNamer(func(c scalar.ColID) string {
+		n, nameOK := baseName(c)
+		if !nameOK {
+			ok = false
+		}
+		return n
+	})
+	aggName = func(c scalar.ColID) (string, bool) {
+		for _, a := range s.aggs {
+			if a.Out == c {
+				if a.Arg == nil {
+					return a.Kind.String() + "(*)", true
+				}
+				return fmt.Sprintf("%s(%s)", a.Kind, scalar.Format(a.Arg, namer)), true
+			}
+		}
+		return "?", false
+	}
+	sorted := func(exprs []*scalar.Expr) []string {
+		out := make([]string, len(exprs))
+		for i, e := range exprs {
+			out[i] = scalar.Format(e, namer)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	var sb strings.Builder
+	if s.grouped {
+		sb.WriteString("G")
+	}
+	fmt.Fprintf(&sb, "[%s]", strings.Join(s.tables, ","))
+	fmt.Fprintf(&sb, "|join:%s", strings.Join(sorted(s.joinConjuncts), "&"))
+	fmt.Fprintf(&sb, "|shared:%s", strings.Join(sorted(s.shared), "&"))
+	switch {
+	case s.covering == nil:
+		sb.WriteString("|cover:true")
+	case s.covering.Op == scalar.OpOr:
+		// Disjunct order follows consumer order, which is batch-dependent;
+		// sort so reordered batches still hit.
+		fmt.Fprintf(&sb, "|cover:%s", strings.Join(sorted(s.covering.Args), " OR "))
+	default:
+		fmt.Fprintf(&sb, "|cover:%s", scalar.Format(s.covering, namer))
+	}
+	if s.grouped {
+		groups := make([]string, len(s.groupCols))
+		for i, c := range s.groupCols {
+			var nameOK bool
+			groups[i], nameOK = baseName(c)
+			if !nameOK {
+				ok = false
+			}
+		}
+		sort.Strings(groups)
+		fmt.Fprintf(&sb, "|group:%s", strings.Join(groups, ","))
+	}
+	// Output layout stays positional: a hit serves raw cached rows.
+	outs := make([]string, len(s.outCols))
+	for i, c := range s.outCols {
+		var nameOK bool
+		outs[i], nameOK = baseName(c)
+		if !nameOK {
+			ok = false
+		}
+	}
+	fmt.Fprintf(&sb, "|out:%s", strings.Join(outs, ","))
+	if !ok {
+		return ""
+	}
+	return sb.String()
+}
+
 // sortedConsumers returns the consumers in deterministic order.
 func (s *spec) sortedConsumers() []memo.GroupID {
 	out := append([]memo.GroupID(nil), s.consumers...)

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/logical"
 	"repro/internal/opt"
 	"repro/internal/scalar"
@@ -46,6 +47,12 @@ type Options struct {
 	// EXPLAIN ANALYZE rendering. Off by default: the plain path pays no
 	// per-node timing cost.
 	Analyze bool
+
+	// Cache, when non-nil, is the cross-batch spool result cache: a spool
+	// whose CSEPlan carries a SpecKey is looked up before materialization
+	// (hit → cached rows are served) and offered for admission after (with
+	// the source-table version snapshot taken before the plan ran).
+	Cache *cache.Cache
 }
 
 func (o Options) workers() int {
@@ -66,6 +73,12 @@ type spoolEntry struct {
 	done bool
 	rows []sqltypes.Row
 	err  error
+
+	// Cross-batch cache identity: the candidate's canonical spec key and
+	// the base tables its plan reads (lowercase, sorted). key is "" when the
+	// spool is not cacheable (no SpecKey, subquery reference, or no cache).
+	key     string
+	sources []string
 }
 
 // Context executes one batch plan. In parallel mode every statement (and
@@ -82,9 +95,10 @@ type Context struct {
 	materializing map[int]bool
 	subqueryVals  map[int]sqltypes.Datum
 	stats         *collector
+	cache         *cache.Cache
 }
 
-func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *collector) *Context {
+func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *collector, resultCache *cache.Cache) *Context {
 	c := &Context{
 		Store:         store,
 		Md:            md,
@@ -94,11 +108,32 @@ func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, stor
 		materializing: make(map[int]bool),
 		subqueryVals:  make(map[int]sqltypes.Datum),
 		stats:         stats,
+		cache:         resultCache,
 	}
 	for id, cse := range res.CSEs {
-		c.spools[id] = &spoolEntry{id: id, plan: cse.Plan}
+		e := &spoolEntry{id: id, plan: cse.Plan}
+		if resultCache != nil && cse.SpecKey != "" && !cse.Plan.ReferencesSubquery() {
+			// Resolve the plan's base tables (through stacked spools) so a
+			// lookup can snapshot their versions; a spool whose rows depend
+			// on a scalar subquery is never cached — its result is
+			// batch-local.
+			set := make(map[string]bool)
+			cse.Plan.SourceTables(md, res.CSEs, set)
+			e.key = cse.SpecKey
+			e.sources = sortedNames(set)
+		}
+		c.spools[id] = e
 	}
 	return c
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // fork returns a Context sharing the spool table and stats but with private
@@ -141,7 +176,7 @@ func RunWithOptions(ctx context.Context, res *opt.Result, md *logical.Metadata, 
 	}
 	workers := opts.workers()
 	stats := newCollector(len(stmtPlans), workers, opts.Analyze)
-	c := newContext(ctx, res, md, store, stats)
+	c := newContext(ctx, res, md, store, stats, opts.Cache)
 
 	start := time.Now()
 	var out []*StatementResult
@@ -386,9 +421,23 @@ func (c *Context) spool(id int) ([]sqltypes.Row, error) {
 	return e.rows, e.err
 }
 
-// materialize executes the spool's plan exactly once and records stats.
+// materialize executes the spool's plan exactly once and records stats. For
+// cacheable spools it first consults the cross-batch result cache; on a miss
+// the freshly computed rows are offered back under the source-table version
+// snapshot taken *before* the plan ran, so a write racing the computation
+// leaves behind an entry the next lookup rejects rather than stale data that
+// validates.
 func (e *spoolEntry) materialize(c *Context) {
 	start := time.Now()
+	var versions map[string]uint64
+	if e.key != "" {
+		versions = c.Store.Versions(e.sources)
+		if rows, ok := c.cache.Lookup(e.key, versions); ok {
+			e.rows = rows
+			c.stats.recordSpoolCached(e.id, len(rows), time.Since(start))
+			return
+		}
+	}
 	rows, err := c.exec(e.plan)
 	if err != nil {
 		e.err = fmt.Errorf("materializing CSE %d: %w", e.id, err)
@@ -396,6 +445,16 @@ func (e *spoolEntry) materialize(c *Context) {
 	}
 	e.rows = rows
 	c.stats.recordSpool(e.id, len(rows), time.Since(start))
+	if e.key != "" {
+		var bytes int64
+		for _, r := range rows {
+			bytes += int64(sqltypes.RowSize(r))
+		}
+		// H2-style admission bound: cache only when reading the rows back
+		// costs less than recomputing the plan.
+		readCost := opt.SpoolReadCost(float64(len(rows)), float64(bytes))
+		c.cache.Admit(e.key, rows, versions, readCost, e.plan.Cost)
+	}
 }
 
 func (c *Context) execScan(p *opt.Plan) ([]sqltypes.Row, error) {

@@ -35,6 +35,10 @@ type Stats struct {
 	// (including other CSE plans when stacking).
 	SpoolHits map[int]int
 
+	// SpoolCached marks spools served from the cross-batch result cache
+	// instead of being materialized; such spools have no SpoolRuns entry.
+	SpoolCached map[int]bool
+
 	// StmtTimes is the wall-clock execution time of each statement (spool
 	// materialization excluded when it happened in the spool phase).
 	StmtTimes []time.Duration
@@ -61,6 +65,10 @@ type Stats struct {
 	Nodes map[*opt.Plan]NodeStats
 }
 
+// CacheHits is the number of spools this batch served from the cross-batch
+// result cache.
+func (s *Stats) CacheHits() int { return len(s.SpoolCached) }
+
 // Utilization is the fraction of available worker time spent doing spool or
 // statement work: BusyTime / (WallTime × Workers). Sequential runs are ~1;
 // a parallel run limited by one long chain approaches 1/Workers.
@@ -75,29 +83,31 @@ func (s *Stats) Utilization() float64 {
 // internal so the mutex never escapes to callers (copying a finished Stats
 // snapshot is safe and vet-clean).
 type collector struct {
-	mu         sync.Mutex
-	analyze    bool
-	spoolRows  map[int]int
-	spoolTimes map[int]time.Duration
-	spoolRuns  map[int]int
-	spoolHits  map[int]int
-	stmtTimes  []time.Duration
-	workers    int
-	waves      [][]int
-	sequential bool
-	fallback   string
-	nodes      map[*opt.Plan]*NodeStats
+	mu          sync.Mutex
+	analyze     bool
+	spoolRows   map[int]int
+	spoolTimes  map[int]time.Duration
+	spoolRuns   map[int]int
+	spoolHits   map[int]int
+	spoolCached map[int]bool
+	stmtTimes   []time.Duration
+	workers     int
+	waves       [][]int
+	sequential  bool
+	fallback    string
+	nodes       map[*opt.Plan]*NodeStats
 }
 
 func newCollector(nStatements, workers int, analyze bool) *collector {
 	c := &collector{
-		analyze:    analyze,
-		spoolRows:  make(map[int]int),
-		spoolTimes: make(map[int]time.Duration),
-		spoolRuns:  make(map[int]int),
-		spoolHits:  make(map[int]int),
-		stmtTimes:  make([]time.Duration, nStatements),
-		workers:    workers,
+		analyze:     analyze,
+		spoolRows:   make(map[int]int),
+		spoolTimes:  make(map[int]time.Duration),
+		spoolRuns:   make(map[int]int),
+		spoolHits:   make(map[int]int),
+		spoolCached: make(map[int]bool),
+		stmtTimes:   make([]time.Duration, nStatements),
+		workers:     workers,
 	}
 	if analyze {
 		c.nodes = make(map[*opt.Plan]*NodeStats)
@@ -111,6 +121,17 @@ func (s *collector) recordSpool(id, rows int, d time.Duration) {
 	s.spoolRows[id] = rows
 	s.spoolTimes[id] = d
 	s.spoolRuns[id]++
+}
+
+// recordSpoolCached notes a spool served from the cross-batch result cache:
+// the rows are available (SpoolRows) but the plan was never run (no
+// SpoolRuns entry); d is the lookup time.
+func (s *collector) recordSpoolCached(id, rows int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spoolRows[id] = rows
+	s.spoolTimes[id] = d
+	s.spoolCached[id] = true
 }
 
 func (s *collector) recordSpoolHit(id int) {
@@ -150,6 +171,7 @@ func (s *collector) snapshot(wall time.Duration) *Stats {
 		SpoolTimes:     s.spoolTimes,
 		SpoolRuns:      s.spoolRuns,
 		SpoolHits:      s.spoolHits,
+		SpoolCached:    s.spoolCached,
 		StmtTimes:      s.stmtTimes,
 		Workers:        s.workers,
 		Waves:          s.waves,

@@ -67,6 +67,10 @@ const (
 
 	// EvFinal: the chosen CSE set. Values: base_cost, final_cost.
 	EvFinal EventKind = "final"
+
+	// EvCache: a cross-batch result-cache outcome for one spool, appended
+	// after execution. Reason is "hit" or "miss"; Values: rows.
+	EvCache EventKind = "cache"
 )
 
 // Event is one recorded optimizer decision. Numeric evidence (cost bounds,

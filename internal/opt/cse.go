@@ -58,6 +58,11 @@ type Candidate struct {
 	Grouped bool
 
 	Label string
+
+	// SpecKey is the batch-independent canonical fingerprint of the
+	// normalized spec, used as the cross-batch result-cache key. Empty when
+	// the candidate is not safely keyable (see core spec.cacheKey).
+	SpecKey string
 }
 
 // WriteCost is C_W for the candidate's work table.
@@ -263,11 +268,12 @@ func (o *Optimizer) OptimizeWithCSEs(enabled []int) (*Result, []int, error) {
 	for _, id := range usedIDs {
 		c := o.candByID(id)
 		res.CSEs[id] = &CSEPlan{
-			ID:    id,
-			Plan:  best.Choices[id],
-			Cols:  c.SpoolCols,
-			Rows:  c.Rows,
-			Label: c.Label,
+			ID:      id,
+			Plan:    best.Choices[id],
+			Cols:    c.SpoolCols,
+			Rows:    c.Rows,
+			Label:   c.Label,
+			SpecKey: c.SpecKey,
 		}
 	}
 	return res, usedIDs, nil

@@ -133,6 +133,30 @@ type CSEPlan struct {
 	Rows float64
 	// SQL-ish description for EXPLAIN output.
 	Label string
+	// SpecKey is the candidate's batch-independent cache key ("" = not
+	// cacheable across batches).
+	SpecKey string
+}
+
+// SourceTables walks the plan and collects, into the given set, the lowercase
+// names of every base table it scans, recursing through spool scans via the
+// cses map. The set is what a result cache must version-check: a write to any
+// of these tables invalidates rows derived from the plan.
+func (p *Plan) SourceTables(md *logical.Metadata, cses map[int]*CSEPlan, into map[string]bool) {
+	if p == nil {
+		return
+	}
+	switch p.Op {
+	case PScan, PIndexScan, PLookupJoin:
+		into[strings.ToLower(md.Rel(p.Rel).Tab.Name)] = true
+	case PSpoolScan:
+		if c := cses[p.SpoolID]; c != nil {
+			c.Plan.SourceTables(md, cses, into)
+		}
+	}
+	for _, c := range p.Children {
+		c.SourceTables(md, cses, into)
+	}
 }
 
 // Result is a complete optimized batch plan.

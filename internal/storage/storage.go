@@ -34,31 +34,46 @@ func (t *Table) Len() int { return len(t.Rows) }
 // Store maps table names to their rows. A Store instance is safe for
 // concurrent readers once loading completes; mutations are serialized by the
 // engine.
+//
+// Every table carries a monotonic version counter, bumped by Create, Insert,
+// Drop, and Touch. Versions are the cache-invalidation primitive: a cached
+// result records the versions of every table it read, and is rejected when
+// any of them has moved. Counters live in their own map so that a
+// Drop-then-Create sequence never reuses a version a cached entry may still
+// hold.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	versions map[string]uint64
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{tables: make(map[string]*Table)}
+	return &Store{tables: make(map[string]*Table), versions: make(map[string]uint64)}
 }
 
-// Create registers an empty table. It replaces any existing table of the
-// same name (used when rebuilding materialized views).
+// Create registers an empty table and bumps its version. It replaces any
+// existing table of the same name (used when rebuilding materialized views).
 func (s *Store) Create(name string) *Table {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	key := strings.ToLower(name)
 	t := &Table{Name: name}
-	s.tables[strings.ToLower(name)] = t
+	s.tables[key] = t
+	s.versions[key]++
 	return t
 }
 
-// Drop removes a table's rows.
+// Drop deletes the named table (the table itself, not just its rows) and
+// bumps its version so cached results derived from it are invalidated. The
+// version counter outlives the table: re-creating the same name continues
+// the sequence rather than restarting it.
 func (s *Store) Drop(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.tables, strings.ToLower(name))
+	key := strings.ToLower(name)
+	delete(s.tables, key)
+	s.versions[key]++
 }
 
 // Table returns the named table or an error.
@@ -72,17 +87,49 @@ func (s *Store) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// Insert appends rows to the named table, creating it if absent.
-func (s *Store) Insert(name string, rows []sqltypes.Row) {
+// Insert appends rows to the named table and bumps its version. Inserting
+// into a table that does not exist is an error: auto-creating it would turn
+// a typo'd name into a silent empty table.
+func (s *Store) Insert(name string, rows []sqltypes.Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := strings.ToLower(name)
 	t, ok := s.tables[key]
 	if !ok {
-		t = &Table{Name: name}
-		s.tables[key] = t
+		return fmt.Errorf("insert into unknown table %q", name)
 	}
 	t.Rows = append(t.Rows, rows...)
+	s.versions[key]++
+	return nil
+}
+
+// Touch bumps the named table's version without changing its rows. Callers
+// that mutate a Table in place (bulk-load Append, view delta merges) use it
+// to signal that cached results derived from the table are stale.
+func (s *Store) Touch(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions[strings.ToLower(name)]++
+}
+
+// Version returns the table's monotonic modification counter. Names that
+// have never been written report 0.
+func (s *Store) Version(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.versions[strings.ToLower(name)]
+}
+
+// Versions snapshots the version counters for the given table names under
+// one lock acquisition, so the result is a consistent cut.
+func (s *Store) Versions(names []string) map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		out[strings.ToLower(n)] = s.versions[strings.ToLower(n)]
+	}
+	return out
 }
 
 // AnalyzeTable computes fresh statistics for a stored table and installs

@@ -18,7 +18,9 @@ func TestStoreCreateInsertDrop(t *testing.T) {
 	if got.Len() != 1 {
 		t.Errorf("rows = %d", got.Len())
 	}
-	s.Insert("t", []sqltypes.Row{{sqltypes.NewInt(2)}, {sqltypes.NewInt(3)}})
+	if err := s.Insert("t", []sqltypes.Row{{sqltypes.NewInt(2)}, {sqltypes.NewInt(3)}}); err != nil {
+		t.Fatal(err)
+	}
 	if got.Len() != 3 {
 		t.Errorf("after insert rows = %d", got.Len())
 	}
@@ -28,12 +30,51 @@ func TestStoreCreateInsertDrop(t *testing.T) {
 	}
 }
 
-func TestInsertCreatesTable(t *testing.T) {
+func TestInsertUnknownTable(t *testing.T) {
 	s := NewStore()
-	s.Insert("fresh", []sqltypes.Row{{sqltypes.NewInt(1)}})
-	tab, err := s.Table("fresh")
-	if err != nil || tab.Len() != 1 {
-		t.Errorf("auto-created table: %v, %v", tab, err)
+	if err := s.Insert("fresh", []sqltypes.Row{{sqltypes.NewInt(1)}}); err == nil {
+		t.Fatal("insert into unknown table must error, not auto-create")
+	}
+	if _, err := s.Table("fresh"); err == nil {
+		t.Error("failed insert must not create the table")
+	}
+}
+
+func TestVersions(t *testing.T) {
+	s := NewStore()
+	if v := s.Version("t"); v != 0 {
+		t.Errorf("unwritten table version = %d, want 0", v)
+	}
+	s.Create("t")
+	v1 := s.Version("t")
+	if v1 == 0 {
+		t.Fatal("Create must bump the version")
+	}
+	if err := s.Insert("T", nil); err != nil { // case-insensitive, empty insert still bumps
+		t.Fatal(err)
+	}
+	v2 := s.Version("t")
+	if v2 <= v1 {
+		t.Errorf("Insert did not bump version: %d -> %d", v1, v2)
+	}
+	s.Touch("t")
+	if s.Version("t") <= v2 {
+		t.Error("Touch did not bump version")
+	}
+	s.Drop("t")
+	vDrop := s.Version("t")
+	if vDrop <= v2 {
+		t.Error("Drop did not bump version")
+	}
+	// Version counters must survive Drop so a re-created table cannot revive
+	// stale cache entries keyed at an earlier version.
+	s.Create("t")
+	if s.Version("t") <= vDrop {
+		t.Error("re-Create reused a version a cached entry may still hold")
+	}
+	got := s.Versions([]string{"t", "other"})
+	if got["t"] != s.Version("t") || got["other"] != 0 {
+		t.Errorf("Versions snapshot = %v", got)
 	}
 }
 
