@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,8 +37,16 @@ func main() {
 		format      = flag.String("format", "text", "output format: text|csv|json")
 		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
 		traceJSON   = flag.String("trace-json", "", "enable optimizer tracing and write the last table experiment's CSE-run trace as JSON to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csebench: %v\n", err)
+		os.Exit(2)
+	}
 
 	switch *format {
 	case "text", "csv", "json":
@@ -177,9 +187,50 @@ func main() {
 			fmt.Printf("optimizer trace (%d events) written to %s\n", lastTrace.Len(), *traceJSON)
 		}
 	}
+	// Stop profiles explicitly: os.Exit skips deferred calls.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "csebench: %v\n", err)
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap profile at exit;
+// the returned stop function must run before the process exits.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func printCandidates(verbose bool, tr *bench.TableRow) {

@@ -46,8 +46,15 @@ type Options struct {
 	// ExecParallelism sets the executor worker-pool size: 0 (the default)
 	// means parallel execution on with runtime.GOMAXPROCS(0) workers; 1
 	// forces the sequential executor (a determinism-debugging fallback);
-	// n > 1 uses n workers.
+	// n > 1 uses n workers. The same pool budget governs both batch-level
+	// scheduling (spool waves, concurrent statements) and intra-operator
+	// morsel parallelism.
 	ExecParallelism int
+
+	// ExecChunkSize sets the executor's morsel granularity in rows; 0 (the
+	// default) means exec.DefaultChunkSize. Exposed for testing — results
+	// are byte-identical for any chunk size.
+	ExecChunkSize int
 
 	// Tracing records a structured optimizer decision trace on every batch
 	// (BatchResult.Trace / core.Output.Trace). Off by default: the untraced
@@ -74,6 +81,7 @@ type DB struct {
 	views       *views.Manager
 	deltaSeq    int
 	parallelism int
+	chunkSize   int
 	tracing     bool
 	metrics     *obs.Registry
 	cache       *cache.Cache
@@ -94,6 +102,7 @@ func Open(opts Options) *DB {
 		settings:    settings,
 		views:       views.NewManager(),
 		parallelism: opts.ExecParallelism,
+		chunkSize:   opts.ExecChunkSize,
 		tracing:     opts.Tracing,
 		metrics:     obs.NewRegistry(),
 	}
@@ -324,7 +333,7 @@ func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*Bat
 
 	start = time.Now()
 	results, execStats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
-		exec.Options{Parallelism: db.parallelism, Cache: db.cache})
+		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Cache: db.cache})
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +380,8 @@ func (db *DB) recordMetrics(nStatements int, stats *core.Stats, es *exec.Stats, 
 		r.Counter("spool_rows_total").Add(int64(rows))
 	}
 	r.Counter("exec_waves_total").Add(int64(len(es.Waves)))
+	r.Counter("exec_morsels_total").Add(int64(es.Morsels))
+	r.Counter("exec_parallel_ops_total").Add(int64(es.ParallelOps))
 	if es.FallbackReason != "" {
 		r.Counter("exec_sequential_fallbacks_total").Inc()
 	}

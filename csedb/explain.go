@@ -51,7 +51,7 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string) (string, er
 
 	start = time.Now()
 	results, stats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
-		exec.Options{Parallelism: db.parallelism, Analyze: true})
+		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Analyze: true})
 	if err != nil {
 		return "", err
 	}
@@ -76,6 +76,9 @@ func renderAnalyzed(out *core.Output, md *logical.Metadata, stats *exec.Stats, t
 		if ns.Execs > 1 {
 			actual += fmt.Sprintf(" execs=%d", ns.Execs)
 		}
+		if ns.Par > 1 {
+			actual += fmt.Sprintf(" par=%d", ns.Par)
+		}
 		if p.Op == opt.PSpoolScan {
 			actual += fmt.Sprintf(" hits=%d", stats.SpoolHits[p.SpoolID])
 		}
@@ -91,8 +94,8 @@ func renderAnalyzed(out *core.Output, md *logical.Metadata, stats *exec.Stats, t
 		sb.WriteByte('\n')
 	}
 
-	fmt.Fprintf(&sb, "execution: workers=%d waves=%d utilization=%.0f%% busy=%s wall=%s\n",
-		stats.Workers, len(stats.Waves), stats.Utilization()*100,
+	fmt.Fprintf(&sb, "execution: workers=%d waves=%d morsels=%d parallel-ops=%d utilization=%.0f%% busy=%s wall=%s\n",
+		stats.Workers, len(stats.Waves), stats.Morsels, stats.ParallelOps, stats.Utilization()*100,
 		stats.BusyTime.Round(time.Microsecond), stats.WallTime.Round(time.Microsecond))
 	if stats.FallbackReason != "" {
 		fmt.Fprintf(&sb, "sequential fallback: %s\n", stats.FallbackReason)

@@ -150,6 +150,7 @@ func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, er
 	out := &Output{Result: base, Base: base, Optimizer: o, Trace: tr}
 	out.Stats.BaseCost = base.Cost
 	out.Stats.FinalCost = base.Cost
+	base.MarkFusion()
 	if !settings.EnableCSE || base.Cost < settings.MinQueryCost {
 		return out, nil
 	}
@@ -203,6 +204,7 @@ func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, er
 	}
 	out.Stats.CSEOptimizations = nOpts
 	if best != nil && best.Cost < base.Cost {
+		best.MarkFusion()
 		out.Result = best
 		out.Stats.FinalCost = best.Cost
 		out.Stats.UsedCSEs = used

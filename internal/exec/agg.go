@@ -2,20 +2,92 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/opt"
 	"repro/internal/scalar"
 	"repro/internal/sqltypes"
 )
 
-// aggState accumulates one aggregate for one group.
+// floatSum accumulates float64 values exactly as a Shewchuk expansion of
+// non-overlapping partials (the algorithm behind Python's math.fsum). The
+// expansion represents the running sum with no rounding error, so the final
+// rounded result is independent of accumulation order — which is what lets
+// per-worker partial aggregates merge into bit-identical results no matter
+// how the input was partitioned.
+type floatSum struct {
+	partials []float64
+}
+
+func (f *floatSum) add(x float64) {
+	i := 0
+	for _, y := range f.partials {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			f.partials[i] = lo
+			i++
+		}
+		x = hi
+	}
+	f.partials = append(f.partials[:i], x)
+}
+
+// merge folds another expansion into this one; both remain exact, so the
+// merged sum equals accumulating every original input in any order.
+func (f *floatSum) merge(o *floatSum) {
+	for _, p := range o.partials {
+		f.add(p)
+	}
+}
+
+// round returns the correctly rounded value of the expansion: sum the
+// partials from most to least significant, then resolve the half-ulp case
+// against the next partial's sign (as math.fsum does).
+func (f *floatSum) round() float64 {
+	n := len(f.partials)
+	if n == 0 {
+		return 0
+	}
+	n--
+	hi := f.partials[n]
+	var lo float64
+	for n > 0 {
+		x := hi
+		n--
+		y := f.partials[n]
+		hi = x + y
+		yr := hi - x
+		lo = y - yr
+		if lo != 0 {
+			break
+		}
+	}
+	if n > 0 && ((lo < 0 && f.partials[n-1] < 0) || (lo > 0 && f.partials[n-1] > 0)) {
+		y := lo * 2.0
+		x := hi + y
+		if y == x-hi {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// aggState accumulates one aggregate for one group. Every state is
+// mergeable: two states built over disjoint row sets combine into exactly
+// the state a single pass over the union would produce (integer sums are
+// exact, float sums use an exact expansion, min/max/count are trivially
+// order-independent), so parallel partial aggregation is deterministic.
 type aggState struct {
 	kind  scalar.AggKind
 	count int64
-	sumI  int64
-	sumF  float64
-	isInt bool
-	first bool
+	sumI  int64    // exact sum of integer inputs
+	sumF  floatSum // exact sum of float inputs
+	isInt bool     // no float input seen yet
+	first bool     // no non-null input seen yet (min/max)
 	minD  sqltypes.Datum
 	maxD  sqltypes.Datum
 }
@@ -35,14 +107,11 @@ func (s *aggState) add(d sqltypes.Datum) {
 	s.count++
 	switch s.kind {
 	case scalar.AggSum:
-		if d.Kind() == sqltypes.KindInt && s.isInt {
+		if d.Kind() == sqltypes.KindInt {
 			s.sumI += d.Int()
 		} else {
-			if s.isInt {
-				s.sumF = float64(s.sumI)
-				s.isInt = false
-			}
-			s.sumF += d.Float()
+			s.isInt = false
+			s.sumF.add(d.Float())
 		}
 	case scalar.AggMin:
 		if s.first || sqltypes.Compare(d, s.minD) < 0 {
@@ -56,6 +125,28 @@ func (s *aggState) add(d sqltypes.Datum) {
 	s.first = false
 }
 
+// merge folds another state for the same aggregate into this one. o must
+// cover rows that come after s's rows in input order (min/max ties keep the
+// earlier datum, matching the sequential first-seen rule).
+func (s *aggState) merge(o *aggState) {
+	s.count += o.count
+	switch s.kind {
+	case scalar.AggSum:
+		s.sumI += o.sumI
+		s.sumF.merge(&o.sumF)
+		s.isInt = s.isInt && o.isInt
+	case scalar.AggMin:
+		if !o.first && (s.first || sqltypes.Compare(o.minD, s.minD) < 0) {
+			s.minD = o.minD
+		}
+	case scalar.AggMax:
+		if !o.first && (s.first || sqltypes.Compare(o.maxD, s.maxD) > 0) {
+			s.maxD = o.maxD
+		}
+	}
+	s.first = s.first && o.first
+}
+
 func (s *aggState) result() sqltypes.Datum {
 	switch s.kind {
 	case scalar.AggCount, scalar.AggCountStar:
@@ -67,7 +158,17 @@ func (s *aggState) result() sqltypes.Datum {
 		if s.isInt {
 			return sqltypes.NewInt(s.sumI)
 		}
-		return sqltypes.NewFloat(s.sumF)
+		// Fold the exact integer part into the expansion as a split pair so
+		// the mixed-kind sum stays exact too.
+		total := s.sumF
+		if s.sumI != 0 {
+			hi := float64(s.sumI)
+			total.add(hi)
+			if lo := s.sumI - int64(hi); lo != 0 {
+				total.add(float64(lo))
+			}
+		}
+		return sqltypes.NewFloat(total.round())
 	case scalar.AggMin:
 		if s.count == 0 {
 			return sqltypes.Null
@@ -83,22 +184,107 @@ func (s *aggState) result() sqltypes.Datum {
 	}
 }
 
+// groupAcc is one group's key and accumulator set; hash caches the group
+// key's hash so partial merges never rehash.
+type groupAcc struct {
+	hash   uint64
+	key    sqltypes.Row
+	states []*aggState
+}
+
+// aggSpec is the compiled shape of a hash aggregation, shared (read-only) by
+// every worker.
+type aggSpec struct {
+	groupIdx []int
+	keyIdx   []int
+	aggs     []logicalAgg
+	hasher   *sqltypes.Hasher
+}
+
+// logicalAgg pairs an aggregate's kind with its compiled argument.
+type logicalAgg struct {
+	kind scalar.AggKind
+	arg  scalar.EvalFn // nil for COUNT(*)
+}
+
+// aggPartial accumulates groups over a contiguous slice of the input,
+// preserving first-occurrence order so block-ordered merging reproduces the
+// sequential group order exactly.
+type aggPartial struct {
+	spec   *aggSpec
+	groups map[uint64][]*groupAcc
+	order  []*groupAcc
+}
+
+func newAggPartial(spec *aggSpec) *aggPartial {
+	return &aggPartial{spec: spec, groups: make(map[uint64][]*groupAcc)}
+}
+
+func (ap *aggPartial) absorb(rows []sqltypes.Row) {
+	spec := ap.spec
+	for _, r := range rows {
+		h := spec.hasher.HashRow(r, spec.groupIdx)
+		var acc *groupAcc
+		for _, g := range ap.groups[h] {
+			if keysEqual(r, spec.groupIdx, g.key, spec.keyIdx) {
+				acc = g
+				break
+			}
+		}
+		if acc == nil {
+			key := make(sqltypes.Row, len(spec.groupIdx))
+			for i, gi := range spec.groupIdx {
+				key[i] = r[gi]
+			}
+			acc = &groupAcc{hash: h, key: key, states: make([]*aggState, len(spec.aggs))}
+			for i, a := range spec.aggs {
+				acc.states[i] = newAggState(a.kind)
+			}
+			ap.groups[h] = append(ap.groups[h], acc)
+			ap.order = append(ap.order, acc)
+		}
+		for i, a := range spec.aggs {
+			if a.arg == nil {
+				acc.states[i].add(sqltypes.Null)
+			} else {
+				acc.states[i].add(a.arg(r))
+			}
+		}
+	}
+}
+
+// mergeFrom folds a later block's partial into this one. Groups first seen
+// in the later block are appended in their order, so the combined order is
+// global first-occurrence order.
+func (ap *aggPartial) mergeFrom(o *aggPartial) {
+	for _, oa := range o.order {
+		var acc *groupAcc
+		for _, g := range ap.groups[oa.hash] {
+			if keysEqual(oa.key, ap.spec.keyIdx, g.key, ap.spec.keyIdx) {
+				acc = g
+				break
+			}
+		}
+		if acc == nil {
+			ap.groups[oa.hash] = append(ap.groups[oa.hash], oa)
+			ap.order = append(ap.order, oa)
+			continue
+		}
+		for i := range acc.states {
+			acc.states[i].merge(oa.states[i])
+		}
+	}
+}
+
 func (c *Context) execHashAgg(p *opt.Plan) ([]sqltypes.Row, error) {
-	in, err := c.exec(p.Children[0])
+	layout := layoutOf(c.sourceCols(p.Children[0]))
+	groupIdx, err := colPositions(p.GroupCols, layout, "grouping column")
 	if err != nil {
 		return nil, err
 	}
-	layout := layoutOf(p.Children[0].Cols)
-	groupIdx := make([]int, len(p.GroupCols))
-	for i, g := range p.GroupCols {
-		pos, ok := layout[g]
-		if !ok {
-			return nil, fmt.Errorf("grouping column @%d missing from aggregation input", g)
-		}
-		groupIdx[i] = pos
-	}
-	argFns := make([]scalar.EvalFn, len(p.Aggs))
+	aggs := make([]logicalAgg, len(p.Aggs))
 	for i, a := range p.Aggs {
+		aggs[i].kind = a.Kind
 		if a.Kind == scalar.AggCountStar {
 			continue
 		}
@@ -106,47 +292,44 @@ func (c *Context) execHashAgg(p *opt.Plan) ([]sqltypes.Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("compiling aggregate %s: %w", a, err)
 		}
-		argFns[i] = fn
+		aggs[i].arg = fn
+	}
+	in, err := c.execSource(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	spec := &aggSpec{
+		groupIdx: groupIdx,
+		keyIdx:   seqIdx(len(groupIdx)),
+		aggs:     aggs,
+		hasher:   sqltypes.NewHasher(),
 	}
 
-	type groupAcc struct {
-		key    sqltypes.Row
-		states []*aggState
+	// Aggregate contiguous chunk-aligned blocks in parallel, then merge the
+	// partials in block order: exact states make the values independent of
+	// the partitioning, and ordered merging keeps the sequential
+	// first-occurrence group order.
+	bounds := c.blockBounds(len(in))
+	partials := make([]*aggPartial, len(bounds)-1)
+	err = c.runParts(p, len(partials), func(part int) error {
+		ap := newAggPartial(spec)
+		ap.absorb(in[bounds[part]:bounds[part+1]])
+		partials[part] = ap
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	hasher := sqltypes.NewHasher()
-	groups := make(map[uint64][]*groupAcc)
-	var order []*groupAcc
-	keyIdx := seqIdx(len(groupIdx))
-
-	for _, r := range in {
-		h := hasher.HashRow(r, groupIdx)
-		var acc *groupAcc
-		for _, g := range groups[h] {
-			if keysEqual(r, groupIdx, g.key, keyIdx) {
-				acc = g
-				break
-			}
+	var total *aggPartial
+	if len(partials) > 0 {
+		total = partials[0]
+		for _, ap := range partials[1:] {
+			total.mergeFrom(ap)
 		}
-		if acc == nil {
-			key := make(sqltypes.Row, len(groupIdx))
-			for i, gi := range groupIdx {
-				key[i] = r[gi]
-			}
-			acc = &groupAcc{key: key, states: make([]*aggState, len(p.Aggs))}
-			for i, a := range p.Aggs {
-				acc.states[i] = newAggState(a.Kind)
-			}
-			groups[h] = append(groups[h], acc)
-			order = append(order, acc)
-		}
-		for i := range p.Aggs {
-			if p.Aggs[i].Kind == scalar.AggCountStar {
-				acc.states[i].add(sqltypes.Null)
-			} else {
-				acc.states[i].add(argFns[i](r))
-			}
-		}
+	} else {
+		total = newAggPartial(spec)
 	}
+	order := total.order
 
 	// Scalar aggregation over empty input yields one row.
 	if len(order) == 0 && len(p.GroupCols) == 0 {
@@ -157,9 +340,10 @@ func (c *Context) execHashAgg(p *opt.Plan) ([]sqltypes.Row, error) {
 		order = append(order, acc)
 	}
 
+	var arena sqltypes.RowArena
 	out := make([]sqltypes.Row, len(order))
 	for ri, acc := range order {
-		row := make(sqltypes.Row, len(p.GroupCols)+len(p.Aggs))
+		row := arena.NewRow(len(p.GroupCols) + len(p.Aggs))
 		copy(row, acc.key)
 		for i, st := range acc.states {
 			row[len(p.GroupCols)+i] = st.result()

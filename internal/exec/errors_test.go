@@ -12,7 +12,7 @@ import (
 
 func bareContext(cses map[int]*opt.CSEPlan) *Context {
 	res := &opt.Result{Root: &opt.Plan{Op: opt.PRoot}, CSEs: cses}
-	return newContext(context.Background(), res, logical.NewMetadata(), storage.NewStore(), newCollector(1, 1, false), nil)
+	return newContext(context.Background(), res, logical.NewMetadata(), storage.NewStore(), newCollector(1, 1, false), Options{Parallelism: 1})
 }
 
 func TestSpoolErrors(t *testing.T) {

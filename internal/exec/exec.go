@@ -53,6 +53,12 @@ type Options struct {
 	// (hit → cached rows are served) and offered for admission after (with
 	// the source-table version snapshot taken before the plan ran).
 	Cache *cache.Cache
+
+	// ChunkSize is the morsel granularity for intra-operator parallelism:
+	// operator inputs are split into chunks of this many rows before being
+	// dispatched to workers. 0 (or negative) means DefaultChunkSize. Exposed
+	// mainly for testing — a chunk size of 1 maximizes scheduling interleave.
+	ChunkSize int
 }
 
 func (o Options) workers() int {
@@ -60,6 +66,13 @@ func (o Options) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Parallelism
+}
+
+func (o Options) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return DefaultChunkSize
 }
 
 // spoolEntry is one CSE's shared work table. In parallel mode once
@@ -96,9 +109,24 @@ type Context struct {
 	subqueryVals  map[int]sqltypes.Datum
 	stats         *collector
 	cache         *cache.Cache
+
+	// Intra-operator parallelism: workers is the degree budget shared with
+	// the batch-level scheduler, chunkSize the morsel granularity, and pool
+	// the batch-wide helper-slot channel (capacity workers-1) that bounds the
+	// total number of goroutines doing operator work. workers == 1 disables
+	// intra-op parallelism entirely.
+	workers   int
+	chunkSize int
+	pool      chan struct{}
 }
 
-func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *collector, resultCache *cache.Cache) *Context {
+func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *collector, opts Options) *Context {
+	workers := opts.workers()
+	// Intra-operator workers beyond the number of schedulable CPUs are pure
+	// scheduling overhead (morsels are CPU-bound), so the intra-op degree is
+	// capped at GOMAXPROCS even when the batch-level pool is configured
+	// larger.
+	intraOp := min(workers, runtime.GOMAXPROCS(0))
 	c := &Context{
 		Store:         store,
 		Md:            md,
@@ -108,11 +136,16 @@ func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, stor
 		materializing: make(map[int]bool),
 		subqueryVals:  make(map[int]sqltypes.Datum),
 		stats:         stats,
-		cache:         resultCache,
+		cache:         opts.Cache,
+		workers:       intraOp,
+		chunkSize:     opts.chunkSize(),
+	}
+	if intraOp > 1 {
+		c.pool = make(chan struct{}, intraOp-1)
 	}
 	for id, cse := range res.CSEs {
 		e := &spoolEntry{id: id, plan: cse.Plan}
-		if resultCache != nil && cse.SpecKey != "" && !cse.Plan.ReferencesSubquery() {
+		if opts.Cache != nil && cse.SpecKey != "" && !cse.Plan.ReferencesSubquery() {
 			// Resolve the plan's base tables (through stacked spools) so a
 			// lookup can snapshot their versions; a spool whose rows depend
 			// on a scalar subquery is never cached — its result is
@@ -176,7 +209,7 @@ func RunWithOptions(ctx context.Context, res *opt.Result, md *logical.Metadata, 
 	}
 	workers := opts.workers()
 	stats := newCollector(len(stmtPlans), workers, opts.Analyze)
-	c := newContext(ctx, res, md, store, stats, opts.Cache)
+	c := newContext(ctx, res, md, store, stats, opts)
 
 	start := time.Now()
 	var out []*StatementResult
@@ -231,11 +264,7 @@ func (c *Context) runStatement(p *opt.Plan) (*StatementResult, error) {
 		}
 		c.subqueryVals[idx] = val
 	}
-	rows, err := c.exec(p.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	layout := layoutOf(p.Children[0].Cols)
+	layout := layoutOf(c.sourceCols(p.Children[0]))
 	fns := make([]scalar.EvalFn, len(p.Projections))
 	for i, pr := range p.Projections {
 		fn, err := c.compile(pr.Expr, layout)
@@ -244,13 +273,25 @@ func (c *Context) runStatement(p *opt.Plan) (*StatementResult, error) {
 		}
 		fns[i] = fn
 	}
-	out := make([]sqltypes.Row, 0, len(rows))
-	for _, r := range rows {
-		row := make(sqltypes.Row, len(fns))
-		for i, fn := range fns {
-			row[i] = fn(r)
+	rows, err := c.execSource(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	// The output projection is a morsel pass like any other operator: arena
+	// rows and (in parallel mode) per-worker output slabs.
+	out, err := c.runMorsels(p, len(rows), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		*out = append(*out, make([]sqltypes.Row, 0, hi-lo)...)
+		for _, r := range rows[lo:hi] {
+			row := arena.NewRow(len(fns))
+			for i, fn := range fns {
+				row[i] = fn(r)
+			}
+			*out = append(*out, row)
 		}
-		out = append(out, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(p.OrderBy) > 0 {
 		keys := p.OrderBy
@@ -277,7 +318,7 @@ func (c *Context) runStatement(p *opt.Plan) (*StatementResult, error) {
 }
 
 func (c *Context) evalSubquery(idx int, plan *opt.Plan) (sqltypes.Datum, error) {
-	rows, err := c.exec(plan)
+	rows, err := c.execSource(plan)
 	if err != nil {
 		return sqltypes.Null, err
 	}
@@ -288,7 +329,7 @@ func (c *Context) evalSubquery(idx int, plan *opt.Plan) (sqltypes.Datum, error) 
 	case len(rows) > 1:
 		return sqltypes.Null, fmt.Errorf("scalar subquery returned %d rows", len(rows))
 	}
-	fn, err := c.compile(blk.Projections[0].Expr, layoutOf(plan.Cols))
+	fn, err := c.compile(blk.Projections[0].Expr, layoutOf(c.sourceCols(plan)))
 	if err != nil {
 		return sqltypes.Null, err
 	}
@@ -367,6 +408,9 @@ func (c *Context) execNode(p *opt.Plan) ([]sqltypes.Row, error) {
 	case opt.PIndexScan:
 		return c.execIndexScan(p)
 	case opt.PFilter:
+		if p.FuseEligible && c.fusionEnabled() {
+			return c.execFused(p)
+		}
 		return c.execFilter(p)
 	case opt.PHashJoin:
 		return c.execHashJoin(p)
@@ -383,6 +427,9 @@ func (c *Context) execNode(p *opt.Plan) ([]sqltypes.Row, error) {
 	case opt.PSort:
 		return c.execSort(p)
 	case opt.PProject:
+		if p.FuseEligible && c.fusionEnabled() {
+			return c.execFused(p)
+		}
 		return c.execProject(p)
 	case opt.PSpoolScan:
 		// Every spool scan is one read of the shared work table; the
@@ -464,10 +511,7 @@ func (c *Context) execScan(p *opt.Plan) ([]sqltypes.Row, error) {
 		return nil, err
 	}
 	// Table rows have the full column layout of the instance.
-	full := make([]scalar.ColID, len(rel.Tab.Cols))
-	for i := range rel.Tab.Cols {
-		full[i] = rel.ColID(i)
-	}
+	full := fullColIDs(rel)
 	layout := layoutOf(full)
 	var filter scalar.EvalFn
 	if p.Filter != nil {
@@ -485,75 +529,87 @@ func (c *Context) execScan(p *opt.Plan) ([]sqltypes.Row, error) {
 		}
 		idx[i] = pos
 	}
-	var out []sqltypes.Row
-	for _, r := range tab.Rows {
-		if filter != nil {
-			d := filter(r)
-			if d.IsNull() || !d.Bool() {
-				continue
-			}
+	source := tab.Rows
+	// Identity projection: the scan's output is the full table layout, so
+	// rows can be shared instead of copied — operators never mutate their
+	// inputs (the same sharing spool reads rely on).
+	if identityProjection(idx, len(full)) {
+		if filter == nil {
+			return source, nil
 		}
-		row := make(sqltypes.Row, len(idx))
-		for i, pos := range idx {
-			row[i] = r[pos]
-		}
-		out = append(out, row)
+		return c.filterShared(p, source, filter)
 	}
-	return out, nil
+	return c.runMorsels(p, len(source), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		if filter == nil {
+			// Exactly one output row per input row: size the slice once.
+			*out = append(*out, make([]sqltypes.Row, 0, hi-lo)...)
+		}
+		for _, r := range source[lo:hi] {
+			if filter != nil {
+				d := filter(r)
+				if d.IsNull() || !d.Bool() {
+					continue
+				}
+			}
+			row := arena.NewRow(len(idx))
+			for i, pos := range idx {
+				row[i] = r[pos]
+			}
+			*out = append(*out, row)
+		}
+		return nil
+	})
+}
+
+// identityProjection reports whether idx selects every position of a
+// width-wide row in order, i.e. projecting through it is a no-op.
+func identityProjection(idx []int, width int) bool {
+	if len(idx) != width {
+		return false
+	}
+	for i, pos := range idx {
+		if pos != i {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Context) execFilter(p *opt.Plan) ([]sqltypes.Row, error) {
-	in, err := c.exec(p.Children[0])
-	if err != nil {
-		return nil, err
-	}
+	// Compile before running the child: expression errors surface without
+	// paying for the subtree, and the closure is ready for every worker.
 	fn, err := c.compile(p.Filter, layoutOf(p.Children[0].Cols))
 	if err != nil {
 		return nil, err
 	}
-	var out []sqltypes.Row
-	for _, r := range in {
-		d := fn(r)
-		if !d.IsNull() && d.Bool() {
-			out = append(out, r)
-		}
+	in, err := c.exec(p.Children[0])
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return c.filterShared(p, in, fn)
 }
 
 func (c *Context) execHashJoin(p *opt.Plan) ([]sqltypes.Row, error) {
-	probe, err := c.exec(p.Children[0])
+	// Children arrive through execSource, so key and output positions are
+	// resolved against the layout the rows actually carry; the join itself
+	// emits its declared p.Cols layout.
+	probeLayout := layoutOf(c.sourceCols(p.Children[0]))
+	buildLayout := layoutOf(c.sourceCols(p.Children[1]))
+	probeKeys, err := colPositions(p.LeftKeys, probeLayout, "hash join probe key")
 	if err != nil {
 		return nil, err
 	}
-	build, err := c.exec(p.Children[1])
+	buildKeys, err := colPositions(p.RightKeys, buildLayout, "hash join build key")
 	if err != nil {
 		return nil, err
 	}
-	probeLayout := layoutOf(p.Children[0].Cols)
-	buildLayout := layoutOf(p.Children[1].Cols)
-	probeKeys := make([]int, len(p.LeftKeys))
-	buildKeys := make([]int, len(p.RightKeys))
-	for i := range p.LeftKeys {
-		pk, ok := probeLayout[p.LeftKeys[i]]
-		if !ok {
-			return nil, fmt.Errorf("hash join probe key @%d missing", p.LeftKeys[i])
-		}
-		bk, ok := buildLayout[p.RightKeys[i]]
-		if !ok {
-			return nil, fmt.Errorf("hash join build key @%d missing", p.RightKeys[i])
-		}
-		probeKeys[i] = pk
-		buildKeys[i] = bk
+	probeIdx, err := colPositions(p.Children[0].Cols, probeLayout, "hash join probe column")
+	if err != nil {
+		return nil, err
 	}
-	hasher := sqltypes.NewHasher()
-	table := make(map[uint64][]sqltypes.Row, len(build))
-	for _, r := range build {
-		if rowHasNullAt(r, buildKeys) {
-			continue
-		}
-		h := hasher.HashRow(r, buildKeys)
-		table[h] = append(table[h], r)
+	buildIdx, err := colPositions(p.Children[1].Cols, buildLayout, "hash join build column")
+	if err != nil {
+		return nil, err
 	}
 	var residual scalar.EvalFn
 	if p.Filter != nil {
@@ -562,29 +618,81 @@ func (c *Context) execHashJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 			return nil, err
 		}
 	}
-	var out []sqltypes.Row
-	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.Children[1].Cols))
-	for _, pr := range probe {
-		if rowHasNullAt(pr, probeKeys) {
+	// Build side first: an inner join with an empty build produces nothing,
+	// so the probe subtree is never executed at all.
+	build, err := c.execSource(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(build) == 0 {
+		return nil, nil
+	}
+	hasher := sqltypes.NewHasher()
+	// Chain-layout hash table: heads maps a key hash to the first matching
+	// build row, next links same-hash rows. Chains are threaded back-to-front
+	// so probes walk them in build order, preserving the sequential emit
+	// order. Compared to map[hash][]Row buckets this allocates two flat
+	// structures instead of one growing slice per distinct key.
+	heads := make(map[uint64]int, len(build))
+	next := make([]int, len(build))
+	for i := len(build) - 1; i >= 0; i-- {
+		h, ok := hasher.HashKey(build[i], buildKeys)
+		if !ok {
 			continue
 		}
-		h := hasher.HashRow(pr, probeKeys)
-		for _, br := range table[h] {
-			if !keysEqual(pr, probeKeys, br, buildKeys) {
+		if head, ok := heads[h]; ok {
+			next[i] = head
+		} else {
+			next[i] = -1
+		}
+		heads[h] = i
+	}
+	probe, err := c.execSource(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	probeWidth := len(p.Children[0].Cols)
+	width := probeWidth + len(p.Children[1].Cols)
+	return c.runMorsels(p, len(probe), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		// Direct-write output: the candidate row is carved from the worker's
+		// arena once and reused until a match survives the residual, so each
+		// emitted row costs exactly one allocation (amortized by the slab).
+		var row sqltypes.Row
+		for _, pr := range probe[lo:hi] {
+			h, keyed := hasher.HashKey(pr, probeKeys)
+			if !keyed {
 				continue
 			}
-			copy(combined, pr)
-			copy(combined[len(pr):], br)
-			if residual != nil {
-				d := residual(combined)
-				if d.IsNull() || !d.Bool() {
+			j, ok := heads[h]
+			if !ok {
+				continue
+			}
+			for ; j >= 0; j = next[j] {
+				br := build[j]
+				if !keysEqual(pr, probeKeys, br, buildKeys) {
 					continue
 				}
+				if row == nil {
+					row = arena.NewRow(width)
+				}
+				for i, pos := range probeIdx {
+					row[i] = pr[pos]
+				}
+				for i, pos := range buildIdx {
+					row[probeWidth+i] = br[pos]
+				}
+				if residual != nil {
+					d := residual(row)
+					if d.IsNull() || !d.Bool() {
+						continue
+					}
+				}
+				*out = append(*out, row)
+				row = nil
 			}
-			out = append(out, combined.Clone())
 		}
-	}
-	return out, nil
+		return nil
+	})
 }
 
 func rowHasNullAt(r sqltypes.Row, idx []int) bool {
@@ -606,45 +714,61 @@ func keysEqual(a sqltypes.Row, ai []int, b sqltypes.Row, bi []int) bool {
 }
 
 func (c *Context) execNLJoin(p *opt.Plan) ([]sqltypes.Row, error) {
-	left, err := c.exec(p.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	right, err := c.exec(p.Children[1])
-	if err != nil {
-		return nil, err
-	}
 	var filter scalar.EvalFn
+	var err error
 	if p.Filter != nil {
 		filter, err = c.compile(p.Filter, layoutOf(p.Cols))
 		if err != nil {
 			return nil, err
 		}
 	}
-	var out []sqltypes.Row
-	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.Children[1].Cols))
-	for _, lr := range left {
-		for _, rr := range right {
-			copy(combined, lr)
-			copy(combined[len(lr):], rr)
-			if filter != nil {
-				d := filter(combined)
-				if d.IsNull() || !d.Bool() {
-					continue
-				}
-			}
-			out = append(out, combined.Clone())
-		}
-	}
-	return out, nil
-}
-
-func (c *Context) execProject(p *opt.Plan) ([]sqltypes.Row, error) {
-	in, err := c.exec(p.Children[0])
+	leftIdx, err := colPositions(p.Children[0].Cols, layoutOf(c.sourceCols(p.Children[0])), "join left column")
 	if err != nil {
 		return nil, err
 	}
-	layout := layoutOf(p.Children[0].Cols)
+	rightIdx, err := colPositions(p.Children[1].Cols, layoutOf(c.sourceCols(p.Children[1])), "join right column")
+	if err != nil {
+		return nil, err
+	}
+	left, err := c.execSource(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.execSource(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	leftWidth := len(p.Children[0].Cols)
+	width := leftWidth + len(p.Children[1].Cols)
+	return c.runMorsels(p, len(left), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		var row sqltypes.Row
+		for _, lr := range left[lo:hi] {
+			for _, rr := range right {
+				if row == nil {
+					row = arena.NewRow(width)
+				}
+				for i, pos := range leftIdx {
+					row[i] = lr[pos]
+				}
+				for i, pos := range rightIdx {
+					row[leftWidth+i] = rr[pos]
+				}
+				if filter != nil {
+					d := filter(row)
+					if d.IsNull() || !d.Bool() {
+						continue
+					}
+				}
+				*out = append(*out, row)
+				row = nil
+			}
+		}
+		return nil
+	})
+}
+
+func (c *Context) execProject(p *opt.Plan) ([]sqltypes.Row, error) {
+	layout := layoutOf(c.sourceCols(p.Children[0]))
 	fns := make([]scalar.EvalFn, len(p.Projections))
 	for i, pr := range p.Projections {
 		fn, err := c.compile(pr.Expr, layout)
@@ -653,13 +777,19 @@ func (c *Context) execProject(p *opt.Plan) ([]sqltypes.Row, error) {
 		}
 		fns[i] = fn
 	}
-	out := make([]sqltypes.Row, len(in))
-	for ri, r := range in {
-		row := make(sqltypes.Row, len(fns))
-		for i, fn := range fns {
-			row[i] = fn(r)
-		}
-		out[ri] = row
+	in, err := c.execSource(p.Children[0])
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return c.runMorsels(p, len(in), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		*out = append(*out, make([]sqltypes.Row, 0, hi-lo)...)
+		for _, r := range in[lo:hi] {
+			row := arena.NewRow(len(fns))
+			for i, fn := range fns {
+				row[i] = fn(r)
+			}
+			*out = append(*out, row)
+		}
+		return nil
+	})
 }

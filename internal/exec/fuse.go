@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/opt"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// fusionEnabled reports whether Filter/Project nodes marked fusion-eligible
+// by the optimizer may collapse into their leaf child. Fusion is a pure data
+// -plane optimization: it is off under Analyze so EXPLAIN ANALYZE still
+// observes every node's actuals, and off on the sequential determinism
+// -debugging path (Parallelism 1), which stays the reference row-at-a-time
+// interpreter.
+func (c *Context) fusionEnabled() bool {
+	return c.workers > 1 && !c.stats.analyze
+}
+
+// execFused runs a Filter*/Project chain over a Scan or SpoolScan leaf as a
+// single morsel-parallel pass: no intermediate row set is materialized
+// between the chain's nodes. The plan node p must carry opt's FuseEligible
+// mark (chain shape already validated).
+func (c *Context) execFused(p *opt.Plan) ([]sqltypes.Row, error) {
+	// Peel the chain: optional Project on top, then stacked Filters, then
+	// the leaf.
+	hasProject := p.Op == opt.PProject
+	node := p
+	if hasProject {
+		node = node.Children[0]
+	}
+	var filterExprs []*scalar.Expr
+	for node.Op == opt.PFilter {
+		filterExprs = append(filterExprs, node.Filter)
+		node = node.Children[0]
+	}
+
+	// Resolve the leaf's source rows and input layout.
+	var (
+		source []sqltypes.Row
+		layout map[scalar.ColID]int
+		outIdx []int // leaf projection (scan leaves only)
+	)
+	switch node.Op {
+	case opt.PScan:
+		rel := c.Md.Rel(node.Rel)
+		tab, err := c.Store.Table(rel.Tab.Name)
+		if err != nil {
+			return nil, err
+		}
+		full := make([]scalar.ColID, len(rel.Tab.Cols))
+		for i := range rel.Tab.Cols {
+			full[i] = rel.ColID(i)
+		}
+		layout = layoutOf(full)
+		if node.Filter != nil {
+			// The scan's own filter runs first, as in the unfused plan.
+			filterExprs = append(filterExprs, nil)
+			copy(filterExprs[1:], filterExprs)
+			filterExprs[0] = node.Filter
+		}
+		if p.Op == opt.PFilter {
+			// Filter on top: the output layout is the scan's projection.
+			outIdx = make([]int, len(node.Cols))
+			for i, col := range node.Cols {
+				pos, ok := layout[col]
+				if !ok {
+					return nil, fmt.Errorf("scan output column @%d not in table %s", col, rel.Tab.Name)
+				}
+				outIdx[i] = pos
+			}
+			if identityProjection(outIdx, len(full)) {
+				outIdx = nil // pass the shared table row through unchanged
+			}
+		}
+		source = tab.Rows
+	case opt.PSpoolScan:
+		rows, err := c.spool(node.SpoolID)
+		if err != nil {
+			return nil, err
+		}
+		c.stats.recordSpoolHit(node.SpoolID)
+		source = rows
+		layout = layoutOf(node.Cols)
+	default:
+		return nil, fmt.Errorf("fused chain over unexpected leaf %s", node.Op)
+	}
+
+	filters := make([]scalar.EvalFn, len(filterExprs))
+	for i, e := range filterExprs {
+		fn, err := c.compile(e, layout)
+		if err != nil {
+			return nil, err
+		}
+		filters[i] = fn
+	}
+	var projections []scalar.EvalFn
+	if hasProject {
+		projections = make([]scalar.EvalFn, len(p.Projections))
+		for i, pr := range p.Projections {
+			fn, err := c.compile(pr.Expr, layout)
+			if err != nil {
+				return nil, err
+			}
+			projections[i] = fn
+		}
+	}
+
+	return c.runMorsels(p, len(source), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+	rows:
+		for _, r := range source[lo:hi] {
+			for _, f := range filters {
+				d := f(r)
+				if d.IsNull() || !d.Bool() {
+					continue rows
+				}
+			}
+			switch {
+			case hasProject:
+				row := arena.NewRow(len(projections))
+				for i, fn := range projections {
+					row[i] = fn(r)
+				}
+				*out = append(*out, row)
+			case outIdx != nil:
+				row := arena.NewRow(len(outIdx))
+				for i, pos := range outIdx {
+					row[i] = r[pos]
+				}
+				*out = append(*out, row)
+			default:
+				// Filter over a spool read: pass the shared row through.
+				*out = append(*out, r)
+			}
+		}
+		return nil
+	})
+}

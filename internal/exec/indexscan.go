@@ -23,32 +23,7 @@ func (c *Context) execIndexScan(p *opt.Plan) ([]sqltypes.Row, error) {
 	if perm == nil {
 		return nil, fmt.Errorf("no index on %s.%s", rel.Tab.Name, rel.Tab.Cols[p.IndexOrd].Name)
 	}
-	ord := p.IndexOrd
-	b := p.Bounds
-
-	// Locate the first qualifying position. NULL values sort first and
-	// never satisfy a range predicate, so skip past them when unbounded
-	// from below.
-	start := 0
-	if !b.Lo.IsNull() {
-		start = sort.Search(len(perm), func(i int) bool {
-			cmp := sqltypes.Compare(tab.Rows[perm[i]][ord], b.Lo)
-			if b.LoInc {
-				return cmp >= 0
-			}
-			return cmp > 0
-		})
-	} else {
-		start = sort.Search(len(perm), func(i int) bool {
-			return !tab.Rows[perm[i]][ord].IsNull()
-		})
-	}
-
-	full := make([]scalar.ColID, len(rel.Tab.Cols))
-	for i := range rel.Tab.Cols {
-		full[i] = rel.ColID(i)
-	}
-	layout := layoutOf(full)
+	layout := layoutOf(fullColIDs(rel))
 	var filter scalar.EvalFn
 	if p.Filter != nil {
 		filter, err = c.compile(p.Filter, layout)
@@ -65,27 +40,52 @@ func (c *Context) execIndexScan(p *opt.Plan) ([]sqltypes.Row, error) {
 		idx[i] = pos
 	}
 
-	var out []sqltypes.Row
-	for i := start; i < len(perm); i++ {
-		r := tab.Rows[perm[i]]
-		v := r[ord]
-		if !b.Hi.IsNull() {
-			cmp := sqltypes.Compare(v, b.Hi)
-			if cmp > 0 || (cmp == 0 && !b.HiInc) {
-				break
+	span := indexSpan(tab.Rows, perm, p.IndexOrd, p.Bounds)
+
+	return c.runMorsels(p, len(span), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		for _, ri := range span[lo:hi] {
+			r := tab.Rows[ri]
+			if filter != nil {
+				d := filter(r)
+				if d.IsNull() || !d.Bool() {
+					continue
+				}
 			}
-		}
-		if filter != nil {
-			d := filter(r)
-			if d.IsNull() || !d.Bool() {
-				continue
+			row := arena.NewRow(len(idx))
+			for j, pos := range idx {
+				row[j] = r[pos]
 			}
+			*out = append(*out, row)
 		}
-		row := make(sqltypes.Row, len(idx))
-		for j, pos := range idx {
-			row[j] = r[pos]
-		}
-		out = append(out, row)
+		return nil
+	})
+}
+
+// indexSpan binary-searches both ends of the qualifying range of a sorted
+// row permutation, so the span is known up front and can be processed in
+// morsels. NULL values sort first and never satisfy a range predicate, so
+// they are skipped when the range is unbounded from below.
+func indexSpan(rows []sqltypes.Row, perm []int, ord int, b opt.Bounds) []int {
+	start := 0
+	if !b.Lo.IsNull() {
+		start = sort.Search(len(perm), func(i int) bool {
+			cmp := sqltypes.Compare(rows[perm[i]][ord], b.Lo)
+			if b.LoInc {
+				return cmp >= 0
+			}
+			return cmp > 0
+		})
+	} else {
+		start = sort.Search(len(perm), func(i int) bool {
+			return !rows[perm[i]][ord].IsNull()
+		})
 	}
-	return out, nil
+	end := len(perm)
+	if !b.Hi.IsNull() {
+		end = start + sort.Search(len(perm)-start, func(i int) bool {
+			cmp := sqltypes.Compare(rows[perm[start+i]][ord], b.Hi)
+			return cmp > 0 || (cmp == 0 && !b.HiInc)
+		})
+	}
+	return perm[start:end]
 }

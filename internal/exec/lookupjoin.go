@@ -14,7 +14,16 @@ import (
 // apply the inner scan's local filter and the residual condition, and emit
 // the combined row. Output preserves the outer input's order.
 func (c *Context) execLookupJoin(p *opt.Plan) ([]sqltypes.Row, error) {
-	outer, err := c.exec(p.Children[0])
+	outerLayout := layoutOf(c.sourceCols(p.Children[0]))
+	keyPos, ok := outerLayout[p.LookupKey]
+	if !ok {
+		return nil, fmt.Errorf("lookup key @%d missing from outer input", p.LookupKey)
+	}
+	outerIdx, err := colPositions(p.Children[0].Cols, outerLayout, "lookup join outer column")
+	if err != nil {
+		return nil, err
+	}
+	outer, err := c.execSource(p.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -35,18 +44,8 @@ func (c *Context) execLookupJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 	}
 	n := len(tab.Rows)
 
-	outerLayout := layoutOf(p.Children[0].Cols)
-	keyPos, ok := outerLayout[p.LookupKey]
-	if !ok {
-		return nil, fmt.Errorf("lookup key @%d missing from outer input", p.LookupKey)
-	}
-
 	// Inner full-row layout for filters; projection indices for output.
-	full := make([]scalar.ColID, len(rel.Tab.Cols))
-	for i := range rel.Tab.Cols {
-		full[i] = rel.ColID(i)
-	}
-	innerLayout := layoutOf(full)
+	innerLayout := layoutOf(fullColIDs(rel))
 	var innerFilter scalar.EvalFn
 	if p.InnerFilter != nil {
 		innerFilter, err = c.compile(p.InnerFilter, innerLayout)
@@ -70,39 +69,50 @@ func (c *Context) execLookupJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 		}
 	}
 
-	var out []sqltypes.Row
-	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.InnerCols))
-	for _, orow := range outer {
-		key := orow[keyPos]
-		if key.IsNull() {
-			continue
-		}
-		start := sort.Search(n, func(i int) bool {
-			return sqltypes.Compare(lookup(i)[ord], key) >= 0
-		})
-		for i := start; i < n; i++ {
-			irow := lookup(i)
-			if sqltypes.Compare(irow[ord], key) != 0 {
-				break
+	// The index probe is read-only, so outer morsels can run in parallel;
+	// morsel-ordered concatenation preserves the outer input's order.
+	outerWidth := len(p.Children[0].Cols)
+	width := outerWidth + len(p.InnerCols)
+	return c.runMorsels(p, len(outer), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		var row sqltypes.Row
+		for _, orow := range outer[lo:hi] {
+			key := orow[keyPos]
+			if key.IsNull() {
+				continue
 			}
-			if innerFilter != nil {
-				d := innerFilter(irow)
-				if d.IsNull() || !d.Bool() {
-					continue
+			start := sort.Search(n, func(i int) bool {
+				return sqltypes.Compare(lookup(i)[ord], key) >= 0
+			})
+			for i := start; i < n; i++ {
+				irow := lookup(i)
+				if sqltypes.Compare(irow[ord], key) != 0 {
+					break
 				}
-			}
-			copy(combined, orow)
-			for j, pos := range innerIdx {
-				combined[len(orow)+j] = irow[pos]
-			}
-			if residual != nil {
-				d := residual(combined)
-				if d.IsNull() || !d.Bool() {
-					continue
+				if innerFilter != nil {
+					d := innerFilter(irow)
+					if d.IsNull() || !d.Bool() {
+						continue
+					}
 				}
+				if row == nil {
+					row = arena.NewRow(width)
+				}
+				for j, pos := range outerIdx {
+					row[j] = orow[pos]
+				}
+				for j, pos := range innerIdx {
+					row[outerWidth+j] = irow[pos]
+				}
+				if residual != nil {
+					d := residual(row)
+					if d.IsNull() || !d.Bool() {
+						continue
+					}
+				}
+				*out = append(*out, row)
+				row = nil
 			}
-			out = append(out, combined.Clone())
 		}
-	}
-	return out, nil
+		return nil
+	})
 }

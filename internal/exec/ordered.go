@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/opt"
 	"repro/internal/scalar"
@@ -12,59 +11,38 @@ import (
 // execSort sorts the child's rows ascending by the plan's sort columns
 // (NULLs first, matching sqltypes.Compare).
 func (c *Context) execSort(p *opt.Plan) ([]sqltypes.Row, error) {
+	keys, err := colPositions(p.SortCols, layoutOf(p.Children[0].Cols), "sort column")
+	if err != nil {
+		return nil, err
+	}
 	in, err := c.exec(p.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	layout := layoutOf(p.Children[0].Cols)
-	keys := make([]int, len(p.SortCols))
-	for i, col := range p.SortCols {
-		pos, ok := layout[col]
-		if !ok {
-			return nil, fmt.Errorf("sort column @%d missing from input", col)
-		}
-		keys[i] = pos
-	}
-	out := make([]sqltypes.Row, len(in))
-	copy(out, in)
-	sort.SliceStable(out, func(a, b int) bool {
-		for _, k := range keys {
-			if cmp := sqltypes.Compare(out[a][k], out[b][k]); cmp != 0 {
-				return cmp < 0
-			}
-		}
-		return false
-	})
-	return out, nil
+	return sortRows(in, keys), nil
 }
 
 // execMergeJoin joins two inputs sorted on their key columns. Rows with a
 // NULL key never match. Duplicate keys on both sides produce the full cross
 // of the two equal-key blocks.
 func (c *Context) execMergeJoin(p *opt.Plan) ([]sqltypes.Row, error) {
-	left, err := c.exec(p.Children[0])
+	leftLayout := layoutOf(c.sourceCols(p.Children[0]))
+	rightLayout := layoutOf(c.sourceCols(p.Children[1]))
+	lk, err := colPositions(p.LeftKeys, leftLayout, "merge join left key")
 	if err != nil {
 		return nil, err
 	}
-	right, err := c.exec(p.Children[1])
+	rk, err := colPositions(p.RightKeys, rightLayout, "merge join right key")
 	if err != nil {
 		return nil, err
 	}
-	leftLayout := layoutOf(p.Children[0].Cols)
-	rightLayout := layoutOf(p.Children[1].Cols)
-	lk := make([]int, len(p.LeftKeys))
-	rk := make([]int, len(p.RightKeys))
-	for i := range p.LeftKeys {
-		lp, ok := leftLayout[p.LeftKeys[i]]
-		if !ok {
-			return nil, fmt.Errorf("merge join left key @%d missing", p.LeftKeys[i])
-		}
-		rp, ok := rightLayout[p.RightKeys[i]]
-		if !ok {
-			return nil, fmt.Errorf("merge join right key @%d missing", p.RightKeys[i])
-		}
-		lk[i] = lp
-		rk[i] = rp
+	leftIdx, err := colPositions(p.Children[0].Cols, leftLayout, "merge join left column")
+	if err != nil {
+		return nil, err
+	}
+	rightIdx, err := colPositions(p.Children[1].Cols, rightLayout, "merge join right column")
+	if err != nil {
+		return nil, err
 	}
 	var residual scalar.EvalFn
 	if p.Filter != nil {
@@ -72,6 +50,14 @@ func (c *Context) execMergeJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	left, err := c.execSource(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.execSource(p.Children[1])
+	if err != nil {
+		return nil, err
 	}
 
 	cmpKeys := func(a sqltypes.Row, b sqltypes.Row) int {
@@ -83,8 +69,14 @@ func (c *Context) execMergeJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 		return 0
 	}
 
+	// The merge itself is inherently sequential (one cursor per side), but
+	// output rows are carved from an arena and written directly: one
+	// allocation per emitted row, reused when the residual rejects.
 	var out []sqltypes.Row
-	combined := make(sqltypes.Row, len(p.Children[0].Cols)+len(p.Children[1].Cols))
+	var arena sqltypes.RowArena
+	var combined sqltypes.Row
+	leftWidth := len(p.Children[0].Cols)
+	width := leftWidth + len(p.Children[1].Cols)
 	li, ri := 0, 0
 	for li < len(left) && ri < len(right) {
 		if rowHasNullAt(left[li], lk) {
@@ -114,15 +106,23 @@ func (c *Context) execMergeJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 			}
 			for a := li; a < lEnd; a++ {
 				for b := ri; b < rEnd; b++ {
-					copy(combined, left[a])
-					copy(combined[len(left[a]):], right[b])
+					if combined == nil {
+						combined = arena.NewRow(width)
+					}
+					for i, pos := range leftIdx {
+						combined[i] = left[a][pos]
+					}
+					for i, pos := range rightIdx {
+						combined[leftWidth+i] = right[b][pos]
+					}
 					if residual != nil {
 						d := residual(combined)
 						if d.IsNull() || !d.Bool() {
 							continue
 						}
 					}
-					out = append(out, combined.Clone())
+					out = append(out, combined)
+					combined = nil
 				}
 			}
 			li, ri = lEnd, rEnd
@@ -135,18 +135,10 @@ func (c *Context) execMergeJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 // closes when any grouping value changes, so only one accumulator set is
 // live at a time.
 func (c *Context) execStreamAgg(p *opt.Plan) ([]sqltypes.Row, error) {
-	in, err := c.exec(p.Children[0])
+	layout := layoutOf(c.sourceCols(p.Children[0]))
+	groupIdx, err := colPositions(p.GroupCols, layout, "grouping column")
 	if err != nil {
 		return nil, err
-	}
-	layout := layoutOf(p.Children[0].Cols)
-	groupIdx := make([]int, len(p.GroupCols))
-	for i, g := range p.GroupCols {
-		pos, ok := layout[g]
-		if !ok {
-			return nil, fmt.Errorf("grouping column @%d missing from aggregation input", g)
-		}
-		groupIdx[i] = pos
 	}
 	argFns := make([]scalar.EvalFn, len(p.Aggs))
 	for i, a := range p.Aggs {
@@ -158,6 +150,10 @@ func (c *Context) execStreamAgg(p *opt.Plan) ([]sqltypes.Row, error) {
 			return nil, fmt.Errorf("compiling aggregate %s: %w", a, err)
 		}
 		argFns[i] = fn
+	}
+	in, err := c.execSource(p.Children[0])
+	if err != nil {
+		return nil, err
 	}
 
 	var out []sqltypes.Row

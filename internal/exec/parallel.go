@@ -21,6 +21,7 @@ func (c *Context) runParallel(res *opt.Result, stmtPlans []*opt.Plan, workers in
 		c.stats.sequential = true
 		c.stats.workers = 1
 		c.stats.fallback = "a spool plan references a scalar subquery"
+		c.workers = 1 // the fallback is fully sequential: no intra-op helpers
 		return c.runSequential(stmtPlans)
 	}
 	waves, err := deps.Waves()

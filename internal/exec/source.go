@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+)
+
+// Late materialization: operators that only *read* their input through
+// compiled column positions — joins, aggregations, projections, the
+// statement's output projection — pull child rows through execSource instead
+// of exec. Pass-through shapes under the child (scans, filters, sorts, index
+// scans) then skip materializing their declared projection and hand back the
+// storage's own full-width rows; the consumer compiles its expressions
+// against sourceCols, the layout those rows actually carry. Sharing is safe
+// because operators never mutate input rows (the same model spool reads
+// rely on). Materializing operators still emit rows in their plan's declared
+// p.Cols layout, so the exec contract is unchanged everywhere else: spool
+// work tables, the cross-batch cache, and statement results are laid out
+// exactly as before.
+//
+// Under EXPLAIN ANALYZE both functions fall back to the declared layout so
+// every node materializes and per-node actuals stay observable, mirroring
+// how fusion disables itself.
+
+// sourceCols reports the column layout execSource(p) will return, without
+// executing anything, so consumers can compile expressions before running
+// the subtree. It must stay in lockstep with execSource's dispatch.
+func (c *Context) sourceCols(p *opt.Plan) []scalar.ColID {
+	if c.stats.analyze {
+		return p.Cols
+	}
+	switch p.Op {
+	case opt.PScan, opt.PIndexScan:
+		return fullColIDs(c.Md.Rel(p.Rel))
+	case opt.PFilter, opt.PSort:
+		return c.sourceCols(p.Children[0])
+	default:
+		return p.Cols
+	}
+}
+
+// execSource executes a plan subtree for a consumer that reads rows through
+// the sourceCols(p) layout. See the package comment above on late
+// materialization.
+func (c *Context) execSource(p *opt.Plan) ([]sqltypes.Row, error) {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if c.stats.analyze {
+		return c.exec(p)
+	}
+	switch p.Op {
+	case opt.PScan:
+		return c.scanSource(p)
+	case opt.PIndexScan:
+		return c.indexScanSource(p)
+	case opt.PFilter:
+		fn, err := c.compile(p.Filter, layoutOf(c.sourceCols(p)))
+		if err != nil {
+			return nil, err
+		}
+		in, err := c.execSource(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return c.filterShared(p, in, fn)
+	case opt.PSort:
+		keys, err := colPositions(p.SortCols, layoutOf(c.sourceCols(p)), "sort column")
+		if err != nil {
+			return nil, err
+		}
+		in, err := c.execSource(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return sortRows(in, keys), nil
+	default:
+		return c.exec(p)
+	}
+}
+
+// scanSource is execSource's scan leaf: the base table's own rows, filtered
+// but never projected.
+func (c *Context) scanSource(p *opt.Plan) ([]sqltypes.Row, error) {
+	rel := c.Md.Rel(p.Rel)
+	tab, err := c.Store.Table(rel.Tab.Name)
+	if err != nil {
+		return nil, err
+	}
+	if p.Filter == nil {
+		return tab.Rows, nil
+	}
+	filter, err := c.compile(p.Filter, layoutOf(fullColIDs(rel)))
+	if err != nil {
+		return nil, fmt.Errorf("scan filter on %s: %w", rel.Tab.Name, err)
+	}
+	return c.filterShared(p, tab.Rows, filter)
+}
+
+// indexScanSource is execSource's index-scan leaf: the qualifying index
+// range in index order, filtered, as shared full-width rows.
+func (c *Context) indexScanSource(p *opt.Plan) ([]sqltypes.Row, error) {
+	rel := c.Md.Rel(p.Rel)
+	tab, err := c.Store.Table(rel.Tab.Name)
+	if err != nil {
+		return nil, err
+	}
+	perm := tab.Index(p.IndexOrd)
+	if perm == nil {
+		return nil, fmt.Errorf("no index on %s.%s", rel.Tab.Name, rel.Tab.Cols[p.IndexOrd].Name)
+	}
+	var filter scalar.EvalFn
+	if p.Filter != nil {
+		filter, err = c.compile(p.Filter, layoutOf(fullColIDs(rel)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	span := indexSpan(tab.Rows, perm, p.IndexOrd, p.Bounds)
+	return c.runMorsels(p, len(span), func(_ *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		for _, ri := range span[lo:hi] {
+			r := tab.Rows[ri]
+			if filter != nil {
+				d := filter(r)
+				if d.IsNull() || !d.Bool() {
+					continue
+				}
+			}
+			*out = append(*out, r)
+		}
+		return nil
+	})
+}
+
+// filterShared keeps the rows passing fn, sharing them with the input.
+func (c *Context) filterShared(p *opt.Plan, in []sqltypes.Row, fn scalar.EvalFn) ([]sqltypes.Row, error) {
+	return c.runMorsels(p, len(in), func(_ *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		for _, r := range in[lo:hi] {
+			d := fn(r)
+			if !d.IsNull() && d.Bool() {
+				*out = append(*out, r)
+			}
+		}
+		return nil
+	})
+}
+
+// colPositions resolves each column to its position in the layout.
+func colPositions(cols []scalar.ColID, layout map[scalar.ColID]int, what string) ([]int, error) {
+	out := make([]int, len(cols))
+	for i, col := range cols {
+		pos, ok := layout[col]
+		if !ok {
+			return nil, fmt.Errorf("%s @%d missing from input", what, col)
+		}
+		out[i] = pos
+	}
+	return out, nil
+}
+
+// sortRows stably sorts a copy of the row slice (never the shared backing
+// rows of a table or spool) ascending by the key positions, NULLs first.
+func sortRows(in []sqltypes.Row, keys []int) []sqltypes.Row {
+	out := make([]sqltypes.Row, len(in))
+	copy(out, in)
+	sort.SliceStable(out, func(a, b int) bool {
+		for _, k := range keys {
+			if cmp := sqltypes.Compare(out[a][k], out[b][k]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// fullColIDs is the column layout of a table instance's stored rows.
+func fullColIDs(rel *logical.RelInfo) []scalar.ColID {
+	full := make([]scalar.ColID, len(rel.Tab.Cols))
+	for i := range rel.Tab.Cols {
+		full[i] = rel.ColID(i)
+	}
+	return full
+}

@@ -14,6 +14,11 @@ type NodeStats struct {
 	Rows  int
 	Time  time.Duration
 	Execs int
+
+	// Par is the maximum intra-operator parallel degree this node achieved
+	// (workers that actually processed its morsels, including the calling
+	// goroutine). 0 when the node never ran a parallel morsel pass.
+	Par int
 }
 
 // Stats reports what one batch execution did. It is a plain-data snapshot
@@ -55,6 +60,12 @@ type Stats struct {
 	Sequential     bool
 	FallbackReason string
 
+	// Morsels is the total number of row chunks dispatched to the intra-op
+	// worker pool; ParallelOps counts operator executions that actually ran
+	// with more than one worker. Both are 0 for sequential batches.
+	Morsels     int
+	ParallelOps int
+
 	// WallTime is the total batch execution time; BusyTime is the summed
 	// spool and statement work time across workers.
 	WallTime time.Duration
@@ -95,6 +106,8 @@ type collector struct {
 	waves       [][]int
 	sequential  bool
 	fallback    string
+	morsels     int
+	parallelOps int
 	nodes       map[*opt.Plan]*NodeStats
 }
 
@@ -146,6 +159,27 @@ func (s *collector) recordStmt(i int, d time.Duration) {
 	s.stmtTimes[i] = d
 }
 
+// recordMorsels notes one intra-op parallel pass of a plan node: how many
+// morsels it dispatched and the worker degree it achieved.
+func (s *collector) recordMorsels(p *opt.Plan, morsels, degree int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.morsels += morsels
+	if degree > 1 {
+		s.parallelOps++
+	}
+	if s.nodes != nil {
+		ns, ok := s.nodes[p]
+		if !ok {
+			ns = &NodeStats{}
+			s.nodes[p] = ns
+		}
+		if degree > ns.Par {
+			ns.Par = degree
+		}
+	}
+}
+
 // recordNode accumulates one execution of a plan node (Analyze mode only).
 func (s *collector) recordNode(p *opt.Plan, rows int, d time.Duration) {
 	s.mu.Lock()
@@ -177,6 +211,8 @@ func (s *collector) snapshot(wall time.Duration) *Stats {
 		Waves:          s.waves,
 		Sequential:     s.sequential,
 		FallbackReason: s.fallback,
+		Morsels:        s.morsels,
+		ParallelOps:    s.parallelOps,
 		WallTime:       wall,
 	}
 	if !s.sequential {

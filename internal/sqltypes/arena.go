@@ -1,0 +1,35 @@
+package sqltypes
+
+// arenaSlabDatums is the default slab size of a RowArena: large enough to
+// amortize allocation over many rows, small enough that a mostly-unused
+// final slab is cheap.
+const arenaSlabDatums = 4096
+
+// RowArena hands out rows carved from large datum slabs, replacing one
+// make([]Datum) per output row with one allocation per slab. Rows returned
+// by NewRow alias the arena's current slab but are never moved or reused, so
+// they stay valid for as long as the caller keeps them; a slab is released
+// to the garbage collector when every row carved from it is dropped.
+//
+// A RowArena is not safe for concurrent use: the executor keeps one arena
+// per worker.
+type RowArena struct {
+	slab Row
+}
+
+// NewRow returns a zeroed row of n datums backed by the arena.
+func (a *RowArena) NewRow(n int) Row {
+	if n <= 0 {
+		return Row{}
+	}
+	if cap(a.slab)-len(a.slab) < n {
+		size := arenaSlabDatums
+		if n > size {
+			size = n
+		}
+		a.slab = make(Row, 0, size)
+	}
+	r := a.slab[len(a.slab) : len(a.slab)+n : len(a.slab)+n]
+	a.slab = a.slab[:len(a.slab)+n]
+	return r
+}

@@ -1,0 +1,68 @@
+package sqltypes
+
+import "testing"
+
+func TestRowArenaRowsDoNotAlias(t *testing.T) {
+	var a RowArena
+	r1 := a.NewRow(3)
+	r2 := a.NewRow(3)
+	for i := range r1 {
+		r1[i] = NewInt(int64(i))
+	}
+	for i := range r2 {
+		r2[i] = NewInt(int64(100 + i))
+	}
+	for i := range r1 {
+		if r1[i].Int() != int64(i) {
+			t.Fatalf("r1[%d] = %v, clobbered by later allocation", i, r1[i])
+		}
+	}
+	// Appending to an arena row must not spill into the next row's storage.
+	_ = append(r1, NewInt(999))
+	if r2[0].Int() != 100 {
+		t.Fatalf("append to r1 overwrote r2[0] = %v", r2[0])
+	}
+}
+
+func TestRowArenaSurvivesSlabRollover(t *testing.T) {
+	var a RowArena
+	var rows []Row
+	for i := 0; i < 10000; i++ {
+		r := a.NewRow(7)
+		for j := range r {
+			r[j] = NewInt(int64(i))
+		}
+		rows = append(rows, r)
+	}
+	for i, r := range rows {
+		if len(r) != 7 {
+			t.Fatalf("row %d has length %d", i, len(r))
+		}
+		for j := range r {
+			if r[j].Int() != int64(i) {
+				t.Fatalf("row %d datum %d = %v", i, j, r[j])
+			}
+		}
+	}
+}
+
+func TestRowArenaOversizedRow(t *testing.T) {
+	var a RowArena
+	big := a.NewRow(3 * arenaSlabDatums)
+	if len(big) != 3*arenaSlabDatums {
+		t.Fatalf("oversized row has length %d", len(big))
+	}
+	small := a.NewRow(2)
+	small[0] = NewInt(1)
+	small[1] = NewInt(2)
+	if big[len(big)-1].Kind() != KindNull {
+		t.Fatal("oversized row tail not zeroed")
+	}
+}
+
+func TestRowArenaZeroRow(t *testing.T) {
+	var a RowArena
+	if r := a.NewRow(0); len(r) != 0 {
+		t.Fatalf("NewRow(0) returned %d datums", len(r))
+	}
+}

@@ -64,6 +64,22 @@ func (hs *Hasher) HashRow(r Row, cols []int) uint64 {
 	return h.Sum64()
 }
 
+// HashKey hashes the given columns like HashRow but reports ok=false as
+// soon as one of them is NULL, in the same pass — the join-key guard (NULL
+// keys never match) without a separate scan over the key columns.
+func (hs *Hasher) HashKey(r Row, cols []int) (uint64, bool) {
+	var h maphash.Hash
+	h.SetSeed(hs.seed)
+	for _, c := range cols {
+		d := r[c]
+		if d.IsNull() {
+			return 0, false
+		}
+		d.HashInto(&h)
+	}
+	return h.Sum64(), true
+}
+
 // RowSize returns the approximate in-memory size of the row in bytes.
 func RowSize(r Row) int {
 	n := 0
