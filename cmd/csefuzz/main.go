@@ -1,0 +1,173 @@
+// Command csefuzz is a long-running differential soak tester: it generates
+// seeded batches of similar queries with internal/qgen, runs each one through
+// the full internal/difftest config matrix (CSE on/off, sequential/parallel,
+// chunk sizes, cache, heuristic-knob sweeps), and on any mismatch or
+// invariant violation shrinks the batch to a minimal reproducer and writes a
+// JSON crash report plus a ready-to-paste regression test.
+//
+// Usage:
+//
+//	go run ./cmd/csefuzz -seeds 200              # 200 TPC-H batches, full matrix
+//	go run ./cmd/csefuzz -mode smoke -schemas both
+//	go run ./cmd/csefuzz -seeds 0 -duration 10m  # time-bounded soak
+//
+// The process exits 0 if every batch agreed across all configurations and 1
+// if any crash was recorded (see -report for the artifact path).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/difftest"
+	"repro/internal/qgen"
+)
+
+type crashReport struct {
+	Schema         string `json:"schema"`
+	SchemaSeed     int64  `json:"schema_seed,omitempty"`
+	BatchSeed      int64  `json:"batch_seed"`
+	Error          string `json:"error"`
+	SQL            string `json:"sql"`
+	ShrunkSQL      string `json:"shrunk_sql"`
+	ShrunkQueries  int    `json:"shrunk_queries"`
+	ShrinkError    string `json:"shrink_error,omitempty"`
+	RegressionTest string `json:"regression_test"`
+}
+
+type soakReport struct {
+	Mode        string        `json:"mode"`
+	ScaleFactor float64       `json:"scale_factor"`
+	Batches     int           `json:"batches"`
+	Configs     int           `json:"configs"`
+	Elapsed     string        `json:"elapsed"`
+	Crashes     []crashReport `json:"crashes"`
+}
+
+func main() {
+	var (
+		seeds      = flag.Int("seeds", 50, "number of seeded batches per schema (0 = unbounded, use -duration)")
+		start      = flag.Int64("start", 1, "first batch seed")
+		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor for the oracle database")
+		mode       = flag.String("mode", "full", "config matrix: full or smoke")
+		schemas    = flag.String("schemas", "tpch", "schemas to soak: tpch, random, or both")
+		maxQ       = flag.Int("max-queries", 5, "maximum queries per generated batch")
+		duration   = flag.Duration("duration", 0, "stop after this long (0 = run all seeds)")
+		reportPath = flag.String("report", "csefuzz-report.json", "JSON crash report path")
+		maxCrashes = flag.Int("max-crashes", 3, "stop after this many distinct crashes")
+		verbose    = flag.Bool("v", false, "log every batch")
+	)
+	flag.Parse()
+
+	var cfgs []difftest.Config
+	switch *mode {
+	case "full":
+		cfgs = difftest.Matrix()
+	case "smoke":
+		cfgs = difftest.Smoke()
+	default:
+		fmt.Fprintf(os.Stderr, "csefuzz: unknown -mode %q (want full or smoke)\n", *mode)
+		os.Exit(2)
+	}
+
+	rep := soakReport{Mode: *mode, ScaleFactor: *sf, Configs: len(cfgs)}
+	began := time.Now()
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = began.Add(*duration)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	soak := func(o *difftest.Oracle, schemaName string, schemaSeed int64, gen func(seed int64) *qgen.Batch) {
+		for i := 0; ; i++ {
+			if *seeds > 0 && i >= *seeds {
+				return
+			}
+			if expired() || len(rep.Crashes) >= *maxCrashes {
+				return
+			}
+			seed := *start + int64(i)
+			b := gen(seed)
+			err := o.CheckBatch(b)
+			if *verbose || err != nil {
+				status := "ok"
+				if err != nil {
+					status = "FAIL"
+				}
+				fmt.Printf("[%s seed %d] %d queries: %s\n", schemaName, seed, b.NumQueries(), status)
+			}
+			rep.Batches++
+			if err == nil {
+				continue
+			}
+			c := crashReport{
+				Schema:     schemaName,
+				SchemaSeed: schemaSeed,
+				BatchSeed:  seed,
+				Error:      err.Error(),
+				SQL:        b.SQL(),
+			}
+			shrunk, serr := difftest.Shrink(o, b)
+			if serr != nil {
+				// Shrinking never returns a batch that stopped failing, but it
+				// can error if the failure is flaky; keep the original repro.
+				c.ShrinkError = serr.Error()
+				shrunk = b
+			}
+			c.ShrunkSQL = shrunk.SQL()
+			c.ShrunkQueries = shrunk.NumQueries()
+			name := fmt.Sprintf("Csefuzz%sSeed%d", schemaName, seed)
+			c.RegressionTest = difftest.RegressionTest(name, shrunk, err)
+			rep.Crashes = append(rep.Crashes, c)
+			fmt.Printf("--- crash (shrunk to %d queries) ---\n%s\n%s\n",
+				c.ShrunkQueries, c.ShrunkSQL, c.RegressionTest)
+		}
+	}
+
+	if *schemas == "tpch" || *schemas == "both" {
+		o, err := difftest.NewTPCH(*sf, cfgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csefuzz: building TPC-H oracle: %v\n", err)
+			os.Exit(2)
+		}
+		soak(o, "TPCH", 0, func(seed int64) *qgen.Batch {
+			return qgen.New(qgen.Config{Seed: seed, MaxQueries: *maxQ}).Batch()
+		})
+	}
+	if *schemas == "random" || *schemas == "both" {
+		for schemaSeed := int64(1); schemaSeed <= 4; schemaSeed++ {
+			if expired() || len(rep.Crashes) >= *maxCrashes {
+				break
+			}
+			s := qgen.RandomSchema(schemaSeed)
+			o := difftest.New(cfgs)
+			if err := o.InstallSchema(s); err != nil {
+				fmt.Fprintf(os.Stderr, "csefuzz: installing random schema %d: %v\n", schemaSeed, err)
+				os.Exit(2)
+			}
+			ss := schemaSeed
+			soak(o, fmt.Sprintf("Random%d", ss), ss, func(seed int64) *qgen.Batch {
+				return qgen.New(qgen.Config{Seed: seed, Schema: s, MaxQueries: *maxQ}).Batch()
+			})
+		}
+	}
+
+	rep.Elapsed = time.Since(began).Round(time.Millisecond).String()
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csefuzz: encoding report: %v\n", err)
+		os.Exit(2)
+	}
+	if err := os.WriteFile(*reportPath, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "csefuzz: writing %s: %v\n", *reportPath, err)
+		os.Exit(2)
+	}
+	fmt.Printf("csefuzz: %d batches x %d configs in %s, %d crash(es); report: %s\n",
+		rep.Batches, rep.Configs, rep.Elapsed, len(rep.Crashes), *reportPath)
+	if len(rep.Crashes) > 0 {
+		os.Exit(1)
+	}
+}

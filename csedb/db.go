@@ -126,6 +126,13 @@ func (db *DB) ExecParallelism() int { return db.parallelism }
 // subsequent batches.
 func (db *DB) SetExecParallelism(n int) { db.parallelism = n }
 
+// ExecChunkSize returns the executor morsel granularity (0 = default).
+func (db *DB) ExecChunkSize() int { return db.chunkSize }
+
+// SetExecChunkSize changes the executor morsel granularity for subsequent
+// batches; 0 restores exec.DefaultChunkSize.
+func (db *DB) SetExecChunkSize(rows int) { db.chunkSize = rows }
+
 // Tracing reports whether optimizer decision tracing is on.
 func (db *DB) Tracing() bool { return db.tracing }
 

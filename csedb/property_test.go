@@ -1,77 +1,19 @@
 package csedb_test
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
+
+	"repro/internal/qgen"
 )
 
-// queryGen builds random similar SPJG queries over the TPC-H tables: random
-// subsets of grouping columns, random predicate ranges, optional nation /
-// region joins — the shapes the CSE machinery targets. Queries within one
-// batch deliberately overlap so covering subexpressions exist.
-type queryGen struct {
-	rng *rand.Rand
-}
+// The random-workload property tests are thin wrappers around the shared
+// grammar-driven generator in internal/qgen — the same grammar the
+// differential oracle (internal/difftest) and the fuzz targets use, so the
+// query surface under test is defined exactly once.
 
-func (g *queryGen) query() string {
-	var sb strings.Builder
-	joinsNation := g.rng.Intn(3) == 0
-	joinsRegion := joinsNation && g.rng.Intn(2) == 0
-
-	groupChoices := [][2]string{
-		{"c_nationkey", ""},
-		{"c_nationkey", "c_mktsegment"},
-		{"c_mktsegment", ""},
-	}
-	gc := groupChoices[g.rng.Intn(len(groupChoices))]
-	if joinsNation {
-		gc = [2]string{"n_name", ""}
-	}
-	if joinsRegion {
-		gc = [2]string{"r_name", ""}
-	}
-	groupCols := gc[0]
-	if gc[1] != "" {
-		groupCols += ", " + gc[1]
-	}
-
-	aggChoices := []string{
-		"sum(l_extendedprice)",
-		"sum(l_quantity)",
-		"count(*)",
-		"max(l_extendedprice)",
-		"min(l_discount)",
-	}
-	nAggs := 1 + g.rng.Intn(2)
-	var aggs []string
-	for i := 0; i < nAggs; i++ {
-		aggs = append(aggs, fmt.Sprintf("%s as a%d", aggChoices[g.rng.Intn(len(aggChoices))], i))
-	}
-
-	sb.WriteString("select " + groupCols + ", " + strings.Join(aggs, ", "))
-	sb.WriteString("\nfrom customer, orders, lineitem")
-	if joinsNation {
-		sb.WriteString(", nation")
-	}
-	if joinsRegion {
-		sb.WriteString(", region")
-	}
-	sb.WriteString("\nwhere c_custkey = o_custkey and o_orderkey = l_orderkey")
-	if joinsNation {
-		sb.WriteString(" and c_nationkey = n_nationkey")
-	}
-	if joinsRegion {
-		sb.WriteString(" and n_regionkey = r_regionkey")
-	}
-	// The shared date window plus a random nation-key range.
-	sb.WriteString(" and o_orderdate < '1996-07-01'")
-	lo := g.rng.Intn(10)
-	hi := 15 + g.rng.Intn(10)
-	sb.WriteString(fmt.Sprintf(" and c_nationkey > %d and c_nationkey < %d", lo, hi))
-	sb.WriteString("\ngroup by " + groupCols)
-	return sb.String()
+// batchSQL generates the seeded batch used by one property-test round.
+func batchSQL(seed int64) string {
+	return qgen.New(qgen.Config{Seed: seed, MinQueries: 2, MaxQueries: 4}).Batch().SQL()
 }
 
 // TestRandomWorkloadsCSEEquivalence is the central correctness property: on
@@ -87,14 +29,7 @@ func TestRandomWorkloadsCSEEquivalence(t *testing.T) {
 
 	const rounds = 12
 	for round := 0; round < rounds; round++ {
-		rng := rand.New(rand.NewSource(int64(1000 + round)))
-		g := &queryGen{rng: rng}
-		n := 2 + rng.Intn(3)
-		qs := make([]string, n)
-		for i := range qs {
-			qs[i] = g.query()
-		}
-		sql := strings.Join(qs, ";\n") + ";"
+		sql := batchSQL(int64(1000 + round))
 
 		off, err := dbOff.Run(sql)
 		if err != nil {
@@ -132,14 +67,7 @@ func TestRandomWorkloadsCostNeverWorse(t *testing.T) {
 	dbOff := openTPCH(t, noCSE())
 	dbOn := openTPCH(t, withCSE())
 	for round := 0; round < 8; round++ {
-		rng := rand.New(rand.NewSource(int64(7700 + round)))
-		g := &queryGen{rng: rng}
-		n := 2 + rng.Intn(3)
-		qs := make([]string, n)
-		for i := range qs {
-			qs[i] = g.query()
-		}
-		sql := strings.Join(qs, ";\n") + ";"
+		sql := batchSQL(int64(7700 + round))
 		if _, _, err := dbOff.Optimize(sql); err != nil {
 			t.Fatal(err)
 		}
@@ -150,6 +78,40 @@ func TestRandomWorkloadsCostNeverWorse(t *testing.T) {
 		if on.Stats.FinalCost > on.Stats.BaseCost {
 			t.Errorf("round %d: CSE phase made the plan worse: %.2f > %.2f",
 				round, on.Stats.FinalCost, on.Stats.BaseCost)
+		}
+	}
+}
+
+// TestChunkSizeSweepEquivalence runs one generated batch at several morsel
+// chunk sizes through the public API and demands identical results — the
+// csedb-level counterpart of the difftest chunk cells, exercising
+// SetExecChunkSize.
+func TestChunkSizeSweepEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chunk sweep skipped in -short mode")
+	}
+	db := openTPCH(t, withCSE())
+	sql := batchSQL(4242)
+	var base []string
+	for _, chunk := range []int{0, 1, 7, 1024} {
+		db.SetExecChunkSize(chunk)
+		if got := db.ExecChunkSize(); got != chunk {
+			t.Fatalf("ExecChunkSize = %d after SetExecChunkSize(%d)", got, chunk)
+		}
+		res, err := db.Run(sql)
+		if err != nil {
+			t.Fatalf("chunk %d: %v\n%s", chunk, err, sql)
+		}
+		var rows []string
+		for _, st := range res.Statements {
+			rows = append(rows, canonical(st.Rows)...)
+		}
+		if base == nil {
+			base = rows
+			continue
+		}
+		if !equalStrings(base, rows) {
+			t.Fatalf("chunk %d results differ from default chunking\n%s", chunk, sql)
 		}
 	}
 }

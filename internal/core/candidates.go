@@ -231,7 +231,7 @@ func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
 		for len(r) > 0 {
 			bestIdx := -1
 			var bestMerged *spec
-			bestDelta := 0.0
+			bestDelta := g.set.MinMergeBenefit
 			bestMergedCost := 0.0
 			curCost, err := g.costUsing(cur)
 			if err != nil {
@@ -468,6 +468,14 @@ func tableSubset(a, b []string) bool {
 }
 
 // finalize materializes surviving specs as memo groups and opt.Candidates.
+// TestHookMutateCandidate, when non-nil, is invoked on every finalized
+// candidate after its substitutes have been validated. It exists so the
+// differential harness can deliberately corrupt a candidate (e.g. drop a
+// consumer's residual predicate, turning it into a wrong covering
+// subexpression) and prove the oracle catches the resulting wrong results.
+// Never set outside tests.
+var TestHookMutateCandidate func(*opt.Candidate)
+
 func (g *generator) finalize(specs []*spec) ([]*opt.Candidate, error) {
 	var cands []*opt.Candidate
 	for i, s := range specs {
@@ -509,6 +517,9 @@ func (g *generator) finalize(specs []*spec) ([]*opt.Candidate, error) {
 				Groups: groupInts(cand.Consumers),
 				Values: map[string]float64{"rows": cand.Rows, "bytes": cand.Bytes},
 			})
+		}
+		if TestHookMutateCandidate != nil {
+			TestHookMutateCandidate(cand)
 		}
 		cands = append(cands, cand)
 	}

@@ -27,6 +27,12 @@ type Settings struct {
 	// Beta is Heuristic 4's containment size ratio (paper: 90%).
 	Beta float64
 
+	// MinMergeBenefit is the Δ floor for Algorithm 1 (§4.3.3): a greedy
+	// merge step is taken only when its benefit strictly exceeds this. The
+	// paper's formulation is Δ > 0 (the default); raising it makes merging
+	// more conservative and is exposed for knob-sweep testing.
+	MinMergeBenefit float64
+
 	// SubsetPruning enables Propositions 5.4–5.6 when enumerating candidate
 	// subsets (§5.3); disabling it forces all 2^N−1 optimizations (ablation).
 	SubsetPruning bool

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qgen"
+)
+
+// TestKnobSweepOnlyChangesSurvival pins the H1–H4 arithmetic against knob
+// perturbation: sweeping α (Heuristic 1's cost-fraction threshold), β
+// (Heuristic 4's containment ratio), and the Algorithm 1 Δ floor must only
+// ever change *which* candidates survive pruning — never produce a plan the
+// optimizer costs above the no-CSE baseline, and never change the detected
+// signature-set count (detection runs before any heuristic).
+func TestKnobSweepOnlyChangesSurvival(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+
+	batches := []string{example1SQL}
+	for seed := int64(500); seed < 506; seed++ {
+		batches = append(batches, qgen.New(qgen.Config{Seed: seed}).Batch().SQL())
+	}
+
+	type knobs struct {
+		alpha, beta, delta float64
+	}
+	var sweep []knobs
+	for _, a := range []float64{0.05, 0.10, 0.20} {
+		for _, b := range []float64{0.80, 0.90, 0.95} {
+			for _, d := range []float64{0, 1e4} {
+				sweep = append(sweep, knobs{a, b, d})
+			}
+		}
+	}
+
+	for bi, sql := range batches {
+		m0 := buildMemo(t, cat, sql)
+		base, err := core.Optimize(m0, core.DefaultSettings())
+		if err != nil {
+			t.Fatalf("batch %d default: %v", bi, err)
+		}
+		baseCost := base.Stats.BaseCost
+
+		for _, k := range sweep {
+			s := core.DefaultSettings()
+			s.Alpha, s.Beta, s.MinMergeBenefit = k.alpha, k.beta, k.delta
+			m := buildMemo(t, cat, sql)
+			out, err := core.Optimize(m, s)
+			if err != nil {
+				t.Fatalf("batch %d α=%.2f β=%.2f Δ=%g: %v", bi, k.alpha, k.beta, k.delta, err)
+			}
+
+			// Plan quality: a knob setting may forgo CSEs but must never
+			// accept a plan costed above the no-CSE baseline.
+			if out.Stats.FinalCost > out.Stats.BaseCost {
+				t.Errorf("batch %d α=%.2f β=%.2f Δ=%g: final cost %.2f exceeds no-CSE cost %.2f",
+					bi, k.alpha, k.beta, k.delta, out.Stats.FinalCost, out.Stats.BaseCost)
+			}
+			// The no-CSE baseline itself is knob-independent.
+			if out.Stats.BaseCost != baseCost {
+				t.Errorf("batch %d α=%.2f β=%.2f Δ=%g: base cost changed with knobs: %.2f vs %.2f",
+					bi, k.alpha, k.beta, k.delta, out.Stats.BaseCost, baseCost)
+			}
+			// Detection is knob-independent: heuristics only prune after it.
+			if out.Stats.SignatureSets != base.Stats.SignatureSets {
+				t.Errorf("batch %d α=%.2f β=%.2f Δ=%g: signature sets %d != %d — knobs must not affect detection",
+					bi, k.alpha, k.beta, k.delta, out.Stats.SignatureSets, base.Stats.SignatureSets)
+			}
+			// Tighter knobs at Δ=0, α≥0.10, β≤0.90 can only shrink the
+			// default candidate pool when merging is unchanged; in all cases
+			// survivors must be a coherent labeled set (no duplicates).
+			if dup := firstDuplicate(out.Stats.CandidateLabels); dup != "" {
+				t.Errorf("batch %d α=%.2f β=%.2f Δ=%g: duplicate candidate label %q",
+					bi, k.alpha, k.beta, k.delta, dup)
+			}
+		}
+	}
+}
+
+// TestAlphaMonotone: raising α only raises the H1 bar, so the surviving
+// candidate count is non-increasing in α with all other knobs fixed.
+func TestAlphaMonotone(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	for seed := int64(520); seed < 524; seed++ {
+		sql := qgen.New(qgen.Config{Seed: seed}).Batch().SQL()
+		prev := -1
+		for _, a := range []float64{0.05, 0.10, 0.20, 0.50} {
+			s := core.DefaultSettings()
+			s.Alpha = a
+			out, err := core.Optimize(buildMemo(t, cat, sql), s)
+			if err != nil {
+				t.Fatalf("seed %d α=%.2f: %v", seed, a, err)
+			}
+			n := out.Stats.Candidates
+			if prev >= 0 && n > prev {
+				t.Errorf("seed %d: candidate count rose from %d to %d when α tightened to %.2f",
+					seed, prev, n, a)
+			}
+			prev = n
+		}
+	}
+}
+
+// TestDeltaFloorSuppressesMerges: an absurdly high Δ floor means Algorithm 1
+// never merges, so every surviving candidate covers exactly the consumers of
+// one trivial spec — and correctness must still hold (cost bounded).
+func TestDeltaFloorSuppressesMerges(t *testing.T) {
+	cat := testCatalog(t, 0.01)
+	for seed := int64(530); seed < 534; seed++ {
+		sql := qgen.New(qgen.Config{Seed: seed}).Batch().SQL()
+		s := core.DefaultSettings()
+		s.MinMergeBenefit = 1e18
+		out, err := core.Optimize(buildMemo(t, cat, sql), s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Stats.FinalCost > out.Stats.BaseCost {
+			t.Errorf("seed %d: Δ floor produced a worse plan: %.2f > %.2f",
+				seed, out.Stats.FinalCost, out.Stats.BaseCost)
+		}
+	}
+}
+
+func firstDuplicate(labels []string) string {
+	sorted := append([]string(nil), labels...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return sorted[i]
+		}
+	}
+	return ""
+}

@@ -469,6 +469,31 @@ func (s *spec) label() string {
 		sb.WriteString(" where ")
 		sb.WriteString(strings.Join(preds, " AND "))
 	}
+	// Render the grouping structure: two candidates over the same join and
+	// predicates but different grouping columns or aggregates are distinct,
+	// and the label is their identity in traces and EXPLAIN output.
+	if s.grouped {
+		if len(s.groupCols) > 0 {
+			var cols []string
+			for _, c := range s.groupCols {
+				cols = append(cols, s.m.Md.ColName(c))
+			}
+			sb.WriteString(" group by ")
+			sb.WriteString(strings.Join(cols, ", "))
+		}
+		if len(s.aggs) > 0 {
+			var aggs []string
+			for _, a := range s.aggs {
+				arg := "*"
+				if a.Arg != nil {
+					arg = scalar.Format(a.Arg, namer)
+				}
+				aggs = append(aggs, fmt.Sprintf("%s(%s)", a.Kind, arg))
+			}
+			sb.WriteString(" agg ")
+			sb.WriteString(strings.Join(aggs, ", "))
+		}
+	}
 	fmt.Fprintf(&sb, " [%d consumers]", len(s.consumers))
 	return sb.String()
 }

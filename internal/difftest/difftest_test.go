@@ -1,0 +1,137 @@
+package difftest
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/qgen"
+)
+
+var (
+	tpchOnce sync.Once
+	tpchBase *Oracle
+	tpchErr  error
+)
+
+// tpchOracle returns an oracle sharing one TPC-H load across the package's
+// tests (the store is read-only under Check).
+func tpchOracle(t testing.TB, cfgs []Config) *Oracle {
+	t.Helper()
+	tpchOnce.Do(func() { tpchBase, tpchErr = NewTPCH(0.01, nil) })
+	if tpchErr != nil {
+		t.Fatalf("loading TPC-H: %v", tpchErr)
+	}
+	return &Oracle{Cat: tpchBase.Cat, Store: tpchBase.Store, Configs: cfgs}
+}
+
+// TestDifferentialMatrix is the headline oracle run: 50 seeded generated
+// batches, each executed across the full configuration matrix with
+// byte-identical normalized results and invariants demanded in every cell.
+func TestDifferentialMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential matrix is slow; run without -short")
+	}
+	o := tpchOracle(t, Matrix())
+	for seed := int64(1); seed <= 50; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			b := qgen.New(qgen.Config{Seed: seed}).Batch()
+			if err := o.CheckBatch(b); err != nil {
+				shrunk, serr := Shrink(o, b)
+				t.Fatalf("seed %d failed: %v\n\nshrunk repro:\n%s\n\nregression test:\n%s",
+					seed, err, shrunk.SQL(), RegressionTest("Seed", shrunk, serr))
+			}
+		})
+	}
+}
+
+// TestDifferentialSmokeShort keeps a quick differential signal in -short
+// runs (the -race -short CI lane).
+func TestDifferentialSmokeShort(t *testing.T) {
+	o := tpchOracle(t, Smoke())
+	for seed := int64(101); seed <= 106; seed++ {
+		b := qgen.New(qgen.Config{Seed: seed}).Batch()
+		if err := o.CheckBatch(b); err != nil {
+			t.Fatalf("seed %d: %v\nbatch:\n%s", seed, err, b.SQL())
+		}
+	}
+}
+
+func TestRandomSchemaDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random-schema differential is slow; run without -short")
+	}
+	for _, schemaSeed := range []int64{3, 8} {
+		s := qgen.RandomSchema(schemaSeed)
+		o := New(Smoke())
+		if err := o.InstallSchema(s); err != nil {
+			t.Fatalf("schema seed %d: install: %v", schemaSeed, err)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			b := qgen.New(qgen.Config{Seed: seed, Schema: s}).Batch()
+			if err := o.CheckBatch(b); err != nil {
+				t.Fatalf("schema seed %d batch seed %d: %v\nbatch:\n%s", schemaSeed, seed, err, b.SQL())
+			}
+		}
+	}
+}
+
+// TestInjectedBugIsCaughtAndShrunk deliberately corrupts the optimizer —
+// clearing a consumer's residual predicate turns a candidate into a wrong
+// covering subexpression (it returns the spool's rows unfiltered) — and
+// requires (a) the oracle to catch the wrong results and (b) the shrinker to
+// reduce the failure to at most 3 queries with a printable regression test.
+func TestInjectedBugIsCaughtAndShrunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug-injection shrink loop is slow; run without -short")
+	}
+	injected := false
+	core.TestHookMutateCandidate = func(c *opt.Candidate) {
+		for _, sub := range c.Subs {
+			if sub.Residual != nil {
+				sub.Residual = nil
+				injected = true
+			}
+		}
+	}
+	defer func() { core.TestHookMutateCandidate = nil }()
+
+	o := tpchOracle(t, Smoke())
+	for seed := int64(1); seed <= 40; seed++ {
+		injected = false
+		b := qgen.New(qgen.Config{Seed: seed}).Batch()
+		err := o.CheckBatch(b)
+		if err == nil || !injected {
+			continue
+		}
+		shrunk, serr := Shrink(o, b)
+		if serr == nil {
+			t.Fatalf("seed %d: shrink lost the failure", seed)
+		}
+		if n := len(shrunk.Queries); n > 3 {
+			t.Fatalf("seed %d: shrinker left %d queries (want <= 3):\n%s", seed, n, shrunk.SQL())
+		}
+		reg := RegressionTest("WrongCovering", shrunk, serr)
+		for _, want := range []string{"func TestRegressionWrongCovering", "difftest.NewTPCH", shrunk.SQL()} {
+			if !strings.Contains(reg, want) {
+				t.Fatalf("regression test missing %q:\n%s", want, reg)
+			}
+		}
+		t.Logf("seed %d: injected bug caught (%v), shrunk %d -> %d queries", seed, err, len(b.Queries), len(shrunk.Queries))
+		return
+	}
+	t.Fatalf("no seed in 1..40 triggered the injected wrong-covering bug; generator may have lost residual coverage")
+}
+
+func TestNormalizeRoundsFloats(t *testing.T) {
+	o := tpchOracle(t, Smoke())
+	// Two queries whose only difference is summation order sensitivity.
+	err := o.Check("select l_returnflag, sum(l_extendedprice) as s from lineitem group by l_returnflag; select l_returnflag, sum(l_extendedprice) as s from lineitem where l_quantity > 0 group by l_returnflag;")
+	if err != nil {
+		t.Fatalf("normalization should absorb float summation order: %v", err)
+	}
+}

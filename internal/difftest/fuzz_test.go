@@ -1,0 +1,48 @@
+package difftest
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/qgen"
+)
+
+var (
+	fuzzOracleOnce sync.Once
+	fuzzOracleVal  *Oracle
+	fuzzOracleErr  error
+)
+
+// fuzzOracle loads a small TPC-H instance once per process; fuzz workers run
+// in their own processes, so keep the scale tiny.
+func fuzzOracle(t testing.TB) *Oracle {
+	t.Helper()
+	fuzzOracleOnce.Do(func() {
+		fuzzOracleVal, fuzzOracleErr = NewTPCH(0.002, Smoke())
+	})
+	if fuzzOracleErr != nil {
+		t.Fatalf("loading TPC-H: %v", fuzzOracleErr)
+	}
+	return fuzzOracleVal
+}
+
+// FuzzBatchExec is the end-to-end target: the fuzzer's bytes steer the query
+// generator, and every generated batch must clear the differential smoke
+// matrix — byte-identical results across CSE on/off, parallel, chunked, and
+// cached execution, with all optimizer and executor invariants holding.
+func FuzzBatchExec(f *testing.F) {
+	f.Add([]byte("batch exec seed"))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add(bytes.Repeat([]byte{0x5A, 0xC3}, 32))
+	f.Add([]byte("stacked and contained candidates"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o := fuzzOracle(t)
+		b := qgen.FromBytes(qgen.Config{Seed: 1, MaxQueries: 3}, data)
+		if err := o.CheckBatch(b); err != nil {
+			shrunk, serr := Shrink(o, b)
+			t.Fatalf("differential failure: %v\n\nshrunk repro:\n%s\n\nregression test:\n%s",
+				err, shrunk.SQL(), RegressionTest("Fuzz", shrunk, serr))
+		}
+	})
+}

@@ -1,0 +1,261 @@
+// Package difftest is the engine's differential correctness oracle. It runs
+// a SQL batch through a matrix of engine configurations — CSE on/off,
+// sequential/parallel execution, result cache on/off, morsel chunk sizes,
+// heuristic knob sweeps — and demands byte-identical normalized results from
+// every cell, plus optimizer-trace and executor-stats invariants in each.
+// Any divergence is a bug by construction: the configurations differ only in
+// strategy, never in semantics.
+//
+// The package also hosts the greedy shrinker that reduces a failing
+// generated batch (internal/qgen) to a minimal reproduction and prints a
+// ready-to-paste regression test.
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/qgen"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Config is one cell of the differential matrix.
+type Config struct {
+	Name     string
+	Settings core.Settings
+	// Parallelism: 0 = GOMAXPROCS workers, 1 = sequential executor.
+	Parallelism int
+	// ChunkSize overrides the morsel granularity (0 = default).
+	ChunkSize int
+	// Cache enables a fresh cross-batch result cache for this cell.
+	Cache bool
+	// Repeat re-executes the batch this many times against the same cache,
+	// so warm (cached) runs are compared against cold ones. 0 means 1.
+	Repeat int
+}
+
+// Matrix returns the full differential configuration matrix. The first
+// entry is the baseline every other cell is compared against: CSE disabled
+// on the sequential executor — the simplest, most independent path.
+func Matrix() []Config {
+	def := core.DefaultSettings()
+	vary := func(f func(*core.Settings)) core.Settings {
+		s := def
+		f(&s)
+		return s
+	}
+	off := vary(func(s *core.Settings) { s.EnableCSE = false })
+	return []Config{
+		{Name: "nocse-seq", Settings: off, Parallelism: 1},
+		{Name: "nocse-par", Settings: off},
+		{Name: "cse-seq", Settings: def, Parallelism: 1},
+		{Name: "cse-par", Settings: def},
+		{Name: "cse-par-cache", Settings: def, Cache: true, Repeat: 2},
+		{Name: "cse-chunk1", Settings: def, ChunkSize: 1},
+		{Name: "cse-chunk7", Settings: def, ChunkSize: 7},
+		{Name: "cse-chunk1024", Settings: def, ChunkSize: 1024},
+		{Name: "cse-noheur", Settings: vary(func(s *core.Settings) { s.Heuristics = false })},
+		{Name: "alpha-0.05", Settings: vary(func(s *core.Settings) { s.Alpha = 0.05 })},
+		{Name: "alpha-0.20", Settings: vary(func(s *core.Settings) { s.Alpha = 0.20 })},
+		{Name: "beta-0.80", Settings: vary(func(s *core.Settings) { s.Beta = 0.80 })},
+		{Name: "beta-0.95", Settings: vary(func(s *core.Settings) { s.Beta = 0.95 })},
+		{Name: "delta-raised", Settings: vary(func(s *core.Settings) { s.MinMergeBenefit = 1e4 })},
+	}
+}
+
+// Smoke returns a reduced matrix for tight loops (fuzzing): the baseline
+// plus the cells most likely to diverge.
+func Smoke() []Config {
+	m := Matrix()
+	keep := map[string]bool{"nocse-seq": true, "cse-par": true, "cse-chunk1": true, "cse-par-cache": true}
+	var out []Config
+	for _, c := range m {
+		if keep[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Mismatch reports a differential divergence between two configurations.
+type Mismatch struct {
+	Base, Config string
+	Diff         string
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("differential mismatch: config %q differs from baseline %q:\n%s", m.Config, m.Base, m.Diff)
+}
+
+// Oracle holds the database under test and the configuration matrix.
+type Oracle struct {
+	Cat     *catalog.Catalog
+	Store   *storage.Store
+	Configs []Config
+}
+
+// New returns an oracle over an empty database; install schemas with
+// InstallSchema before checking batches.
+func New(cfgs []Config) *Oracle {
+	return &Oracle{Cat: catalog.New(), Store: storage.NewStore(), Configs: cfgs}
+}
+
+// NewTPCH returns an oracle over a generated TPC-H database.
+func NewTPCH(scaleFactor float64, cfgs []Config) (*Oracle, error) {
+	o := New(cfgs)
+	for _, tab := range tpch.Schemas() {
+		if err := o.Cat.Add(tab); err != nil {
+			return nil, err
+		}
+	}
+	if err := tpch.Generate(tpch.Config{ScaleFactor: scaleFactor, Seed: 42}, o.Cat, o.Store); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// InstallSchema loads a synthetic qgen schema into the oracle's database.
+func (o *Oracle) InstallSchema(s *qgen.Schema) error { return s.Install(o.Cat, o.Store) }
+
+// Check runs the batch through every configuration and returns nil when all
+// cells agree byte-for-byte and satisfy their invariants. The returned error
+// is a *Mismatch for result divergences.
+func (o *Oracle) Check(sql string) error {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if len(stmts) == 0 {
+		return fmt.Errorf("empty batch")
+	}
+	var baseName, baseText string
+	for i, cfg := range o.Configs {
+		text, err := o.runConfig(cfg, stmts)
+		if err != nil {
+			return fmt.Errorf("config %q: %w", cfg.Name, err)
+		}
+		if i == 0 {
+			baseName, baseText = cfg.Name, text
+			continue
+		}
+		if text != baseText {
+			return &Mismatch{Base: baseName, Config: cfg.Name, Diff: diffExcerpt(baseText, text)}
+		}
+	}
+	return nil
+}
+
+// CheckBatch is Check over a generated batch.
+func (o *Oracle) CheckBatch(b *qgen.Batch) error { return o.Check(b.SQL()) }
+
+// runConfig optimizes and executes the batch under one configuration and
+// returns the normalized result text.
+func (o *Oracle) runConfig(cfg Config, stmts []parser.Statement) (string, error) {
+	batch, err := logical.BuildBatch(stmts, o.Cat)
+	if err != nil {
+		return "", fmt.Errorf("build: %w", err)
+	}
+	m, err := memo.Build(batch)
+	if err != nil {
+		return "", fmt.Errorf("memo: %w", err)
+	}
+	tr := obs.NewTrace()
+	out, err := core.OptimizeTraced(m, cfg.Settings, tr)
+	if err != nil {
+		return "", fmt.Errorf("optimize: %w", err)
+	}
+	if err := checkOptimizerInvariants(m, out, tr); err != nil {
+		return "", fmt.Errorf("optimizer invariant: %w", err)
+	}
+	var c *cache.Cache
+	if cfg.Cache {
+		c = cache.New(64<<20, nil)
+	}
+	repeat := cfg.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	var text string
+	for r := 0; r < repeat; r++ {
+		res, stats, err := exec.RunWithOptions(context.Background(), out.Result, batch.Metadata, o.Store, exec.Options{
+			Parallelism: cfg.Parallelism,
+			ChunkSize:   cfg.ChunkSize,
+			Cache:       c,
+		})
+		if err != nil {
+			return "", fmt.Errorf("exec (run %d): %w", r+1, err)
+		}
+		if err := checkExecInvariants(out.Result, stats); err != nil {
+			return "", fmt.Errorf("exec invariant (run %d): %w", r+1, err)
+		}
+		t := Normalize(res)
+		if r == 0 {
+			text = t
+		} else if t != text {
+			return "", &Mismatch{Base: fmt.Sprintf("%s run 1 (cold)", cfg.Name), Config: fmt.Sprintf("%s run %d (warm)", cfg.Name, r+1), Diff: diffExcerpt(text, t)}
+		}
+	}
+	return text, nil
+}
+
+// Normalize renders statement results into a canonical comparable form:
+// column headers, then rows sorted lexicographically with floats rounded to
+// 4 decimals (different summation orders across plans must compare equal).
+func Normalize(res []*exec.StatementResult) string {
+	var sb strings.Builder
+	for i, sr := range res {
+		fmt.Fprintf(&sb, "-- statement %d: %s\n", i+1, strings.Join(sr.Names, ", "))
+		lines := make([]string, len(sr.Rows))
+		for j, row := range sr.Rows {
+			lines[j] = normalizeRow(row)
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func normalizeRow(r sqltypes.Row) string {
+	var sb strings.Builder
+	for i, d := range r {
+		if i > 0 {
+			sb.WriteByte('\t')
+		}
+		if d.Kind() == sqltypes.KindFloat {
+			fmt.Fprintf(&sb, "%.4f", d.Float())
+		} else {
+			sb.WriteString(d.String())
+		}
+	}
+	return sb.String()
+}
+
+// diffExcerpt shows the first divergence between two normalized texts.
+func diffExcerpt(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  baseline: %s\n  got:      %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("baseline has %d lines, got %d", len(al), len(bl))
+}

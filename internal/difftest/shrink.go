@@ -1,0 +1,115 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qgen"
+)
+
+// Shrink greedily reduces a failing batch to a minimal reproduction while
+// the oracle keeps failing, applying operations coarsest-first: drop whole
+// queries, then joins (tables), then predicates, then decoration and output
+// columns, finally shrinking constants. Returns the smallest failing batch
+// found together with its failure.
+//
+// The predicate is "o.CheckBatch != nil" — any failure counts, so a shrink
+// step that morphs one bug into another still makes progress toward a
+// minimal failing input.
+func Shrink(o *Oracle, b *qgen.Batch) (*qgen.Batch, error) {
+	err := o.CheckBatch(b)
+	if err == nil {
+		return b, nil
+	}
+	cur := b
+	try := func(c *qgen.Batch) bool {
+		if c == nil {
+			return false
+		}
+		if e := o.CheckBatch(c); e != nil {
+			cur, err = c, e
+			return true
+		}
+		return false
+	}
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+
+		// Drop whole queries, largest index first so indices stay stable.
+		for qi := len(cur.Queries) - 1; qi >= 0; qi-- {
+			if try(cur.DropQuery(qi)) {
+				improved = true
+			}
+		}
+		// Drop joined tables (never the root).
+		for qi := range cur.Queries {
+			for ti := len(cur.Queries[qi].Tables) - 1; ti > 0; ti-- {
+				if try(cur.DropTable(qi, ti)) {
+					improved = true
+				}
+			}
+		}
+		// Drop predicates.
+		for qi := range cur.Queries {
+			for pi := len(cur.Queries[qi].Preds) - 1; pi >= 0; pi-- {
+				if try(cur.DropPred(qi, pi)) {
+					improved = true
+				}
+			}
+		}
+		// Strip decoration (CTE wrapper, order by, limit) and extra outputs.
+		for qi := range cur.Queries {
+			if try(cur.Plainify(qi)) {
+				improved = true
+			}
+			for ai := len(cur.Queries[qi].Aggs) - 1; ai >= 0; ai-- {
+				if try(cur.DropAgg(qi, ai)) {
+					improved = true
+				}
+			}
+			for gi := len(cur.Queries[qi].GroupBy) - 1; gi >= 0; gi-- {
+				if try(cur.DropGroupCol(qi, gi)) {
+					improved = true
+				}
+			}
+		}
+		// Shrink constants: repeatedly simplify each remaining predicate.
+		for qi := range cur.Queries {
+			for pi := 0; pi < len(cur.Queries[qi].Preds); pi++ {
+				for step := 0; step < 32; step++ {
+					if !try(cur.ShrinkPred(qi, pi)) {
+						break
+					}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, err
+}
+
+// RegressionTest renders a ready-to-paste Go test reproducing the failure:
+// the shrunk SQL pinned as a literal, checked against the full differential
+// matrix. name must be a valid Go identifier suffix.
+func RegressionTest(name string, b *qgen.Batch, failure error) string {
+	sql := b.SQL()
+	msg := "(unknown)"
+	if failure != nil {
+		msg = strings.SplitN(failure.Error(), "\n", 2)[0]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// TestRegression%s pins a differential failure found by the qgen/difftest\n", name)
+	fmt.Fprintf(&sb, "// harness (generator seed %d, shrunk to %d queries).\n", b.Seed, len(b.Queries))
+	fmt.Fprintf(&sb, "// Failure was: %s\n", msg)
+	fmt.Fprintf(&sb, "func TestRegression%s(t *testing.T) {\n", name)
+	fmt.Fprintf(&sb, "\to, err := difftest.NewTPCH(0.01, difftest.Matrix())\n")
+	fmt.Fprintf(&sb, "\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
+	fmt.Fprintf(&sb, "\tsql := `\n%s`\n", sql)
+	fmt.Fprintf(&sb, "\tif err := o.Check(sql); err != nil {\n")
+	fmt.Fprintf(&sb, "\t\tt.Fatalf(\"differential failure: %%v\", err)\n")
+	fmt.Fprintf(&sb, "\t}\n}\n")
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package memo_test
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/qgen"
+	"repro/internal/tpch"
+)
+
+var (
+	fuzzCatOnce sync.Once
+	fuzzCat     *catalog.Catalog
+)
+
+func fuzzCatalog() *catalog.Catalog {
+	fuzzCatOnce.Do(func() {
+		fuzzCat = catalog.New()
+		for _, t := range tpch.Schemas() {
+			if err := fuzzCat.Add(t); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return fuzzCat
+}
+
+// FuzzSignatures drives the query generator from the fuzzer's byte stream,
+// builds the memo twice for each batch, and asserts the signature machinery
+// (§3) is deterministic and well-formed: identical SQL yields identical
+// signature indexes, every indexed signature's table set is sorted,
+// lower-case and duplicate-free, and building never panics.
+func FuzzSignatures(f *testing.F) {
+	f.Add([]byte("signature seed"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Add([]byte("covering subexpressions share table signatures"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := qgen.FromBytes(qgen.Config{Seed: 1}, data)
+		sql := b.SQL()
+		stmts, err := parser.Parse(sql)
+		if err != nil {
+			t.Fatalf("generated SQL must parse: %v\n%s", err, sql)
+		}
+		sig1 := signatureIndex(t, stmts, sql)
+		sig2 := signatureIndex(t, stmts, sql)
+		if sig1 != sig2 {
+			t.Fatalf("signature index not deterministic:\n%s\n--- vs ---\n%s\nSQL:\n%s", sig1, sig2, sql)
+		}
+	})
+}
+
+// signatureIndex builds the memo and renders its signature index in
+// canonical order, validating signature well-formedness along the way.
+func signatureIndex(t *testing.T, stmts []parser.Statement, sql string) string {
+	t.Helper()
+	batch, err := logical.BuildBatch(stmts, fuzzCatalog())
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, sql)
+	}
+	m, err := memo.Build(batch)
+	if err != nil {
+		t.Fatalf("memo: %v\n%s", err, sql)
+	}
+	for _, g := range m.Groups {
+		if !g.Sig.Valid {
+			continue
+		}
+		tables := g.Sig.Tables
+		for i, tb := range tables {
+			if tb != strings.ToLower(tb) {
+				t.Fatalf("G%d signature table %q not lower-case", g.ID, tb)
+			}
+			if i > 0 && tables[i-1] >= tb {
+				t.Fatalf("G%d signature tables not sorted/deduped: %v", g.ID, tables)
+			}
+		}
+	}
+	var keys []string
+	for k := range m.SignatureGroups() {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		gids := m.SignatureGroups()[k]
+		ints := make([]int, len(gids))
+		for i, id := range gids {
+			ints[i] = int(id)
+		}
+		sort.Ints(ints)
+		sb.WriteString(k)
+		sb.WriteString(" ->")
+		for _, id := range ints {
+			sb.WriteString(" ")
+			sb.WriteString(strconv.Itoa(id))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

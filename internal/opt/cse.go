@@ -455,6 +455,19 @@ func (o *Optimizer) pruneCombos(combos [][]*Alt) [][]*Alt {
 			break
 		}
 	}
+	// Always retain the cheapest CSE-free combination (mirroring pruneAlts).
+	// Under candidate explosion the cap above can otherwise fill with
+	// CSE-using combos only; chargeCandidate then discards single-use
+	// alternatives and a group can end up with no viable alternative at all,
+	// failing the whole optimization with "no valid plan".
+	if !seen[""] {
+		for _, it := range items {
+			if it.key == "" {
+				out = append(out, it.combo)
+				break
+			}
+		}
+	}
 	return out
 }
 

@@ -55,7 +55,27 @@ type parser struct {
 	toks []token
 	pos  int
 	src  string
+
+	// depth counts nested parseExpr/parseSelect activations. Recursive
+	// descent means attacker-controlled nesting (parentheses, subqueries)
+	// consumes Go stack; past maxDepth we return an error instead of
+	// risking an unrecoverable stack exhaustion.
+	depth int
 }
+
+// maxDepth bounds expression and query nesting. Deep enough for any real
+// workload, shallow enough that the recursive-descent stack stays small.
+const maxDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return fmt.Errorf("parse error: nesting deeper than %d", maxDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
 
@@ -152,6 +172,10 @@ func (p *parser) parseCreateView() (Statement, error) {
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	var ctes []CTE
 	if p.acceptKeyword("with") {
 		for {
@@ -328,7 +352,13 @@ func (p *parser) parseTableRef() (TableRef, error) {
 //   unary   := - unary | primary
 //   primary := literal | colref | func(args) | ( expr ) | ( select ... )
 
-func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+func (p *parser) parseExpr() (Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (Node, error) {
 	l, err := p.parseAnd()
@@ -361,14 +391,19 @@ func (p *parser) parseAnd() (Node, error) {
 }
 
 func (p *parser) parseNot() (Node, error) {
-	if p.acceptKeyword("not") {
-		arg, err := p.parseNot()
-		if err != nil {
-			return nil, err
-		}
-		return &UnaryOp{Op: "not", Arg: arg}, nil
+	// Iterative so a long NOT chain cannot grow the Go stack.
+	n := 0
+	for p.acceptKeyword("not") {
+		n++
 	}
-	return p.parseCmp()
+	arg, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for ; n > 0; n-- {
+		arg = &UnaryOp{Op: "not", Arg: arg}
+	}
+	return arg, nil
 }
 
 func (p *parser) parseCmp() (Node, error) {
@@ -493,15 +528,20 @@ func (p *parser) parseMul() (Node, error) {
 }
 
 func (p *parser) parseUnary() (Node, error) {
-	if t := p.peek(); t.kind == tokSymbol && t.text == "-" {
+	// Iterative so a long minus chain cannot grow the Go stack.
+	n := 0
+	for t := p.peek(); t.kind == tokSymbol && t.text == "-"; t = p.peek() {
 		p.next()
-		arg, err := p.parseUnary()
-		if err != nil {
-			return nil, err
-		}
-		return &UnaryOp{Op: "-", Arg: arg}, nil
+		n++
 	}
-	return p.parsePrimary()
+	arg, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for ; n > 0; n-- {
+		arg = &UnaryOp{Op: "-", Arg: arg}
+	}
+	return arg, nil
 }
 
 func (p *parser) parsePrimary() (Node, error) {

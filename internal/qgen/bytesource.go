@@ -1,0 +1,37 @@
+package qgen
+
+import "encoding/binary"
+
+// byteSource adapts a fuzzer-supplied byte slice into a rand.Source64 so
+// coverage-guided fuzzing can steer the generator: each mutated input byte
+// perturbs a generation decision. When the bytes run out the source repeats
+// a fixed tail, keeping generation total.
+type byteSource struct {
+	data []byte
+	pos  int
+}
+
+func (b *byteSource) Uint64() uint64 {
+	var buf [8]byte
+	for i := range buf {
+		if b.pos < len(b.data) {
+			buf[i] = b.data[b.pos]
+			b.pos++
+		} else {
+			buf[i] = 0xA5
+		}
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (b *byteSource) Int63() int64 { return int64(b.Uint64() >> 1) }
+
+// Seed is a no-op; the stream is the seed.
+func (b *byteSource) Seed(int64) {}
+
+// FromBytes generates a batch whose every random decision is drawn from the
+// given byte stream. Any input yields a structurally valid batch, so fuzz
+// targets can feed arbitrary mutated data straight in.
+func FromBytes(cfg Config, data []byte) *Batch {
+	return NewFromSource(cfg, &byteSource{data: data}).Batch()
+}

@@ -1,0 +1,245 @@
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Seed drives all randomness; equal seeds yield equal batches.
+	Seed int64
+	// Schema defaults to TPCH().
+	Schema *Schema
+	// MinQueries/MaxQueries bound the batch size (defaults 2 and 5).
+	MinQueries, MaxQueries int
+	// NoCTE disables CTE-shaped queries.
+	NoCTE bool
+}
+
+// Generator produces random query batches. Batches built around a shared
+// join core plus per-query extension joins and predicate perturbations, so
+// covering subexpressions (equal and contained signatures, stacked shapes)
+// exist by construction.
+type Generator struct {
+	cfg Config
+	s   *Schema
+	rng *rand.Rand
+}
+
+// New builds a generator seeded from cfg.Seed.
+func New(cfg Config) *Generator {
+	return NewFromSource(cfg, rand.NewSource(cfg.Seed))
+}
+
+// NewFromSource builds a generator over an explicit randomness source; the
+// fuzz harness uses this to drive generation from the fuzzer's byte stream.
+func NewFromSource(cfg Config, src rand.Source) *Generator {
+	if cfg.Schema == nil {
+		cfg.Schema = TPCH()
+	}
+	if cfg.MinQueries <= 0 {
+		cfg.MinQueries = 2
+	}
+	if cfg.MaxQueries < cfg.MinQueries {
+		cfg.MaxQueries = cfg.MinQueries + 3
+	}
+	return &Generator{cfg: cfg, s: cfg.Schema, rng: rand.New(src)}
+}
+
+// Batch generates one workload: a shared core chain, shared predicate
+// windows, and 2..N queries that perturb both.
+func (g *Generator) Batch() *Batch {
+	core := g.s.Cores[g.rng.Intn(len(g.s.Cores))]
+	shared := g.sharedPreds(core)
+	n := g.cfg.MinQueries + g.rng.Intn(g.cfg.MaxQueries-g.cfg.MinQueries+1)
+	b := &Batch{Schema: g.s, Seed: g.cfg.Seed}
+	for i := 0; i < n; i++ {
+		b.Queries = append(b.Queries, g.query(core, shared))
+	}
+	return b
+}
+
+// predCols lists the predicate columns of the given tables, in deterministic
+// order.
+func (g *Generator) predCols(tables []string) []Column {
+	var cols []Column
+	for _, t := range tables {
+		tab := g.s.Tables[t]
+		if tab != nil {
+			cols = append(cols, tab.Preds...)
+		}
+	}
+	return cols
+}
+
+// sharedPreds builds the predicate window every query of the batch repeats —
+// a date cutoff when the core has a date column (the classic shared-window
+// shape from the paper's Example 1), else one random range.
+func (g *Generator) sharedPreds(core []string) []Pred {
+	cols := g.predCols(core)
+	if len(cols) == 0 {
+		return nil
+	}
+	var shared []Pred
+	for _, c := range cols {
+		if c.Kind == ColDate {
+			shared = append(shared, g.predFor(c))
+			break
+		}
+	}
+	if len(shared) == 0 || g.rng.Float64() < 0.5 {
+		c := cols[g.rng.Intn(len(cols))]
+		if c.Kind != ColDate {
+			shared = append(shared, g.predFor(c))
+		}
+	}
+	return shared
+}
+
+// predFor generates one predicate over the column, weighted toward ranges
+// with OR'd ranges, IN lists, BETWEEN, and equality mixed in.
+func (g *Generator) predFor(c Column) Pred {
+	switch c.Kind {
+	case ColDate:
+		return Pred{Col: c.Name, Kind: PredDateLT, Date: c.Dates[g.rng.Intn(len(c.Dates))]}
+	case ColCat:
+		if g.rng.Intn(4) == 0 {
+			return Pred{Col: c.Name, Kind: PredEq, Strs: []string{c.Cats[g.rng.Intn(len(c.Cats))]}}
+		}
+		k := 2 + g.rng.Intn(2)
+		if k > len(c.Cats) {
+			k = len(c.Cats)
+		}
+		perm := g.rng.Perm(len(c.Cats))[:k]
+		strs := make([]string, k)
+		for i, p := range perm {
+			strs[i] = c.Cats[p]
+		}
+		return Pred{Col: c.Name, Kind: PredIn, Strs: strs}
+	}
+	span := c.Hi - c.Lo
+	if span < 4 {
+		span = 4
+	}
+	lo := c.Lo + g.rng.Intn(span/2+1)
+	hi := lo + 1 + g.rng.Intn(span/2+1)
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		// OR of two ranges over the same column: exercises residual-predicate
+		// union and disjunctive selectivity.
+		lo2 := c.Lo + g.rng.Intn(span/2+1)
+		return Pred{Col: c.Name, Kind: PredOr, Lo: lo, Hi: hi, Lo2: lo2, Hi2: lo2 + 1 + g.rng.Intn(span/2+1)}
+	case 2:
+		return Pred{Col: c.Name, Kind: PredBetween, Lo: lo, Hi: hi}
+	case 3:
+		// Short consecutive-integer IN list.
+		return Pred{Col: c.Name, Kind: PredIn, Lo: lo, Hi: lo + 1 + g.rng.Intn(3)}
+	case 4:
+		return Pred{Col: c.Name, Kind: PredEq, Lo: c.Lo + g.rng.Intn(span+1)}
+	default:
+		return Pred{Col: c.Name, Kind: PredRange, Lo: lo, Hi: hi}
+	}
+}
+
+// tablesFor starts from the core chain and extends it with 0–2 random join
+// edges, returning the table list and the joins connecting it.
+func (g *Generator) tablesFor(core []string) ([]string, []Join) {
+	tables := []string{core[0]}
+	have := map[string]bool{core[0]: true}
+	var joins []Join
+	attach := func(t string) {
+		lc, rc, ok := g.s.edgeInto(have, t)
+		if !ok {
+			return
+		}
+		tables = append(tables, t)
+		joins = append(joins, Join{LeftCol: lc, RightCol: rc})
+		have[t] = true
+	}
+	for _, t := range core[1:] {
+		attach(t)
+	}
+	for ext := g.rng.Intn(3); ext > 0; ext-- {
+		var cands []string
+		for _, e := range g.s.Edges {
+			if have[e.T1] && !have[e.T2] {
+				cands = append(cands, e.T2)
+			} else if have[e.T2] && !have[e.T1] {
+				cands = append(cands, e.T1)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		attach(cands[g.rng.Intn(len(cands))])
+	}
+	return tables, joins
+}
+
+var aggFns = []string{"sum", "count", "min", "max", "avg"}
+
+// query builds one SPJG statement over the core (possibly extended), the
+// shared predicate window, and per-query extra predicates.
+func (g *Generator) query(core []string, shared []Pred) *Query {
+	q := &Query{}
+	q.Tables, q.Joins = g.tablesFor(core)
+	q.Preds = append(q.Preds, shared...)
+	used := map[string]bool{}
+	for _, p := range shared {
+		used[p.Col] = true
+	}
+	cols := g.predCols(q.Tables)
+	for extra := g.rng.Intn(3); extra > 0 && len(cols) > 0; extra-- {
+		c := cols[g.rng.Intn(len(cols))]
+		if used[c.Name] {
+			continue
+		}
+		used[c.Name] = true
+		q.Preds = append(q.Preds, g.predFor(c))
+	}
+
+	if g.rng.Float64() < 0.7 {
+		var gcols []string
+		for _, t := range q.Tables {
+			gcols = append(gcols, g.s.Tables[t].Group...)
+		}
+		if len(gcols) > 0 {
+			k := 1 + g.rng.Intn(2)
+			if k > len(gcols) {
+				k = len(gcols)
+			}
+			for _, p := range g.rng.Perm(len(gcols))[:k] {
+				q.GroupBy = append(q.GroupBy, gcols[p])
+			}
+		}
+	}
+
+	var acols []string
+	for _, t := range q.Tables {
+		acols = append(acols, g.s.Tables[t].Agg...)
+	}
+	na := 1 + g.rng.Intn(2)
+	for i := 0; i < na; i++ {
+		alias := fmt.Sprintf("a%d", i)
+		if len(acols) == 0 || g.rng.Intn(4) == 0 {
+			q.Aggs = append(q.Aggs, Agg{Fn: "count", Alias: alias})
+			continue
+		}
+		q.Aggs = append(q.Aggs, Agg{
+			Fn:    aggFns[g.rng.Intn(len(aggFns))],
+			Col:   acols[g.rng.Intn(len(acols))],
+			Alias: alias,
+		})
+	}
+
+	if !g.cfg.NoCTE && g.rng.Float64() < 0.15 {
+		q.CTE = true
+	}
+	if g.rng.Float64() < 0.25 {
+		a := q.Aggs[g.rng.Intn(len(q.Aggs))]
+		q.OrderBy = a.Alias
+		q.Desc = g.rng.Intn(2) == 0
+	}
+	return q
+}

@@ -1,0 +1,421 @@
+package qgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PredKind enumerates the predicate shapes the generator emits.
+type PredKind int
+
+// Predicate shapes.
+const (
+	// PredRange renders `col > Lo and col < Hi`.
+	PredRange PredKind = iota
+	// PredBetween renders `col between Lo and Hi`.
+	PredBetween
+	// PredOr renders `(col > Lo and col < Hi or col > Lo2 and col < Hi2)`.
+	PredOr
+	// PredIn renders `col in (v1, v2, ...)` over Strs or integer Lo..Lo+len.
+	PredIn
+	// PredEq renders `col = v` (first of Strs, or Lo).
+	PredEq
+	// PredDateLT renders `col < 'Date'`.
+	PredDateLT
+)
+
+// Pred is one WHERE conjunct.
+type Pred struct {
+	Col              string
+	Kind             PredKind
+	Lo, Hi, Lo2, Hi2 int
+	Strs             []string // string literals for PredIn / PredEq
+	Date             string   // date literal for PredDateLT
+}
+
+func quoteAll(vs []string) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = "'" + v + "'"
+	}
+	return out
+}
+
+// SQL renders the predicate as a conjunct-safe expression.
+func (p Pred) SQL() string {
+	switch p.Kind {
+	case PredRange:
+		return fmt.Sprintf("%s > %d and %s < %d", p.Col, p.Lo, p.Col, p.Hi)
+	case PredBetween:
+		return fmt.Sprintf("%s between %d and %d", p.Col, p.Lo, p.Hi)
+	case PredOr:
+		return fmt.Sprintf("(%s > %d and %s < %d or %s > %d and %s < %d)",
+			p.Col, p.Lo, p.Col, p.Hi, p.Col, p.Lo2, p.Col, p.Hi2)
+	case PredIn:
+		if len(p.Strs) > 0 {
+			return fmt.Sprintf("%s in (%s)", p.Col, strings.Join(quoteAll(p.Strs), ", "))
+		}
+		vals := make([]string, 0, p.Hi-p.Lo+1)
+		for v := p.Lo; v <= p.Hi; v++ {
+			vals = append(vals, fmt.Sprintf("%d", v))
+		}
+		return fmt.Sprintf("%s in (%s)", p.Col, strings.Join(vals, ", "))
+	case PredEq:
+		if len(p.Strs) > 0 {
+			return fmt.Sprintf("%s = '%s'", p.Col, p.Strs[0])
+		}
+		return fmt.Sprintf("%s = %d", p.Col, p.Lo)
+	case PredDateLT:
+		return fmt.Sprintf("%s < '%s'", p.Col, p.Date)
+	}
+	return "1 = 1"
+}
+
+// Join connects query table i+1 (RightCol's owner) to an earlier table.
+type Join struct {
+	LeftCol, RightCol string
+}
+
+// Agg is one aggregate output column. An empty Col with Fn "count" renders
+// count(*).
+type Agg struct {
+	Fn    string
+	Col   string
+	Alias string
+}
+
+// SQL renders the aggregate with its alias.
+func (a Agg) SQL() string {
+	arg := a.Col
+	if arg == "" {
+		arg = "*"
+	}
+	return fmt.Sprintf("%s(%s) as %s", a.Fn, arg, a.Alias)
+}
+
+// Query is one generated SPJG statement. Tables[0] is the root; Joins[i]
+// connects Tables[i+1] to some earlier table.
+type Query struct {
+	Tables  []string
+	Joins   []Join
+	GroupBy []string
+	Aggs    []Agg
+	Preds   []Pred
+
+	// CTE renders the join+filter block as `with qN as (...)` and the
+	// grouping as an outer select over it.
+	CTE bool
+	// OrderBy names an aggregate alias to sort by (optional).
+	OrderBy string
+	Desc    bool
+	Limit   int
+}
+
+func (q *Query) clone() *Query {
+	c := *q
+	c.Tables = append([]string(nil), q.Tables...)
+	c.Joins = append([]Join(nil), q.Joins...)
+	c.GroupBy = append([]string(nil), q.GroupBy...)
+	c.Aggs = append([]Agg(nil), q.Aggs...)
+	c.Preds = make([]Pred, len(q.Preds))
+	for i, p := range q.Preds {
+		c.Preds[i] = p
+		c.Preds[i].Strs = append([]string(nil), p.Strs...)
+	}
+	return &c
+}
+
+// where renders the joined WHERE clause (joins first, then predicates).
+func (q *Query) where() string {
+	var conj []string
+	for _, j := range q.Joins {
+		conj = append(conj, fmt.Sprintf("%s = %s", j.LeftCol, j.RightCol))
+	}
+	for _, p := range q.Preds {
+		conj = append(conj, p.SQL())
+	}
+	if len(conj) == 0 {
+		return ""
+	}
+	return "\nwhere " + strings.Join(conj, "\n  and ")
+}
+
+func (q *Query) tail() string {
+	var sb strings.Builder
+	if q.OrderBy != "" {
+		sb.WriteString("\norder by " + q.OrderBy)
+		if q.Desc {
+			sb.WriteString(" desc")
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, "\nlimit %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// SQL renders the query. The schema supplies a fallback projection column
+// for degenerate CTE bodies; it may be nil for non-CTE queries.
+func (q *Query) SQL(s *Schema, idx int) string {
+	var outs []string
+	for _, g := range q.GroupBy {
+		outs = append(outs, g)
+	}
+	for _, a := range q.Aggs {
+		outs = append(outs, a.SQL())
+	}
+	groupBy := ""
+	if len(q.GroupBy) > 0 {
+		groupBy = "\ngroup by " + strings.Join(q.GroupBy, ", ")
+	}
+
+	if !q.CTE {
+		return fmt.Sprintf("select %s\nfrom %s%s%s%s",
+			strings.Join(outs, ", "), strings.Join(q.Tables, ", "), q.where(), groupBy, q.tail())
+	}
+
+	// CTE form: all joins and filters inside an SPJ block, grouping outside.
+	need := map[string]bool{}
+	var inner []string
+	add := func(c string) {
+		if c != "" && !need[c] {
+			need[c] = true
+			inner = append(inner, c)
+		}
+	}
+	for _, g := range q.GroupBy {
+		add(g)
+	}
+	for _, a := range q.Aggs {
+		add(a.Col)
+	}
+	if len(inner) == 0 && s != nil {
+		add(s.AnyCol(q.Tables[0]))
+	}
+	name := fmt.Sprintf("q%d", idx)
+	return fmt.Sprintf("with %s as (\n  select %s\n  from %s%s\n)\nselect %s\nfrom %s%s%s",
+		name, strings.Join(inner, ", "), strings.Join(q.Tables, ", "),
+		strings.ReplaceAll(q.where(), "\n", "\n  "),
+		strings.Join(outs, ", "), name, groupBy, q.tail())
+}
+
+// Batch is a generated multi-query workload plus the schema it ranges over.
+type Batch struct {
+	Schema  *Schema
+	Seed    int64
+	Queries []*Query
+}
+
+// Clone deep-copies the batch (the schema is shared).
+func (b *Batch) Clone() *Batch {
+	c := &Batch{Schema: b.Schema, Seed: b.Seed, Queries: make([]*Query, len(b.Queries))}
+	for i, q := range b.Queries {
+		c.Queries[i] = q.clone()
+	}
+	return c
+}
+
+// SQL renders the whole batch, one statement per query.
+func (b *Batch) SQL() string {
+	var sb strings.Builder
+	for i, q := range b.Queries {
+		if i > 0 {
+			sb.WriteString(";\n\n")
+		}
+		sb.WriteString(q.SQL(b.Schema, i))
+	}
+	sb.WriteString(";")
+	return sb.String()
+}
+
+// --- shrink operations -------------------------------------------------
+//
+// Each operation returns a structurally valid, strictly simpler copy of the
+// batch, or nil when it does not apply. The shrinker in internal/difftest
+// greedily applies them while the failure persists.
+
+// DropQuery removes query qi; nil when only one query remains.
+func (b *Batch) DropQuery(qi int) *Batch {
+	if len(b.Queries) <= 1 || qi < 0 || qi >= len(b.Queries) {
+		return nil
+	}
+	c := b.Clone()
+	c.Queries = append(c.Queries[:qi], c.Queries[qi+1:]...)
+	return c
+}
+
+// DropTable removes table ti of query qi together with its introducing join
+// and everything referencing its columns. Returns nil when the table is the
+// root, is referenced by a later join (removing it would disconnect the join
+// graph), or the indices are invalid.
+func (b *Batch) DropTable(qi, ti int) *Batch {
+	if qi < 0 || qi >= len(b.Queries) {
+		return nil
+	}
+	q := b.Queries[qi]
+	if ti <= 0 || ti >= len(q.Tables) {
+		return nil
+	}
+	tab := q.Tables[ti]
+	owner := b.Schema.Owner
+	for k, j := range q.Joins {
+		if k == ti-1 {
+			continue
+		}
+		if owner(j.LeftCol) == tab || owner(j.RightCol) == tab {
+			return nil
+		}
+	}
+	c := b.Clone()
+	cq := c.Queries[qi]
+	cq.Tables = append(cq.Tables[:ti], cq.Tables[ti+1:]...)
+	cq.Joins = append(cq.Joins[:ti-1], cq.Joins[ti:]...)
+	var gb []string
+	for _, g := range cq.GroupBy {
+		if owner(g) != tab {
+			gb = append(gb, g)
+		}
+	}
+	cq.GroupBy = gb
+	var aggs []Agg
+	for _, a := range cq.Aggs {
+		if a.Col == "" || owner(a.Col) != tab {
+			aggs = append(aggs, a)
+		}
+	}
+	if len(aggs) == 0 {
+		aggs = []Agg{{Fn: "count", Alias: "shrunk_cnt"}}
+	}
+	if cq.OrderBy != "" {
+		found := false
+		for _, a := range aggs {
+			if a.Alias == cq.OrderBy {
+				found = true
+			}
+		}
+		if !found {
+			cq.OrderBy = ""
+		}
+	}
+	cq.Aggs = aggs
+	var preds []Pred
+	for _, p := range cq.Preds {
+		if owner(p.Col) != tab {
+			preds = append(preds, p)
+		}
+	}
+	cq.Preds = preds
+	return c
+}
+
+// DropPred removes predicate pi of query qi.
+func (b *Batch) DropPred(qi, pi int) *Batch {
+	if qi < 0 || qi >= len(b.Queries) {
+		return nil
+	}
+	if pi < 0 || pi >= len(b.Queries[qi].Preds) {
+		return nil
+	}
+	c := b.Clone()
+	cq := c.Queries[qi]
+	cq.Preds = append(cq.Preds[:pi], cq.Preds[pi+1:]...)
+	return c
+}
+
+// Plainify strips decoration from query qi — CTE wrapper, order by, limit —
+// one aspect per call. Returns nil when the query is already plain.
+func (b *Batch) Plainify(qi int) *Batch {
+	if qi < 0 || qi >= len(b.Queries) {
+		return nil
+	}
+	q := b.Queries[qi]
+	if !q.CTE && q.OrderBy == "" && q.Limit == 0 {
+		return nil
+	}
+	c := b.Clone()
+	cq := c.Queries[qi]
+	cq.CTE = false
+	cq.OrderBy = ""
+	cq.Desc = false
+	cq.Limit = 0
+	return c
+}
+
+// DropAgg removes aggregate ai of query qi, keeping at least one output
+// aggregate (the last one degrades to count(*) unless it already is).
+func (b *Batch) DropAgg(qi, ai int) *Batch {
+	if qi < 0 || qi >= len(b.Queries) {
+		return nil
+	}
+	q := b.Queries[qi]
+	if ai < 0 || ai >= len(q.Aggs) {
+		return nil
+	}
+	c := b.Clone()
+	cq := c.Queries[qi]
+	if len(cq.Aggs) == 1 {
+		if cq.Aggs[0].Fn == "count" && cq.Aggs[0].Col == "" {
+			return nil
+		}
+		cq.Aggs[0] = Agg{Fn: "count", Alias: cq.Aggs[0].Alias}
+		if cq.OrderBy == "" {
+			return c
+		}
+		return c
+	}
+	if cq.OrderBy == cq.Aggs[ai].Alias {
+		cq.OrderBy = ""
+	}
+	cq.Aggs = append(cq.Aggs[:ai], cq.Aggs[ai+1:]...)
+	return c
+}
+
+// DropGroupCol removes group-by column gi of query qi (the query becomes a
+// scalar aggregate when the last one goes).
+func (b *Batch) DropGroupCol(qi, gi int) *Batch {
+	if qi < 0 || qi >= len(b.Queries) {
+		return nil
+	}
+	q := b.Queries[qi]
+	if gi < 0 || gi >= len(q.GroupBy) {
+		return nil
+	}
+	c := b.Clone()
+	cq := c.Queries[qi]
+	cq.GroupBy = append(cq.GroupBy[:gi], cq.GroupBy[gi+1:]...)
+	return c
+}
+
+// ShrinkPred simplifies predicate pi of query qi one notch: an OR collapses
+// to its first branch, an IN list halves, then constants round toward zero
+// and ranges narrow. Returns nil when the predicate is minimal.
+func (b *Batch) ShrinkPred(qi, pi int) *Batch {
+	if qi < 0 || qi >= len(b.Queries) {
+		return nil
+	}
+	q := b.Queries[qi]
+	if pi < 0 || pi >= len(q.Preds) {
+		return nil
+	}
+	c := b.Clone()
+	p := &c.Queries[qi].Preds[pi]
+	switch {
+	case p.Kind == PredOr:
+		p.Kind = PredRange
+		p.Lo2, p.Hi2 = 0, 0
+	case p.Kind == PredIn && len(p.Strs) > 1:
+		p.Strs = p.Strs[:(len(p.Strs)+1)/2]
+	case p.Kind == PredIn && len(p.Strs) == 0 && p.Hi > p.Lo:
+		p.Hi = p.Lo + (p.Hi-p.Lo)/2
+	case (p.Kind == PredRange || p.Kind == PredBetween) && p.Lo > 1:
+		p.Lo /= 2
+	case (p.Kind == PredRange || p.Kind == PredBetween) && p.Hi-p.Lo > 4:
+		p.Hi = p.Lo + (p.Hi-p.Lo)/2
+	default:
+		return nil
+	}
+	return c
+}
+
+// NumQueries reports the batch size.
+func (b *Batch) NumQueries() int { return len(b.Queries) }

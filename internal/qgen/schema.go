@@ -1,0 +1,363 @@
+// Package qgen is a seeded, grammar-driven SQL generator for the engine's
+// correctness harnesses. It produces batches of similar SPJG queries — random
+// equijoin chains over a schema's join graph, OR'd range and IN predicates,
+// grouped and ungrouped aggregates, CTE-wrapped blocks — deliberately shaped
+// so that covering subexpressions exist between the queries of one batch
+// (shared join cores, shared predicate windows, contained and stacked
+// shapes), which is what exercises signature detection, Heuristics 1–4,
+// Algorithm 1 merging, and §5 cost-based selection.
+//
+// Batches carry their full structure (tables, joins, predicates, aggregates)
+// rather than just text, so a failing batch can be shrunk structurally (see
+// internal/difftest) and re-rendered at every step.
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// ColKind classifies a predicate column.
+type ColKind int
+
+// Predicate column kinds.
+const (
+	// ColInt ranges over the [Lo, Hi] integer domain.
+	ColInt ColKind = iota
+	// ColCat draws from the Cats categorical string values.
+	ColCat
+	// ColDate draws cutoffs from the Dates list.
+	ColDate
+)
+
+// Column describes one column predicates can range over.
+type Column struct {
+	Name   string
+	Kind   ColKind
+	Lo, Hi int      // integer domain (ColInt)
+	Cats   []string // categorical values (ColCat)
+	Dates  []string // date literals (ColDate)
+}
+
+// Table describes the generatable surface of one table.
+type Table struct {
+	Name string
+	// Group lists columns suitable for GROUP BY.
+	Group []string
+	// Agg lists numeric columns suitable as aggregate arguments.
+	Agg []string
+	// Preds lists columns predicates can be generated over.
+	Preds []Column
+}
+
+// Edge is one equijoin edge of the schema's join graph.
+type Edge struct {
+	T1, C1 string // table and column of one side
+	T2, C2 string // table and column of the other
+}
+
+// Schema is a join graph plus per-table generation metadata. TPCH() describes
+// the built-in TPC-H tables (data loaded by the caller, e.g. csedb.LoadTPCH);
+// RandomSchema() additionally carries DDL and rows and is installed with
+// Install.
+type Schema struct {
+	Name   string
+	Tables map[string]*Table
+	Edges  []Edge
+	// Cores are the shared join chains a batch is built around. Every batch
+	// picks one core; all its queries contain the core's tables, which is
+	// what makes covering subexpressions exist.
+	Cores [][]string
+
+	// DDL and Rows are set for synthetic schemas only; Install loads them.
+	DDL  []*catalog.Table
+	Rows map[string][]sqltypes.Row
+
+	colOwner map[string]string // column name → table name
+}
+
+// finish indexes column ownership; every schema constructor must call it.
+func (s *Schema) finish() *Schema {
+	s.colOwner = make(map[string]string)
+	for _, t := range s.Tables {
+		for _, c := range t.Group {
+			s.colOwner[c] = t.Name
+		}
+		for _, c := range t.Agg {
+			s.colOwner[c] = t.Name
+		}
+		for _, p := range t.Preds {
+			s.colOwner[p.Name] = t.Name
+		}
+	}
+	for _, e := range s.Edges {
+		s.colOwner[e.C1] = e.T1
+		s.colOwner[e.C2] = e.T2
+	}
+	return s
+}
+
+// Owner returns the table a column belongs to ("" when unknown).
+func (s *Schema) Owner(col string) string { return s.colOwner[col] }
+
+// AnyCol returns some known column of the table, for degenerate projections.
+func (s *Schema) AnyCol(table string) string {
+	t := s.Tables[table]
+	if t == nil {
+		return ""
+	}
+	if len(t.Group) > 0 {
+		return t.Group[0]
+	}
+	if len(t.Agg) > 0 {
+		return t.Agg[0]
+	}
+	if len(t.Preds) > 0 {
+		return t.Preds[0].Name
+	}
+	for _, e := range s.Edges {
+		if e.T1 == table {
+			return e.C1
+		}
+		if e.T2 == table {
+			return e.C2
+		}
+	}
+	return ""
+}
+
+// edgeInto finds an edge connecting the have-set to table t and returns it as
+// (haveCol, tCol). ok is false when no such edge exists.
+func (s *Schema) edgeInto(have map[string]bool, t string) (haveCol, tCol string, ok bool) {
+	for _, e := range s.Edges {
+		if have[e.T1] && e.T2 == t {
+			return e.C1, e.C2, true
+		}
+		if have[e.T2] && e.T1 == t {
+			return e.C2, e.C1, true
+		}
+	}
+	return "", "", false
+}
+
+// Install creates the schema's tables and rows in the given catalog and
+// store, with statistics analyzed. Only synthetic schemas carry DDL; TPC-H
+// data is loaded by the caller instead.
+func (s *Schema) Install(cat *catalog.Catalog, st *storage.Store) error {
+	if len(s.DDL) == 0 {
+		return fmt.Errorf("schema %s has no DDL to install (load it externally)", s.Name)
+	}
+	for _, tab := range s.DDL {
+		if err := cat.Add(tab); err != nil {
+			return err
+		}
+		stab := st.Create(tab.Name)
+		for _, r := range s.Rows[tab.Name] {
+			stab.Append(r)
+		}
+		storage.AnalyzeTable(tab, stab)
+	}
+	return nil
+}
+
+// dateChoices are the o_orderdate cutoffs batches share (the TPC-H data
+// spans 1992-01-01 .. 1998-08-02).
+var dateChoices = []string{"1993-06-30", "1994-12-31", "1995-06-17", "1996-07-01", "1997-12-31"}
+
+// TPCH returns the generation schema for the built-in TPC-H tables.
+func TPCH() *Schema {
+	tables := []*Table{
+		{
+			Name:  "customer",
+			Group: []string{"c_nationkey", "c_mktsegment"},
+			Agg:   []string{"c_acctbal"},
+			Preds: []Column{
+				{Name: "c_nationkey", Kind: ColInt, Lo: 0, Hi: 24},
+				{Name: "c_mktsegment", Kind: ColCat, Cats: []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}},
+				{Name: "c_acctbal", Kind: ColInt, Lo: -1000, Hi: 10000},
+			},
+		},
+		{
+			Name:  "orders",
+			Group: []string{"o_orderpriority", "o_orderstatus"},
+			Agg:   []string{"o_totalprice"},
+			Preds: []Column{
+				{Name: "o_orderdate", Kind: ColDate, Dates: dateChoices},
+				{Name: "o_totalprice", Kind: ColInt, Lo: 1000, Hi: 400000},
+				{Name: "o_orderpriority", Kind: ColCat, Cats: []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}},
+			},
+		},
+		{
+			Name:  "lineitem",
+			Group: []string{"l_returnflag", "l_shipmode"},
+			Agg:   []string{"l_extendedprice", "l_quantity", "l_discount"},
+			Preds: []Column{
+				{Name: "l_quantity", Kind: ColInt, Lo: 1, Hi: 50},
+				{Name: "l_shipmode", Kind: ColCat, Cats: []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}},
+				{Name: "l_returnflag", Kind: ColCat, Cats: []string{"A", "N", "R"}},
+			},
+		},
+		{
+			Name:  "nation",
+			Group: []string{"n_name", "n_regionkey"},
+			Preds: []Column{
+				{Name: "n_regionkey", Kind: ColInt, Lo: 0, Hi: 4},
+				{Name: "n_nationkey", Kind: ColInt, Lo: 0, Hi: 24},
+			},
+		},
+		{
+			Name:  "region",
+			Group: []string{"r_name"},
+			Preds: []Column{{Name: "r_regionkey", Kind: ColInt, Lo: 0, Hi: 4}},
+		},
+		{
+			Name:  "part",
+			Group: []string{"p_brand", "p_mfgr"},
+			Agg:   []string{"p_retailprice", "p_availqty"},
+			Preds: []Column{
+				{Name: "p_size", Kind: ColInt, Lo: 1, Hi: 50},
+				{Name: "p_mfgr", Kind: ColCat, Cats: []string{"Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4", "Manufacturer#5"}},
+			},
+		},
+		{
+			Name:  "supplier",
+			Group: []string{"s_nationkey"},
+			Agg:   []string{"s_acctbal"},
+			Preds: []Column{{Name: "s_nationkey", Kind: ColInt, Lo: 0, Hi: 24}},
+		},
+		{
+			Name:  "partsupp",
+			Agg:   []string{"ps_supplycost", "ps_availqty"},
+			Preds: []Column{{Name: "ps_availqty", Kind: ColInt, Lo: 1, Hi: 9999}},
+		},
+	}
+	s := &Schema{
+		Name:   "tpch",
+		Tables: make(map[string]*Table, len(tables)),
+		Edges: []Edge{
+			{T1: "customer", C1: "c_custkey", T2: "orders", C2: "o_custkey"},
+			{T1: "orders", C1: "o_orderkey", T2: "lineitem", C2: "l_orderkey"},
+			{T1: "customer", C1: "c_nationkey", T2: "nation", C2: "n_nationkey"},
+			{T1: "nation", C1: "n_regionkey", T2: "region", C2: "r_regionkey"},
+			{T1: "lineitem", C1: "l_partkey", T2: "part", C2: "p_partkey"},
+			{T1: "lineitem", C1: "l_suppkey", T2: "supplier", C2: "s_suppkey"},
+			{T1: "part", C1: "p_partkey", T2: "partsupp", C2: "ps_partkey"},
+		},
+		Cores: [][]string{
+			{"customer", "orders", "lineitem"},
+			{"orders", "lineitem"},
+			{"part", "lineitem", "orders"},
+			{"customer", "orders"},
+		},
+	}
+	for _, t := range tables {
+		s.Tables[t.Name] = t
+	}
+	return s.finish()
+}
+
+// RandomSchema generates a synthetic star schema — one fact table joined to
+// 2–4 dimension tables — with deterministic data, so harnesses can check the
+// engine beyond the TPC-H shape. Table and column names embed the seed so
+// several random schemas can coexist in one database.
+func RandomSchema(seed int64) *Schema {
+	rng := rand.New(rand.NewSource(seed))
+	nDims := 2 + rng.Intn(3)
+	p := func(format string, args ...interface{}) string {
+		return fmt.Sprintf("rs%d_", seed) + fmt.Sprintf(format, args...)
+	}
+
+	s := &Schema{
+		Name:   fmt.Sprintf("random-%d", seed),
+		Tables: make(map[string]*Table),
+		Rows:   make(map[string][]sqltypes.Row),
+	}
+	cats := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+	// Dimension tables: id, category, band, value.
+	dimNames := make([]string, nDims)
+	dimSizes := make([]int, nDims)
+	for d := 0; d < nDims; d++ {
+		name := p("d%d", d)
+		dimNames[d] = name
+		size := 40 + rng.Intn(160)
+		dimSizes[d] = size
+		idCol, catCol := p("d%d_id", d), p("d%d_cat", d)
+		bandCol, valCol := p("d%d_band", d), p("d%d_val", d)
+		s.Tables[name] = &Table{
+			Name:  name,
+			Group: []string{catCol, bandCol},
+			Agg:   []string{valCol},
+			Preds: []Column{
+				{Name: bandCol, Kind: ColInt, Lo: 0, Hi: 9},
+				{Name: catCol, Kind: ColCat, Cats: cats},
+			},
+		}
+		s.DDL = append(s.DDL, &catalog.Table{Name: name, Cols: []catalog.Column{
+			{Name: idCol, Type: sqltypes.KindInt},
+			{Name: catCol, Type: sqltypes.KindString},
+			{Name: bandCol, Type: sqltypes.KindInt},
+			{Name: valCol, Type: sqltypes.KindFloat},
+		}})
+		rows := make([]sqltypes.Row, size)
+		for i := range rows {
+			rows[i] = sqltypes.Row{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewString(cats[rng.Intn(len(cats))]),
+				sqltypes.NewInt(int64(rng.Intn(10))),
+				sqltypes.NewFloat(float64(rng.Intn(100000)) / 100),
+			}
+		}
+		s.Rows[name] = rows
+	}
+
+	// Fact table: id, one fk per dimension, band, two measures.
+	fact := p("f")
+	fkCols := make([]string, nDims)
+	factCols := []catalog.Column{{Name: p("f_id"), Type: sqltypes.KindInt}}
+	for d := 0; d < nDims; d++ {
+		fkCols[d] = p("f_d%d", d)
+		factCols = append(factCols, catalog.Column{Name: fkCols[d], Type: sqltypes.KindInt})
+		s.Edges = append(s.Edges, Edge{T1: fact, C1: fkCols[d], T2: dimNames[d], C2: p("d%d_id", d)})
+	}
+	bandCol, valCol, qtyCol := p("f_band"), p("f_val"), p("f_qty")
+	factCols = append(factCols,
+		catalog.Column{Name: bandCol, Type: sqltypes.KindInt},
+		catalog.Column{Name: valCol, Type: sqltypes.KindFloat},
+		catalog.Column{Name: qtyCol, Type: sqltypes.KindFloat},
+	)
+	s.Tables[fact] = &Table{
+		Name: fact,
+		Agg:  []string{valCol, qtyCol},
+		Preds: []Column{
+			{Name: bandCol, Kind: ColInt, Lo: 0, Hi: 99},
+		},
+	}
+	s.DDL = append(s.DDL, &catalog.Table{Name: fact, Cols: factCols})
+	nFact := 2000 + rng.Intn(3000)
+	rows := make([]sqltypes.Row, nFact)
+	for i := range rows {
+		r := sqltypes.Row{sqltypes.NewInt(int64(i))}
+		for d := 0; d < nDims; d++ {
+			r = append(r, sqltypes.NewInt(int64(rng.Intn(dimSizes[d]))))
+		}
+		r = append(r,
+			sqltypes.NewInt(int64(rng.Intn(100))),
+			sqltypes.NewFloat(float64(rng.Intn(1000000))/100),
+			sqltypes.NewFloat(float64(1+rng.Intn(50))),
+		)
+		rows[i] = r
+	}
+	s.Rows[fact] = rows
+
+	// Cores: the fact joined with its first one or two dimensions.
+	s.Cores = [][]string{{fact, dimNames[0]}}
+	if nDims > 1 {
+		s.Cores = append(s.Cores, []string{fact, dimNames[0], dimNames[1]})
+	}
+	return s.finish()
+}
