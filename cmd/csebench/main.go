@@ -39,8 +39,19 @@ func main() {
 		traceJSON   = flag.String("trace-json", "", "enable optimizer tracing and write the last table experiment's CSE-run trace as JSON to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
+		debugSmoke  = flag.Bool("debug-smoke", false, "run the observability smoke instead of experiments: start the debug server, run a batch twice, scrape /metrics and /trace/last, and assert the phase histograms are populated")
+		metricsOut  = flag.String("metrics-out", "", "with -debug-smoke, write the scraped /metrics text to this file")
+		chromeTrace = flag.String("chrome-trace", "", "with -debug-smoke, write the /trace/last Chrome trace to this file")
 	)
 	flag.Parse()
+
+	if *debugSmoke {
+		if err := runDebugSmoke(*sf, *seed, *metricsOut, *chromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "csebench: debug-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/csedb"
+	"repro/internal/bench"
+)
+
+// runDebugSmoke is the CI end-to-end check of the observability stack: it
+// opens a database with span tracing and the debug HTTP server on, runs the
+// Table 2 batch twice (the repeat run exercises the result-cache hit path),
+// scrapes the server over real HTTP, and asserts that every phase histogram
+// recorded observations and that a Chrome trace is downloadable. The scraped
+// metrics text and the trace are optionally written out as CI artifacts.
+func runDebugSmoke(sf float64, seed int64, metricsOut, chromeTrace string) error {
+	db := csedb.Open(csedb.Options{SpanTracing: true, DebugAddr: "127.0.0.1:0"})
+	if err := db.DebugServerError(); err != nil {
+		return fmt.Errorf("debug server: %w", err)
+	}
+	defer db.StopDebugServer()
+	if err := db.LoadTPCH(sf, seed); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := db.Run(bench.Table2SQL()); err != nil {
+			return err
+		}
+	}
+	base := "http://" + db.DebugAddr()
+
+	metrics, err := httpGetOK(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, h := range []string{
+		"optimize_seconds", "exec_seconds",
+		"spool_materialize_seconds", "cache_lookup_seconds",
+	} {
+		n, err := histogramCount(metrics, h)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("phase histogram %s recorded no observations", h)
+		}
+		fmt.Printf("debug-smoke: %s_count = %d\n", h, n)
+	}
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, metrics, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("debug-smoke: metrics written to %s\n", metricsOut)
+	}
+
+	fr, err := httpGetOK(base + "/flightrecorder")
+	if err != nil {
+		return err
+	}
+	var flight struct {
+		Recent []struct {
+			Statements int               `json:"statements"`
+			Spans      []json.RawMessage `json:"spans"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(fr, &flight); err != nil {
+		return fmt.Errorf("/flightrecorder is not valid JSON: %w", err)
+	}
+	if len(flight.Recent) != 2 || len(flight.Recent[0].Spans) == 0 {
+		return fmt.Errorf("/flightrecorder: want 2 recent span-traced batches, got %d", len(flight.Recent))
+	}
+
+	trace, err := httpGetOK(base + "/trace/last")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(trace), `"traceEvents"`) {
+		return fmt.Errorf("/trace/last is not a Chrome trace")
+	}
+	if chromeTrace != "" {
+		if err := os.WriteFile(chromeTrace, trace, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("debug-smoke: Chrome trace written to %s\n", chromeTrace)
+	}
+	fmt.Println("debug-smoke: ok")
+	return nil
+}
+
+func httpGetOK(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// histogramCount extracts the <name>_count sample from a Prometheus text
+// exposition.
+func histogramCount(metrics []byte, name string) (int64, error) {
+	prefix := name + "_count "
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, prefix)), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("metrics exposition has no %s_count sample", name)
+}

@@ -13,6 +13,9 @@
 //	\explain analyze    execute the next batch and show the plan with actuals
 //	\describe           show the next batch's CSE candidates and decisions
 //	\trace on|off       record and print the optimizer decision trace
+//	\debug on [addr]    span tracing + debug HTTP server (default 127.0.0.1:0)
+//	\debug off          stop the debug server and span tracing
+//	\debug              show debug server status
 //	\metrics            dump the metrics registry
 //	\cache              show cross-batch result-cache state and counters
 //	\cache clear        drop every cached spool result
@@ -53,12 +56,25 @@ func main() {
 		maxRows     = flag.Int("max-rows", 20, "rows printed per statement")
 		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
 		trace       = flag.Bool("trace", false, "record the optimizer decision trace and print it after each batch")
+		debugAddr   = flag.String("debug", "", "start the debug HTTP server on this address and enable span tracing (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
 	settings := core.DefaultSettings()
 	settings.EnableCSE = !*noCSE
-	db := csedb.Open(csedb.Options{CSE: &settings, ExecParallelism: *parallelism, Tracing: *trace})
+	db := csedb.Open(csedb.Options{
+		CSE:             &settings,
+		ExecParallelism: *parallelism,
+		Tracing:         *trace,
+		SpanTracing:     *debugAddr != "",
+		DebugAddr:       *debugAddr,
+	})
+	if *debugAddr != "" {
+		if err := db.DebugServerError(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", db.DebugAddr())
+	}
 	fmt.Fprintf(os.Stderr, "loading TPC-H data (sf=%g, seed=%d)...\n", *sf, *seed)
 	if err := db.LoadTPCH(*sf, *seed); err != nil {
 		fatal(err)
@@ -245,6 +261,35 @@ func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext, analyzeNext
 		}
 		db.SetTracing(fields[1] == "on")
 		fmt.Printf("optimizer tracing %s\n", fields[1])
+	case "\\debug":
+		switch {
+		case len(fields) == 1:
+			if addr := db.DebugAddr(); addr != "" {
+				fmt.Printf("debug server listening on http://%s (span tracing %v)\n", addr, db.SpanTracing())
+			} else {
+				fmt.Println("debug server off")
+			}
+		case fields[1] == "on":
+			addr := "127.0.0.1:0"
+			if len(fields) == 3 {
+				addr = fields[2]
+			}
+			bound, err := db.StartDebugServer(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				break
+			}
+			db.SetSpanTracing(true)
+			fmt.Printf("debug server listening on http://%s — try /metrics, /flightrecorder, /trace/last\n", bound)
+		case fields[1] == "off":
+			if err := db.StopDebugServer(); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+			db.SetSpanTracing(false)
+			fmt.Println("debug server off, span tracing off")
+		default:
+			fmt.Fprintln(os.Stderr, "usage: \\debug [on [addr]|off]")
+		}
 	case "\\metrics":
 		fmt.Print(db.Metrics().Dump())
 	case "\\cache":

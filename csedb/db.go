@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -66,6 +67,32 @@ type Options struct {
 	// value enables it at that budget, and a negative value disables the
 	// cache entirely.
 	CacheBudget int64
+
+	// SpanTracing records a span tree on every batch: parse, optimization
+	// phases (candidate formation with H1–H4 prune counts, subset
+	// reoptimization), spool waves, per-spool materialization with cache
+	// outcomes and wait times, and per-statement execution. The tree is
+	// returned on BatchResult.Spans, retained by the flight recorder, and
+	// exportable in Chrome trace-event format. Off by default: the untraced
+	// path pays one nil check per span site.
+	SpanTracing bool
+
+	// FlightRecorderSize is the number of recent batch records the flight
+	// recorder retains; 0 means obs.DefaultFlightCapacity.
+	FlightRecorderSize int
+
+	// SlowBatchThreshold is the wall-time above which a batch is also kept
+	// in the flight recorder's slow-batch log; 0 means
+	// obs.DefaultSlowThreshold.
+	SlowBatchThreshold time.Duration
+
+	// DebugAddr, when non-empty, starts the debug HTTP server on that
+	// address at Open (e.g. "127.0.0.1:6060"; ":0" picks a free port). The
+	// server exposes /metrics, /debug/pprof/*, /flightrecorder, /cache, and
+	// /trace/last. A failure to listen is reported by DebugServerError. The
+	// server can also be started and stopped at runtime with
+	// StartDebugServer / StopDebugServer (the shell's \debug command).
+	DebugAddr string
 }
 
 // DB is an in-memory database instance. Read-only queries (Run on SELECT
@@ -83,8 +110,14 @@ type DB struct {
 	parallelism int
 	chunkSize   int
 	tracing     bool
+	spanTracing bool
 	metrics     *obs.Registry
 	cache       *cache.Cache
+	flight      *obs.FlightRecorder
+
+	debugMu  sync.Mutex
+	debug    *debugServer
+	debugErr error
 }
 
 // Row re-exports the value tuple type for insertion APIs.
@@ -104,10 +137,17 @@ func Open(opts Options) *DB {
 		parallelism: opts.ExecParallelism,
 		chunkSize:   opts.ExecChunkSize,
 		tracing:     opts.Tracing,
+		spanTracing: opts.SpanTracing,
 		metrics:     obs.NewRegistry(),
+		flight:      obs.NewFlightRecorder(opts.FlightRecorderSize, opts.SlowBatchThreshold),
 	}
 	if opts.CacheBudget >= 0 {
 		db.cache = cache.New(opts.CacheBudget, db.metrics)
+	}
+	if opts.DebugAddr != "" {
+		if _, err := db.StartDebugServer(opts.DebugAddr); err != nil {
+			db.debugErr = err
+		}
 	}
 	return db
 }
@@ -139,9 +179,20 @@ func (db *DB) Tracing() bool { return db.tracing }
 // SetTracing toggles optimizer decision tracing for subsequent batches.
 func (db *DB) SetTracing(on bool) { db.tracing = on }
 
+// SpanTracing reports whether per-batch span tracing is on.
+func (db *DB) SpanTracing() bool { return db.spanTracing }
+
+// SetSpanTracing toggles per-batch span tracing for subsequent batches.
+func (db *DB) SetSpanTracing(on bool) { db.spanTracing = on }
+
 // Metrics exposes the database's metrics registry. It is always collecting
 // (a handful of atomic updates per batch); render it with Dump or Snapshot.
 func (db *DB) Metrics() *obs.Registry { return db.metrics }
+
+// FlightRecorder exposes the bounded in-memory record of recent batches. It
+// is always on; span trees appear on its records only while span tracing is
+// enabled.
+func (db *DB) FlightRecorder() *obs.FlightRecorder { return db.flight }
 
 // ResultCache exposes the cross-batch spool result cache; nil when disabled.
 func (db *DB) ResultCache() *cache.Cache { return db.cache }
@@ -253,6 +304,11 @@ type BatchResult struct {
 
 	// Trace is the optimizer decision trace; nil unless tracing is on.
 	Trace *obs.Trace
+
+	// Spans is the batch's span forest (rooted at the "batch" span); nil
+	// unless span tracing is on. Render it with obs.ChromeTrace for
+	// chrome://tracing.
+	Spans []*obs.SpanNode
 }
 
 // Run parses, optimizes, and executes a batch of statements. Queries in the
@@ -265,11 +321,19 @@ func (db *DB) Run(sql string) (*BatchResult, error) {
 // RunContext is Run with a cancellation context: cancelling it stops the
 // executor (including all parallel workers) with the context's error.
 func (db *DB) RunContext(ctx context.Context, sql string) (*BatchResult, error) {
+	batchStart := time.Now()
+	rec := db.newSpanRecorder()
+	root := rec.StartSpan("batch")
+	ps := root.Child("parse")
 	stmts, err := parser.Parse(sql)
 	if err != nil {
+		ps.End()
+		db.recordFailure(rec, root, batchStart, err)
 		return nil, err
 	}
-	return db.runStatements(ctx, stmts)
+	ps.SetAttr("statements", len(stmts))
+	ps.End()
+	return db.runObserved(ctx, stmts, rec, root, batchStart)
 }
 
 // Optimize parses and optimizes a batch without executing it. It returns
@@ -303,6 +367,34 @@ func (db *DB) newTrace() *obs.Trace {
 	return obs.NewTrace()
 }
 
+// newSpanRecorder returns a fresh span recorder when span tracing is on, else
+// nil (which disables every span hook down the whole stack).
+func (db *DB) newSpanRecorder() *obs.SpanRecorder {
+	if !db.spanTracing {
+		return nil
+	}
+	return obs.NewSpanRecorder()
+}
+
+// recordFailure closes out a batch that died before execution finished: the
+// error lands on the root span, unfinished spans are closed and tagged, and
+// the flight recorder still gets a record — failed batches are exactly the
+// ones a post-hoc investigation wants to see.
+func (db *DB) recordFailure(rec *obs.SpanRecorder, root *obs.Span, batchStart time.Time, err error) {
+	root.SetAttr("error", err.Error())
+	rec.Finish()
+	var spans []*obs.SpanNode
+	if rec.Enabled() {
+		spans = rec.Tree()
+	}
+	db.flight.Record(&obs.BatchRecord{
+		Start: batchStart,
+		Wall:  time.Since(batchStart),
+		Err:   err.Error(),
+		Spans: spans,
+	})
+}
+
 // Explain returns the physical plan for a batch, including any CSE plans.
 func (db *DB) Explain(sql string) (string, error) {
 	out, md, err := db.Optimize(sql)
@@ -321,29 +413,49 @@ func (db *DB) Explain(sql string) (string, error) {
 	return sb.String(), nil
 }
 
+// runStatements runs a pre-parsed batch (view maintenance enters here); it
+// starts its own span recorder, so the tree simply lacks a parse child.
 func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*BatchResult, error) {
+	rec := db.newSpanRecorder()
+	return db.runObserved(ctx, stmts, rec, rec.StartSpan("batch"), time.Now())
+}
+
+func (db *DB) runObserved(ctx context.Context, stmts []parser.Statement, rec *obs.SpanRecorder, root *obs.Span, batchStart time.Time) (*BatchResult, error) {
+	root.SetAttr("statements", len(stmts))
 	batch, err := logical.BuildBatch(stmts, db.cat)
 	if err != nil {
+		db.recordFailure(rec, root, batchStart, err)
 		return nil, err
 	}
 
 	start := time.Now()
+	optSpan := root.Child("optimize")
 	m, err := memo.Build(batch)
 	if err != nil {
+		optSpan.End()
+		db.recordFailure(rec, root, batchStart, err)
 		return nil, err
 	}
-	out, err := core.OptimizeTraced(m, db.settings, db.newTrace())
+	out, err := core.OptimizeObserved(m, db.settings, db.newTrace(), optSpan)
+	optSpan.End()
 	if err != nil {
+		db.recordFailure(rec, root, batchStart, err)
 		return nil, err
 	}
 	optTime := time.Since(start)
 
 	start = time.Now()
+	execSpan := root.Child("execute")
 	results, execStats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
-		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Cache: db.cache})
+		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Cache: db.cache, Span: execSpan})
 	if err != nil {
+		execSpan.End()
+		db.recordFailure(rec, root, batchStart, err)
 		return nil, err
 	}
+	execSpan.SetAttr("spools", len(execStats.SpoolRows))
+	execSpan.SetAttr("spools_cached", execStats.CacheHits())
+	execSpan.End()
 	execTime := time.Since(start)
 	db.recordMetrics(len(results), &out.Stats, execStats, optTime, execTime)
 	db.traceCacheEvents(out.Trace, out.Result, execStats)
@@ -354,9 +466,35 @@ func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*Bat
 			continue
 		}
 		if err := db.materializeView(st, stmts[i], batch.Metadata, results[i]); err != nil {
+			db.recordFailure(rec, root, batchStart, err)
 			return nil, err
 		}
 	}
+
+	rows := 0
+	for _, r := range results {
+		rows += len(r.Rows)
+	}
+	root.SetAttr("rows", rows)
+	root.End()
+	rec.Finish()
+	var spans []*obs.SpanNode
+	if rec.Enabled() {
+		spans = rec.Tree()
+	}
+	db.flight.Record(&obs.BatchRecord{
+		Start:              batchStart,
+		Wall:               time.Since(batchStart),
+		Optimize:           optTime,
+		Exec:               execTime,
+		Statements:         len(results),
+		Rows:               rows,
+		Candidates:         out.Stats.Candidates,
+		UsedCSEs:           len(out.Stats.UsedCSEs),
+		SpoolsMaterialized: len(execStats.SpoolRows) - execStats.CacheHits(),
+		SpoolsCached:       execStats.CacheHits(),
+		Spans:              spans,
+	})
 
 	return &BatchResult{
 		Statements:    results,
@@ -368,6 +506,7 @@ func (db *DB) runStatements(ctx context.Context, stmts []parser.Statement) (*Bat
 		ExecStats:     execStats,
 		Explain:       out.Result.Format(batch.Metadata),
 		Trace:         out.Trace,
+		Spans:         spans,
 	}, nil
 }
 
@@ -394,9 +533,19 @@ func (db *DB) recordMetrics(nStatements int, stats *core.Stats, es *exec.Stats, 
 	}
 	r.Counter("exec_spools_cached_total").Add(int64(es.CacheHits()))
 	r.Gauge("exec_worker_utilization").Set(es.Utilization())
-	r.Histogram("opt_seconds").Observe(optTime.Seconds())
+	r.Histogram("optimize_seconds").Observe(optTime.Seconds())
 	r.Histogram("exec_seconds").Observe(execTime.Seconds())
+	for id, d := range es.SpoolTimes {
+		if !es.SpoolCached[id] {
+			r.HistogramWith("spool_materialize_seconds", spoolMaterializeBounds).Observe(d.Seconds())
+		}
+	}
 }
+
+// spoolMaterializeBounds buckets spool materialization times: sub-millisecond
+// spools dominate the test workloads, so the default seconds-scale buckets
+// would be useless on the left end.
+var spoolMaterializeBounds = []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5}
 
 // traceCacheEvents appends one EvCache event per executed spool to the
 // batch's optimizer trace, recording whether the cross-batch result cache

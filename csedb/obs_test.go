@@ -99,8 +99,19 @@ func TestMetricsRegistry(t *testing.T) {
 	if snap["exec_seconds_count"] != 1 {
 		t.Errorf("exec_seconds_count = %g, want 1", snap["exec_seconds_count"])
 	}
+	if snap["optimize_seconds_count"] != 1 {
+		t.Errorf("optimize_seconds_count = %g, want 1", snap["optimize_seconds_count"])
+	}
+	if snap["spool_materialize_seconds_count"] == 0 {
+		t.Error("the Table 2 batch materializes spools; spool_materialize_seconds must record them")
+	}
 	dump := db.Metrics().Dump()
-	for _, want := range []string{"csedb_batches_total 1", "# TYPE opt_seconds histogram", "exec_worker_utilization"} {
+	for _, want := range []string{
+		"csedb_batches_total 1",
+		"# TYPE optimize_seconds histogram",
+		"# TYPE spool_materialize_seconds histogram",
+		"exec_worker_utilization",
+	} {
 		if !strings.Contains(dump, want) {
 			t.Errorf("metrics dump missing %q", want)
 		}

@@ -35,6 +35,11 @@ import (
 // large enough to hold every spool the bench workloads produce.
 const DefaultBudget = 64 << 20
 
+// lookupBounds are the cache_lookup_seconds histogram buckets. Lookups are
+// map-probe fast — microseconds, not milliseconds — so the default
+// seconds-scale buckets would collapse every observation into the first one.
+var lookupBounds = []float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3, 1e-2}
+
 // entry is one cached spool result.
 type entry struct {
 	key      string
@@ -93,6 +98,12 @@ func (c *Cache) Lookup(key string, versions map[string]uint64) ([]sqltypes.Row, 
 	start := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.metrics != nil {
+		defer func() {
+			c.metrics.HistogramWith("cache_lookup_seconds", lookupBounds).
+				Observe(time.Since(start).Seconds())
+		}()
+	}
 	e, ok := c.entries[key]
 	if ok && !versionsEqual(e.versions, versions) {
 		c.removeLocked(e)
@@ -185,6 +196,34 @@ func (c *Cache) SetBudget(budget int64) {
 		c.count("cache_evictions_total")
 	}
 	c.gaugeBytes()
+}
+
+// EntryInfo describes one cached entry for inspection (the debug server's
+// /cache endpoint): its spec key, row/byte footprint, and the source-table
+// version snapshot it validates against.
+type EntryInfo struct {
+	Key      string            `json:"key"`
+	Rows     int               `json:"rows"`
+	Bytes    int64             `json:"bytes"`
+	Versions map[string]uint64 `json:"versions"`
+}
+
+// Entries snapshots the cached entries in LRU order, most recently used
+// first. Row data is not included — only footprints and identity.
+func (c *Cache) Entries() []EntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryInfo, 0, len(c.entries))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, EntryInfo{
+			Key:      e.key,
+			Rows:     len(e.rows),
+			Bytes:    e.bytes,
+			Versions: copyVersions(e.versions),
+		})
+	}
+	return out
 }
 
 // Stats snapshots the cache's state and counters.

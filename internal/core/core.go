@@ -148,11 +148,24 @@ func Optimize(m *memo.Memo, settings Settings) (*Output, error) {
 // assignment, and subset reoptimization is recorded on it. A nil tr disables
 // all trace hooks, keeping the untraced path free of overhead.
 func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, error) {
+	return OptimizeObserved(m, settings, tr, nil)
+}
+
+// OptimizeObserved is OptimizeTraced with span tracing: when span is non-nil,
+// the optimizer's phases — base optimization, signature/candidate formation
+// (with the H1–H4 prune counts as attributes), and the §5.3 subset
+// reoptimization — are recorded as child spans. A nil span disables all span
+// hooks; trace and span tracing are independent.
+func OptimizeObserved(m *memo.Memo, settings Settings, tr *obs.Trace, span *obs.Span) (*Output, error) {
 	o := opt.NewOptimizer(m)
+	baseSpan := span.Child("optimize-base")
 	base, err := o.OptimizeBase()
 	if err != nil {
+		baseSpan.End()
 		return nil, err
 	}
+	baseSpan.SetAttr("base_cost", base.Cost)
+	baseSpan.End()
 	out := &Output{Result: base, Base: base, Optimizer: o, Trace: tr}
 	out.Stats.BaseCost = base.Cost
 	out.Stats.FinalCost = base.Cost
@@ -161,16 +174,21 @@ func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, er
 		return out, nil
 	}
 
+	candSpan := span.Child("candidates")
 	gen := &generator{m: m, o: o, set: settings, cq: base.Cost, stats: &out.Stats, trace: tr}
 	specs, err := gen.generate()
 	if err != nil {
+		candSpan.End()
 		return nil, err
 	}
 	if len(specs) == 0 {
+		candSpan.SetAttr("candidates", 0)
+		candSpan.End()
 		return out, nil
 	}
 	cands, err := gen.finalize(specs)
 	if err != nil {
+		candSpan.End()
 		return nil, err
 	}
 	if settings.StackedCSE {
@@ -181,6 +199,13 @@ func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, er
 	for _, c := range cands {
 		out.Stats.CandidateLabels = append(out.Stats.CandidateLabels, c.Label)
 	}
+	candSpan.SetAttr("signature_sets", out.Stats.SignatureSets)
+	candSpan.SetAttr("candidates", len(cands))
+	candSpan.SetAttr("pruned_h1", out.Stats.PrunedH1)
+	candSpan.SetAttr("pruned_h2", out.Stats.PrunedH2)
+	candSpan.SetAttr("pruned_h3", out.Stats.PrunedH3)
+	candSpan.SetAttr("pruned_h4", out.Stats.PrunedH4)
+	candSpan.End()
 
 	maxOpts := settings.MaxCSEOptimizations
 	if maxOpts <= 0 {
@@ -199,6 +224,7 @@ func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, er
 			})
 		}
 	}
+	subsetSpan := span.Child("subset-reoptimization")
 	best, used, nOpts, err := optimizeSubsets(o, m, cands, subsetOpts{
 		pruning:  settings.SubsetPruning,
 		extended: settings.ExtendedSubsetPruning,
@@ -206,8 +232,10 @@ func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, er
 		trace:    tr,
 	})
 	if err != nil {
+		subsetSpan.End()
 		return nil, err
 	}
+	subsetSpan.SetAttr("reoptimizations", nOpts)
 	out.Stats.CSEOptimizations = nOpts
 	if best != nil && best.Cost < base.Cost {
 		best.MarkFusion()
@@ -215,6 +243,9 @@ func OptimizeTraced(m *memo.Memo, settings Settings, tr *obs.Trace) (*Output, er
 		out.Stats.FinalCost = best.Cost
 		out.Stats.UsedCSEs = used
 	}
+	subsetSpan.SetAttr("final_cost", out.Stats.FinalCost)
+	subsetSpan.SetAttr("used_cses", len(out.Stats.UsedCSEs))
+	subsetSpan.End()
 	if tr != nil {
 		tr.Add(obs.Event{
 			Kind: obs.EvFinal,

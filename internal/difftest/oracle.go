@@ -44,6 +44,13 @@ type Config struct {
 	// Repeat re-executes the batch this many times against the same cache,
 	// so warm (cached) runs are compared against cold ones. 0 means 1.
 	Repeat int
+
+	// Observe runs the cell with span tracing enabled end to end (optimizer
+	// phases, waves, spools, statements). Observability must never change
+	// results — this cell pins that byte-for-byte — and the cell additionally
+	// checks span-lifecycle invariants (no unfinished spans after a clean
+	// run).
+	Observe bool
 }
 
 // Matrix returns the full differential configuration matrix. The first
@@ -63,6 +70,8 @@ func Matrix() []Config {
 		{Name: "cse-seq", Settings: def, Parallelism: 1},
 		{Name: "cse-par", Settings: def},
 		{Name: "cse-par-cache", Settings: def, Cache: true, Repeat: 2},
+		{Name: "cse-par-observed", Settings: def, Observe: true},
+		{Name: "cse-cache-observed", Settings: def, Cache: true, Repeat: 2, Observe: true},
 		{Name: "cse-chunk1", Settings: def, ChunkSize: 1},
 		{Name: "cse-chunk7", Settings: def, ChunkSize: 7},
 		{Name: "cse-chunk1024", Settings: def, ChunkSize: 1024},
@@ -79,7 +88,7 @@ func Matrix() []Config {
 // plus the cells most likely to diverge.
 func Smoke() []Config {
 	m := Matrix()
-	keep := map[string]bool{"nocse-seq": true, "cse-par": true, "cse-chunk1": true, "cse-par-cache": true}
+	keep := map[string]bool{"nocse-seq": true, "cse-par": true, "cse-chunk1": true, "cse-par-cache": true, "cse-par-observed": true}
 	var out []Config
 	for _, c := range m {
 		if keep[c.Name] {
@@ -172,7 +181,13 @@ func (o *Oracle) runConfig(cfg Config, stmts []parser.Statement) (string, error)
 		return "", fmt.Errorf("memo: %w", err)
 	}
 	tr := obs.NewTrace()
-	out, err := core.OptimizeTraced(m, cfg.Settings, tr)
+	var rec *obs.SpanRecorder
+	var root *obs.Span
+	if cfg.Observe {
+		rec = obs.NewSpanRecorder()
+		root = rec.StartSpan("batch")
+	}
+	out, err := core.OptimizeObserved(m, cfg.Settings, tr, root)
 	if err != nil {
 		return "", fmt.Errorf("optimize: %w", err)
 	}
@@ -193,6 +208,7 @@ func (o *Oracle) runConfig(cfg Config, stmts []parser.Statement) (string, error)
 			Parallelism: cfg.Parallelism,
 			ChunkSize:   cfg.ChunkSize,
 			Cache:       c,
+			Span:        root,
 		})
 		if err != nil {
 			return "", fmt.Errorf("exec (run %d): %w", r+1, err)
@@ -205,6 +221,17 @@ func (o *Oracle) runConfig(cfg Config, stmts []parser.Statement) (string, error)
 			text = t
 		} else if t != text {
 			return "", &Mismatch{Base: fmt.Sprintf("%s run 1 (cold)", cfg.Name), Config: fmt.Sprintf("%s run %d (warm)", cfg.Name, r+1), Diff: diffExcerpt(text, t)}
+		}
+	}
+	if cfg.Observe {
+		root.End()
+		// Every span a clean run started must have been ended by the code
+		// that started it; an unfinished span is a lifecycle leak.
+		if n := rec.Unfinished(); n != 0 {
+			return "", fmt.Errorf("span invariant: %d spans left unfinished after a clean run", n)
+		}
+		if len(stmts) > 0 && obs.Find(rec.Tree(), "statement") == nil {
+			return "", fmt.Errorf("span invariant: no statement span recorded")
 		}
 	}
 	return text, nil

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/scalar"
 	"repro/internal/sqltypes"
@@ -59,6 +60,12 @@ type Options struct {
 	// dispatched to workers. 0 (or negative) means DefaultChunkSize. Exposed
 	// mainly for testing — a chunk size of 1 maximizes scheduling interleave.
 	ChunkSize int
+
+	// Span, when non-nil, is the parent span the executor records under:
+	// one child per spool wave, per spool materialization (with cache
+	// hit/miss and wait-for-materialization attributes), and per statement.
+	// Nil disables span recording at zero cost.
+	Span *obs.Span
 }
 
 func (o Options) workers() int {
@@ -110,6 +117,11 @@ type Context struct {
 	stats         *collector
 	cache         *cache.Cache
 
+	// span is the enclosing span new work records under: the wave span for
+	// spool workers, the statement span for statement execution. Nil when
+	// span tracing is off.
+	span *obs.Span
+
 	// Intra-operator parallelism: workers is the degree budget shared with
 	// the batch-level scheduler, chunkSize the morsel granularity, and pool
 	// the batch-wide helper-slot channel (capacity workers-1) that bounds the
@@ -137,6 +149,7 @@ func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, stor
 		subqueryVals:  make(map[int]sqltypes.Datum),
 		stats:         stats,
 		cache:         opts.Cache,
+		span:          opts.Span,
 		workers:       intraOp,
 		chunkSize:     opts.chunkSize(),
 	}
@@ -238,12 +251,22 @@ func planOp(p *opt.Plan) string {
 // materialized lazily at first use.
 func (c *Context) runSequential(stmtPlans []*opt.Plan) ([]*StatementResult, error) {
 	out := make([]*StatementResult, 0, len(stmtPlans))
+	parent := c.span
 	for i, sp := range stmtPlans {
 		start := time.Now()
+		ss := parent.Child("statement")
+		ss.SetAttr("stmt", i)
+		// Lazily materialized spools nest under the statement that first
+		// touched them.
+		c.span = ss
 		sr, err := c.runStatement(sp)
+		c.span = parent
 		if err != nil {
+			ss.End()
 			return nil, err
 		}
+		ss.SetAttr("rows", len(sr.Rows))
+		ss.End()
 		c.stats.recordStmt(i, time.Since(start))
 		out = append(out, sr)
 	}
@@ -452,7 +475,26 @@ func (c *Context) spool(id int) ([]sqltypes.Row, error) {
 		return nil, fmt.Errorf("no plan for CSE %d", id)
 	}
 	if c.parallel {
-		e.once.Do(func() { e.materialize(c) })
+		if c.span == nil {
+			e.once.Do(func() { e.materialize(c) })
+			return e.rows, e.err
+		}
+		// Speculatively time the wait on another goroutine's materialization;
+		// if this goroutine ran it itself, or the wait never blocked, the span
+		// is discarded rather than cluttering the tree.
+		ran := false
+		ws := c.span.Child("spool-wait")
+		e.once.Do(func() {
+			ran = true
+			e.materialize(c)
+		})
+		ws.End()
+		if ran || ws.Dur() < 10*time.Microsecond {
+			ws.Discard()
+		} else {
+			ws.SetAttr("cse", e.id)
+			ws.SetAttr("wait_us", ws.Dur().Microseconds())
+		}
 		return e.rows, e.err
 	}
 	if e.done {
@@ -476,21 +518,31 @@ func (c *Context) spool(id int) ([]sqltypes.Row, error) {
 // validates.
 func (e *spoolEntry) materialize(c *Context) {
 	start := time.Now()
+	sp := c.span.Child("spool")
+	sp.SetAttr("cse", e.id)
+	defer sp.End()
 	var versions map[string]uint64
-	if e.key != "" {
+	if e.key == "" {
+		sp.SetAttr("cache", "uncacheable")
+	} else {
 		versions = c.Store.Versions(e.sources)
 		if rows, ok := c.cache.Lookup(e.key, versions); ok {
 			e.rows = rows
+			sp.SetAttr("cache", "hit")
+			sp.SetAttr("rows", len(rows))
 			c.stats.recordSpoolCached(e.id, len(rows), time.Since(start))
 			return
 		}
+		sp.SetAttr("cache", "miss")
 	}
 	rows, err := c.exec(e.plan)
 	if err != nil {
 		e.err = fmt.Errorf("materializing CSE %d: %w", e.id, err)
+		sp.SetAttr("error", e.err.Error())
 		return
 	}
 	e.rows = rows
+	sp.SetAttr("rows", len(rows))
 	c.stats.recordSpool(e.id, len(rows), time.Since(start))
 	if e.key != "" {
 		var bytes int64

@@ -33,16 +33,23 @@ func (c *Context) runParallel(res *opt.Result, stmtPlans []*opt.Plan, workers in
 
 	// Phase 1: materialize spools wave by wave; within a wave every spool
 	// only depends on completed waves, so all of them can run concurrently.
-	for _, wave := range waves {
+	for w, wave := range waves {
+		waveSpan := c.span.Child("wave")
+		waveSpan.SetAttr("wave", w)
+		waveSpan.SetAttr("spools", len(wave))
 		g := newGroup(c.ctx, workers)
 		for _, id := range wave {
 			id := id
 			g.Go(func(ctx context.Context) error {
-				_, err := c.fork(ctx).spool(id)
+				cc := c.fork(ctx)
+				cc.span = waveSpan
+				_, err := cc.spool(id)
 				return err
 			})
 		}
-		if err := g.Wait(); err != nil {
+		err := g.Wait()
+		waveSpan.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -55,10 +62,17 @@ func (c *Context) runParallel(res *opt.Result, stmtPlans []*opt.Plan, workers in
 		i, sp := i, sp
 		g.Go(func(ctx context.Context) error {
 			start := time.Now()
-			sr, err := c.fork(ctx).runStatement(sp)
+			ss := c.span.Child("statement")
+			ss.SetAttr("stmt", i)
+			cc := c.fork(ctx)
+			cc.span = ss
+			sr, err := cc.runStatement(sp)
 			if err != nil {
+				ss.End()
 				return err
 			}
+			ss.SetAttr("rows", len(sr.Rows))
+			ss.End()
 			c.stats.recordStmt(i, time.Since(start))
 			out[i] = sr
 			return nil

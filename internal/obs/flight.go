@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// DefaultFlightCapacity is the number of recent batches the flight recorder
+// retains when created with a non-positive capacity.
+const DefaultFlightCapacity = 64
+
+// DefaultSlowThreshold is the wall-time threshold above which a batch is also
+// retained in the slow-batch log when the recorder is created with a
+// non-positive threshold.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// slowLogCapacity bounds the slow-batch log independently of the main ring,
+// so a burst of fast batches cannot flush out the interesting slow ones.
+const slowLogCapacity = 32
+
+// BatchRecord is the flight recorder's per-batch snapshot: the span tree plus
+// the headline stats a post-hoc "where did the latency go?" investigation
+// needs. Plain data — safe to marshal and retain.
+type BatchRecord struct {
+	// Seq is the batch's monotonically increasing sequence number within
+	// this recorder.
+	Seq uint64 `json:"seq"`
+
+	// Start is the batch's wall-clock start time.
+	Start time.Time `json:"start"`
+
+	// Wall, Optimize and Exec are the end-to-end, optimization-phase, and
+	// execution-phase durations.
+	Wall     time.Duration `json:"wall_ns"`
+	Optimize time.Duration `json:"optimize_ns"`
+	Exec     time.Duration `json:"exec_ns"`
+
+	// Statements is the batch's statement count; Rows the total output rows.
+	Statements int `json:"statements"`
+	Rows       int `json:"rows"`
+
+	// Candidates and UsedCSEs summarize the CSE phase.
+	Candidates int `json:"candidates"`
+	UsedCSEs   int `json:"used_cses"`
+
+	// SpoolsMaterialized and SpoolsCached split executed spools into
+	// computed-this-batch vs served-from-the-result-cache.
+	SpoolsMaterialized int `json:"spools_materialized"`
+	SpoolsCached       int `json:"spools_cached"`
+
+	// Err is the batch's error text; empty on success.
+	Err string `json:"err,omitempty"`
+
+	// Spans is the batch's span forest; nil when span tracing was off.
+	Spans []*SpanNode `json:"spans,omitempty"`
+}
+
+// FlightRecorder keeps the last N batch records in a bounded ring, plus a
+// separate bounded log of batches slower than a threshold, so the recent past
+// stays inspectable after the fact (the debug server's /flightrecorder
+// endpoint). A nil recorder no-ops, and recording is a ring-slot write under
+// a mutex — cheap enough to leave on for every batch.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	ring      []*BatchRecord
+	next      int // ring index of the next write
+	seq       uint64
+	threshold time.Duration
+	slow      []*BatchRecord // append-bounded at slowLogCapacity, oldest dropped
+}
+
+// NewFlightRecorder returns a recorder retaining the last n batches
+// (non-positive n means DefaultFlightCapacity) and logging batches slower
+// than slowThreshold (non-positive means DefaultSlowThreshold).
+func NewFlightRecorder(n int, slowThreshold time.Duration) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightCapacity
+	}
+	if slowThreshold <= 0 {
+		slowThreshold = DefaultSlowThreshold
+	}
+	return &FlightRecorder{ring: make([]*BatchRecord, n), threshold: slowThreshold}
+}
+
+// Record adds one batch record, assigning its sequence number. Nil-safe.
+func (f *FlightRecorder) Record(rec *BatchRecord) {
+	if f == nil || rec == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	rec.Seq = f.seq
+	f.ring[f.next] = rec
+	f.next = (f.next + 1) % len(f.ring)
+	if rec.Wall >= f.threshold {
+		if len(f.slow) == slowLogCapacity {
+			copy(f.slow, f.slow[1:])
+			f.slow = f.slow[:slowLogCapacity-1]
+		}
+		f.slow = append(f.slow, rec)
+	}
+}
+
+// Recent returns the retained batches, newest first. Nil-safe (returns nil).
+func (f *FlightRecorder) Recent() []*BatchRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*BatchRecord, 0, len(f.ring))
+	for i := 1; i <= len(f.ring); i++ {
+		r := f.ring[(f.next-i+len(f.ring))%len(f.ring)]
+		if r == nil {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Slow returns the slow-batch log, newest first. Nil-safe.
+func (f *FlightRecorder) Slow() []*BatchRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*BatchRecord, len(f.slow))
+	for i, r := range f.slow {
+		out[len(f.slow)-1-i] = r
+	}
+	return out
+}
+
+// Last returns the most recent batch record, or nil when none was recorded.
+func (f *FlightRecorder) Last() *BatchRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring[(f.next-1+len(f.ring))%len(f.ring)]
+}
+
+// Threshold returns the slow-batch threshold.
+func (f *FlightRecorder) Threshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.threshold
+}
+
+// JSON renders the recent batches (newest first) as indented JSON.
+func (f *FlightRecorder) JSON() ([]byte, error) {
+	recs := f.Recent()
+	if recs == nil {
+		recs = []*BatchRecord{}
+	}
+	return json.MarshalIndent(recs, "", "  ")
+}

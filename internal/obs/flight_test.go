@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(wall time.Duration) *BatchRecord {
+	return &BatchRecord{Start: time.Now(), Wall: wall, Statements: 1}
+}
+
+// TestFlightRecorderRing: the ring keeps exactly the last N records, newest
+// first, with monotonically increasing sequence numbers.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3, time.Hour)
+	if got := f.Recent(); len(got) != 0 {
+		t.Fatalf("fresh recorder Recent = %v", got)
+	}
+	if f.Last() != nil {
+		t.Fatal("fresh recorder Last must be nil")
+	}
+	for i := 0; i < 5; i++ {
+		f.Record(rec(time.Duration(i) * time.Millisecond))
+	}
+	got := f.Recent()
+	if len(got) != 3 {
+		t.Fatalf("Recent len = %d, want 3", len(got))
+	}
+	if got[0].Seq != 5 || got[1].Seq != 4 || got[2].Seq != 3 {
+		t.Errorf("Recent seqs = %d,%d,%d, want 5,4,3", got[0].Seq, got[1].Seq, got[2].Seq)
+	}
+	if f.Last().Seq != 5 {
+		t.Errorf("Last seq = %d, want 5", f.Last().Seq)
+	}
+}
+
+// TestFlightRecorderSlowLog: only batches at or above the threshold enter the
+// slow log, and it survives the main ring wrapping.
+func TestFlightRecorderSlowLog(t *testing.T) {
+	f := NewFlightRecorder(2, 10*time.Millisecond)
+	f.Record(rec(50 * time.Millisecond)) // slow, seq 1
+	for i := 0; i < 10; i++ {
+		f.Record(rec(time.Millisecond)) // fast: flushes the ring
+	}
+	slow := f.Slow()
+	if len(slow) != 1 || slow[0].Seq != 1 {
+		t.Fatalf("Slow = %+v, want the one slow batch (seq 1)", slow)
+	}
+	// The slow log itself is bounded.
+	for i := 0; i < 2*slowLogCapacity; i++ {
+		f.Record(rec(time.Second))
+	}
+	if got := len(f.Slow()); got != slowLogCapacity {
+		t.Errorf("slow log len = %d, want %d", got, slowLogCapacity)
+	}
+	if newest := f.Slow()[0]; newest.Seq != f.Last().Seq {
+		t.Errorf("slow log newest seq = %d, want %d", newest.Seq, f.Last().Seq)
+	}
+}
+
+// TestFlightRecorderNil: a nil recorder is a safe no-op (the disabled path).
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(rec(time.Second))
+	if f.Recent() != nil || f.Slow() != nil || f.Last() != nil || f.Threshold() != 0 {
+		t.Error("nil recorder must hold nothing")
+	}
+}
+
+// TestFlightRecorderDefaults: non-positive capacity and threshold select the
+// documented defaults.
+func TestFlightRecorderDefaults(t *testing.T) {
+	f := NewFlightRecorder(0, 0)
+	if f.Threshold() != DefaultSlowThreshold {
+		t.Errorf("threshold = %v", f.Threshold())
+	}
+	for i := 0; i < DefaultFlightCapacity+5; i++ {
+		f.Record(rec(time.Millisecond))
+	}
+	if got := len(f.Recent()); got != DefaultFlightCapacity {
+		t.Errorf("capacity = %d, want %d", got, DefaultFlightCapacity)
+	}
+}
+
+// TestFlightRecorderJSON: the JSON export is a valid array carrying span
+// trees.
+func TestFlightRecorderJSON(t *testing.T) {
+	f := NewFlightRecorder(4, time.Hour)
+	r := NewSpanRecorder()
+	r.StartSpan("batch").End()
+	f.Record(&BatchRecord{Start: time.Now(), Wall: time.Millisecond, Spans: r.Tree()})
+	data, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*BatchRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].Spans) != 1 || out[0].Spans[0].Name != "batch" {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+// TestFlightRecorderConcurrent: concurrent recording is safe (run with -race).
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8, time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f.Record(rec(time.Duration(i) * time.Millisecond))
+				f.Recent()
+				f.Slow()
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Last().Seq != 800 {
+		t.Errorf("final seq = %d, want 800", f.Last().Seq)
+	}
+}

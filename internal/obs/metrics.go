@@ -118,14 +118,39 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it (with the default
 // sub-second timing buckets) if needed.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, nil)
+}
+
+// HistogramWith returns the named histogram, creating it with the given
+// bucket upper bounds if needed. Bounds must be sorted ascending; a trailing
+// +Inf is implicit (and stripped if supplied). Nil or empty bounds select the
+// default sub-second timing buckets. The first creation wins: an existing
+// histogram's bounds are never changed, so phase histograms can be declared
+// with tailored bounds at one site and observed from many.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = &Histogram{bounds: defaultBuckets, buckets: make([]int64, len(defaultBuckets))}
+		if len(bounds) == 0 {
+			bounds = defaultBuckets
+		}
+		for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
+			bounds = bounds[:len(bounds)-1]
+		}
+		bounds = append([]float64(nil), bounds...)
+		h = &Histogram{bounds: bounds, buckets: make([]int64, len(bounds))}
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// Bounds returns the histogram's bucket upper bounds (excluding the implicit
+// +Inf bucket).
+func (h *Histogram) Bounds() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...)
 }
 
 // Snapshot flattens every metric to a name→value map: counters and gauges

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDumpGoldenExposition pins Registry.Dump's exact Prometheus text
+// exposition: TYPE lines, cumulative _bucket samples with le labels, the
+// implicit +Inf bucket, and _sum/_count — including a histogram with custom
+// per-name bounds. Scrapers and the CI smoke assert on this shape; any change
+// must be deliberate.
+func TestDumpGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("csedb_batches_total").Add(2)
+	r.Gauge("cache_bytes").Set(1536)
+	h := r.HistogramWith("optimize_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0004) // lands in every bucket (cumulative)
+	h.Observe(0.05)   // lands in le=0.1 only
+	h.Observe(3)      // +Inf only
+	d := r.Histogram("exec_seconds")
+	d.Observe(0.002)
+
+	got := r.Dump()
+	want := strings.Join([]string{
+		"# TYPE csedb_batches_total counter",
+		"csedb_batches_total 2",
+		"# TYPE cache_bytes gauge",
+		"cache_bytes 1536",
+		"# TYPE exec_seconds histogram",
+		`exec_seconds_bucket{le="0.0005"} 0`,
+		`exec_seconds_bucket{le="0.001"} 0`,
+		`exec_seconds_bucket{le="0.005"} 1`,
+		`exec_seconds_bucket{le="0.01"} 1`,
+		`exec_seconds_bucket{le="0.05"} 1`,
+		`exec_seconds_bucket{le="0.1"} 1`,
+		`exec_seconds_bucket{le="0.5"} 1`,
+		`exec_seconds_bucket{le="1"} 1`,
+		`exec_seconds_bucket{le="5"} 1`,
+		`exec_seconds_bucket{le="+Inf"} 1`,
+		"exec_seconds_sum 0.002",
+		"exec_seconds_count 1",
+		"# TYPE optimize_seconds histogram",
+		`optimize_seconds_bucket{le="0.001"} 1`,
+		`optimize_seconds_bucket{le="0.01"} 1`,
+		`optimize_seconds_bucket{le="0.1"} 2`,
+		`optimize_seconds_bucket{le="+Inf"} 3`,
+		"optimize_seconds_sum 3.0504",
+		"optimize_seconds_count 3",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("Dump exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramWithBounds: per-name bounds stick on first creation, a
+// trailing +Inf is stripped (the +Inf bucket is implicit in the exposition),
+// and later calls — with or without bounds — return the same histogram.
+func TestHistogramWithBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("cache_lookup_seconds", []float64{1e-6, 1e-5, 1e-4, math.Inf(1)})
+	if got := h.Bounds(); len(got) != 3 || got[2] != 1e-4 {
+		t.Fatalf("Bounds = %v, want [1e-06 1e-05 0.0001]", got)
+	}
+	if r.Histogram("cache_lookup_seconds") != h {
+		t.Error("Histogram(name) must return the histogram created with bounds")
+	}
+	if r.HistogramWith("cache_lookup_seconds", []float64{1, 2}) != h {
+		t.Error("second HistogramWith must return the existing histogram")
+	}
+	if got := h.Bounds(); len(got) != 3 {
+		t.Errorf("bounds changed by second creation: %v", got)
+	}
+	h.Observe(5e-6)
+	dump := r.Dump()
+	for _, want := range []string{
+		`cache_lookup_seconds_bucket{le="1e-06"} 0`,
+		`cache_lookup_seconds_bucket{le="1e-05"} 1`,
+		`cache_lookup_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	// Default bounds when no bounds are given.
+	if got := r.Histogram("plain").Bounds(); len(got) != len(defaultBuckets) {
+		t.Errorf("default bounds = %v", got)
+	}
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSpanRecorderIsNoOp: the entire span API must be callable through nil
+// receivers — that is how disabled tracing stays zero-cost at every call site.
+func TestNilSpanRecorderIsNoOp(t *testing.T) {
+	var r *SpanRecorder
+	if r.Enabled() {
+		t.Error("nil recorder must report disabled")
+	}
+	s := r.StartSpan("batch")
+	if s != nil {
+		t.Fatal("StartSpan on a nil recorder must return nil")
+	}
+	// Every Span method must no-op on the nil span, arbitrarily deep.
+	c := s.Child("optimize").Child("candidates")
+	c.SetAttr("rows", 42)
+	c.End()
+	s.End()
+	r.Finish()
+	if r.Len() != 0 || r.Unfinished() != 0 || r.Tree() != nil {
+		t.Error("nil recorder must hold nothing")
+	}
+	if _, err := ChromeTrace(r.Tree()); err != nil {
+		t.Errorf("ChromeTrace over a nil tree: %v", err)
+	}
+}
+
+// TestSpanTreeShape: parent links, attributes, and ordering survive into the
+// exported tree.
+func TestSpanTreeShape(t *testing.T) {
+	r := NewSpanRecorder()
+	root := r.StartSpan("batch")
+	root.SetAttr("statements", 3)
+	opt := root.Child("optimize")
+	opt.Child("candidates").End()
+	opt.End()
+	ex := root.Child("execute")
+	sp := ex.Child("spool")
+	sp.SetAttr("cache", "miss")
+	sp.SetAttr("rows", 100)
+	sp.End()
+	ex.End()
+	root.End()
+
+	tree := r.Tree()
+	if len(tree) != 1 || tree[0].Name != "batch" {
+		t.Fatalf("tree roots = %+v", tree)
+	}
+	if got := tree[0].Attrs["statements"]; got != 3 {
+		t.Errorf("root attr statements = %v", got)
+	}
+	if len(tree[0].Children) != 2 {
+		t.Fatalf("root children = %+v", tree[0].Children)
+	}
+	if Find(tree, "candidates") == nil {
+		t.Error("candidates span missing from tree")
+	}
+	spool := Find(tree, "spool")
+	if spool == nil || spool.Attrs["cache"] != "miss" || spool.Attrs["rows"] != 100 {
+		t.Errorf("spool node = %+v", spool)
+	}
+	n := 0
+	Walk(tree, func(*SpanNode) { n++ })
+	if n != 5 {
+		t.Errorf("Walk visited %d nodes, want 5", n)
+	}
+}
+
+// TestFinishMarksUnfinishedSpans: a batch that errors out mid-flight leaves
+// spans running; Finish must close them and tag them, so the exported tree is
+// well-formed and the leak is visible.
+func TestFinishMarksUnfinishedSpans(t *testing.T) {
+	r := NewSpanRecorder()
+	root := r.StartSpan("batch")
+	ex := root.Child("execute")
+	ex.Child("spool").End()
+	// Simulated error: neither ex nor root is ended.
+	if r.Unfinished() != 2 {
+		t.Fatalf("Unfinished = %d, want 2", r.Unfinished())
+	}
+	r.Finish()
+	if r.Unfinished() != 0 {
+		t.Fatalf("Unfinished after Finish = %d, want 0", r.Unfinished())
+	}
+	tree := r.Tree()
+	if got := Find(tree, "execute").Attrs["unfinished"]; got != true {
+		t.Errorf("execute span not marked unfinished: %v", got)
+	}
+	if got := Find(tree, "spool").Attrs["unfinished"]; got != nil {
+		t.Errorf("cleanly ended span must not be marked unfinished: %v", got)
+	}
+	// Finish is idempotent and End after Finish stays a no-op.
+	r.Finish()
+	ex.End()
+}
+
+// TestSpanEndIdempotent: the first End wins; later Ends don't stretch the
+// duration.
+func TestSpanEndIdempotent(t *testing.T) {
+	r := NewSpanRecorder()
+	s := r.StartSpan("x")
+	s.End()
+	d1 := r.Tree()[0].DurUS
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if d2 := r.Tree()[0].DurUS; d2 != d1 {
+		t.Errorf("duration changed after second End: %d -> %d", d1, d2)
+	}
+}
+
+// TestConcurrentChildSpans: parallel workers start and end children of one
+// parent concurrently (the shape of parallel spool materialization); run
+// under -race this pins the locking discipline.
+func TestConcurrentChildSpans(t *testing.T) {
+	r := NewSpanRecorder()
+	root := r.StartSpan("execute")
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s := root.Child("spool")
+				s.SetAttr("worker", w)
+				s.SetAttr("i", i)
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if r.Len() != 1+workers*perWorker {
+		t.Fatalf("Len = %d, want %d", r.Len(), 1+workers*perWorker)
+	}
+	tree := r.Tree()
+	if len(tree[0].Children) != workers*perWorker {
+		t.Fatalf("children = %d, want %d", len(tree[0].Children), workers*perWorker)
+	}
+	if r.Unfinished() != 0 {
+		t.Errorf("Unfinished = %d", r.Unfinished())
+	}
+}
+
+// TestSpanDiscard: discarded spans vanish from the tree and their children
+// re-parent to the nearest retained ancestor.
+func TestSpanDiscard(t *testing.T) {
+	r := NewSpanRecorder()
+	root := r.StartSpan("batch")
+	wait := root.Child("spool-wait")
+	inner := wait.Child("spool")
+	inner.End()
+	wait.Discard()
+	root.End()
+	tree := r.Tree()
+	if Find(tree, "spool-wait") != nil {
+		t.Error("discarded span still in tree")
+	}
+	sp := Find(tree, "spool")
+	if sp == nil {
+		t.Fatal("child of discarded span lost")
+	}
+	if len(tree[0].Children) != 1 || tree[0].Children[0] != sp {
+		t.Errorf("child not re-parented to root: %+v", tree[0].Children)
+	}
+	if r.Unfinished() != 0 {
+		t.Errorf("Unfinished = %d (discard must count as ended)", r.Unfinished())
+	}
+	// Dur: ended span's duration is fixed; nil span reports 0.
+	if wait.Dur() < 0 {
+		t.Error("negative duration")
+	}
+	var nils *Span
+	if nils.Dur() != 0 {
+		t.Error("nil span Dur != 0")
+	}
+	nils.Discard()
+}
+
+// TestChromeTraceFormat: the export is the documented trace-event JSON shape
+// (traceEvents array of "X" events with ts/dur/pid/tid) and concurrent
+// sibling spans land on distinct tracks.
+func TestChromeTraceFormat(t *testing.T) {
+	tree := []*SpanNode{{
+		Name: "batch", StartUS: 0, DurUS: 100,
+		Children: []*SpanNode{
+			{Name: "spool-a", StartUS: 10, DurUS: 50, Attrs: map[string]any{"cache": "miss"}},
+			{Name: "spool-b", StartUS: 20, DurUS: 50}, // overlaps spool-a
+			{Name: "stmt", StartUS: 70, DurUS: 20},
+		},
+	}}
+	data, err := ChromeTrace(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, data)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(out.TraceEvents))
+	}
+	tids := map[string]int{}
+	for _, e := range out.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has ph %q, want X", e.Name, e.Ph)
+		}
+		tids[e.Name] = e.TID
+	}
+	if tids["spool-a"] == tids["spool-b"] {
+		t.Errorf("overlapping siblings share track %d", tids["spool-a"])
+	}
+	if !strings.Contains(string(data), `"displayTimeUnit"`) {
+		t.Error("export missing displayTimeUnit")
+	}
+	if ev := out.TraceEvents[1]; Find(tree, "spool-a") != nil && tids["spool-a"] >= 0 && ev.Args == nil && ev.Name == "spool-a" {
+		t.Error("attrs not exported as args")
+	}
+}
+
+// TestSpanJSONRoundTrip: the span tree marshals and unmarshals cleanly.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	r := NewSpanRecorder()
+	s := r.StartSpan("batch")
+	s.SetAttr("n", 1)
+	s.End()
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*SpanNode
+	if err := json.Unmarshal(data, &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Name != "batch" {
+		t.Errorf("round trip = %+v", nodes)
+	}
+	// An empty recorder still renders a valid empty array.
+	data, err = NewSpanRecorder().JSON()
+	if err != nil || strings.TrimSpace(string(data)) != "[]" {
+		t.Errorf("empty recorder JSON = %q, %v", data, err)
+	}
+}
