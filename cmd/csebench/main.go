@@ -8,7 +8,8 @@
 //
 // Experiments: table1 (query batch Q1–Q3), table2 (stacked CSEs, Q1–Q4),
 // table3 (nested query), table4 (complex 8-table joins), figure8 (scale-up
-// sweep), viewmaint (§6.4), overhead (no-sharing optimizer overhead).
+// sweep), viewmaint (§6.4), overhead (no-sharing optimizer overhead),
+// crossover (lattice-vs-greedy MQO search over batch sizes 4→N).
 package main
 
 import (
@@ -28,10 +29,13 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|repeated|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|repeated|crossover|all")
 		sf          = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
+		reps        = flag.Int("reps", 0, "measurement repetitions per point (0 = default 3); 1 speeds up smoke runs")
 		maxN        = flag.Int("figure8-max", 10, "largest batch size for figure8")
+		crossMax    = flag.Int("crossover-max", 64, "largest batch size for the lattice-vs-greedy crossover sweep")
+		search      = flag.String("search", "auto", "MQO subset-search strategy for table experiments: auto|lattice|greedy")
 		deltaN      = flag.Int("delta-rows", 200, "delta rows for view maintenance")
 		verbose     = flag.Bool("v", false, "print candidate CSE details")
 		format      = flag.String("format", "text", "output format: text|csv|json")
@@ -66,7 +70,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := bench.Config{ScaleFactor: *sf, Seed: *seed, Parallelism: *parallelism, Tracing: *traceJSON != ""}
+	strategy, err := core.ParseSearchStrategy(*search)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csebench: -search: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{ScaleFactor: *sf, Seed: *seed, Reps: *reps, Parallelism: *parallelism, Tracing: *traceJSON != "", Search: strategy}
 	asJSON := *format == "json"
 	jsonOut := map[string]any{
 		"scale_factor": *sf,
@@ -148,6 +158,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "skipping ablation: text output only")
 		} else if err := runAblations(cfg); err != nil {
 			report(err)
+		}
+	}
+	if run("crossover") {
+		points, err := bench.RunCrossover(cfg, *crossMax)
+		switch {
+		case err != nil:
+			report(err)
+		case asJSON:
+			jsonOut["crossover"] = bench.CrossoverJSONObjects(points)
+		case *format == "csv":
+			fmt.Print(bench.CSVCrossover(points))
+		default:
+			fmt.Println(bench.FormatCrossover(points))
 		}
 	}
 	if run("repeated") {

@@ -22,6 +22,7 @@
 //	\cache on|off       enable/disable the result cache
 //	\cse on|off         toggle CSE optimization
 //	\heuristics on|off  toggle the §4.3 pruning heuristics
+//	\search [strategy]  show or set the MQO subset search: auto|lattice|greedy
 //	\parallel on|off|N  executor pool: on=GOMAXPROCS, off=sequential, N workers
 //	\tables             list tables
 //	\q                  quit
@@ -53,6 +54,7 @@ func main() {
 		execSQL     = flag.String("e", "", "SQL batch to execute")
 		explain     = flag.Bool("explain", false, "print plans instead of executing")
 		noCSE       = flag.Bool("no-cse", false, "disable CSE optimization")
+		search      = flag.String("search", "auto", "MQO subset-search strategy: auto|lattice|greedy")
 		maxRows     = flag.Int("max-rows", 20, "rows printed per statement")
 		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
 		trace       = flag.Bool("trace", false, "record the optimizer decision trace and print it after each batch")
@@ -60,8 +62,13 @@ func main() {
 	)
 	flag.Parse()
 
+	strategy, err := core.ParseSearchStrategy(*search)
+	if err != nil {
+		fatal(err)
+	}
 	settings := core.DefaultSettings()
 	settings.EnableCSE = !*noCSE
+	settings.SearchStrategy = strategy
 	db := csedb.Open(csedb.Options{
 		CSE:             &settings,
 		ExecParallelism: *parallelism,
@@ -343,6 +350,18 @@ func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext, analyzeNext
 			db.SetExecParallelism(n)
 			fmt.Printf("parallel execution with %d workers\n", n)
 		}
+	case "\\search":
+		if len(fields) == 1 {
+			fmt.Printf("search strategy: %s\n", db.SearchStrategy())
+			break
+		}
+		strategy, err := core.ParseSearchStrategy(fields[1])
+		if len(fields) != 2 || err != nil {
+			fmt.Fprintln(os.Stderr, "usage: \\search [auto|lattice|greedy]")
+			break
+		}
+		db.SetSearchStrategy(strategy)
+		fmt.Printf("search strategy: %s\n", strategy)
 	case "\\cse", "\\heuristics":
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
 			fmt.Fprintf(os.Stderr, "usage: %s on|off\n", fields[0])

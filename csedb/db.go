@@ -44,6 +44,12 @@ type Options struct {
 	// core.DefaultSettings() (CSE on, heuristics on).
 	CSE *core.Settings
 
+	// SearchStrategy, when non-empty, overrides the CSE settings' subset
+	// search strategy (core.SearchAuto, core.SearchLattice, or
+	// core.SearchGreedy) — a convenience for callers that take the default
+	// settings but want to pick the MQO search.
+	SearchStrategy core.SearchStrategy
+
 	// ExecParallelism sets the executor worker-pool size: 0 (the default)
 	// means parallel execution on with runtime.GOMAXPROCS(0) workers; 1
 	// forces the sequential executor (a determinism-debugging fallback);
@@ -129,6 +135,9 @@ func Open(opts Options) *DB {
 	if opts.CSE != nil {
 		settings = *opts.CSE
 	}
+	if opts.SearchStrategy != "" {
+		settings.SearchStrategy = opts.SearchStrategy
+	}
 	db := &DB{
 		cat:         catalog.New(),
 		store:       storage.NewStore(),
@@ -157,6 +166,18 @@ func (db *DB) Settings() core.Settings { return db.settings }
 
 // SetSettings replaces the CSE settings.
 func (db *DB) SetSettings(s core.Settings) { db.settings = s }
+
+// SearchStrategy returns the MQO subset-search strategy in force.
+func (db *DB) SearchStrategy() core.SearchStrategy {
+	if s := db.settings.SearchStrategy; s != "" {
+		return s
+	}
+	return core.SearchAuto
+}
+
+// SetSearchStrategy changes the MQO subset-search strategy for subsequent
+// batches.
+func (db *DB) SetSearchStrategy(s core.SearchStrategy) { db.settings.SearchStrategy = s }
 
 // ExecParallelism returns the executor worker-pool setting (0 = default
 // parallel, 1 = sequential, n > 1 = n workers).

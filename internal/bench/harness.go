@@ -68,6 +68,10 @@ type Config struct {
 	// (Measurement.Trace). Off by default so timing measurements stay free
 	// of trace overhead.
 	Tracing bool
+
+	// Search forces the MQO subset-search strategy for every measured run;
+	// empty means core.SearchAuto.
+	Search core.SearchStrategy
 }
 
 // DefaultConfig matches the benchmark defaults.
@@ -148,7 +152,7 @@ func (s *stopwatch) Lap() time.Duration {
 // scenario (RunRepeated) measures the cache deliberately.
 func NewDB(cfg Config, mode Mode) (*csedb.DB, error) {
 	s := mode.Settings()
-	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing, CacheBudget: -1})
+	db := csedb.Open(csedb.Options{CSE: &s, SearchStrategy: cfg.Search, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing, CacheBudget: -1})
 	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
 		return nil, err
 	}
@@ -521,7 +525,7 @@ func (r *RepeatedMeasurement) WarmSpeedup() float64 { return speedup(r.ColdExec,
 // counts as the cold run.
 func RunRepeated(cfg Config, sql string) (*RepeatedMeasurement, error) {
 	s := WithCSE.Settings()
-	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing})
+	db := csedb.Open(csedb.Options{CSE: &s, SearchStrategy: cfg.Search, ExecParallelism: cfg.Parallelism, Tracing: cfg.Tracing})
 	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
 		return nil, err
 	}

@@ -211,6 +211,14 @@ func (g *generator) costUsing(s *spec) (float64, error) {
 	return ce + cw + cr*float64(len(s.consumers)), nil
 }
 
+// maxBestImprovementClass bounds the class size for Algorithm 1's
+// best-improvement merge scan. Each round of that scan rebuilds a merged
+// spec for every remaining member (O(k²) buildSpec calls per round), which
+// is fine for the paper's tens-of-queries batches but dominates optimization
+// time once generated batches put hundreds of similar consumers in one
+// join-compatible class. Larger classes fall back to a first-fit chain pass.
+const maxBestImprovementClass = 24
+
 // algorithm1 is the paper's greedy candidate generation: start from trivial
 // CSEs and merge while the Δ benefit (§4.3.3, Heuristic 3) is positive.
 func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
@@ -221,6 +229,9 @@ func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
 			continue // e.g. self-join alignment failure: not coverable
 		}
 		r = append(r, s)
+	}
+	if len(r) > maxBestImprovementClass {
+		return g.mergeFirstFit(r)
 	}
 	var out []*spec
 	for len(r) > 1 {
@@ -289,6 +300,77 @@ func (g *generator) algorithm1(consumers []memo.GroupID) ([]*spec, error) {
 					Pruned: true,
 					Reason: "no merge with positive Δ benefit; trivial spec discarded",
 					Values: map[string]float64{"best_delta": lastDelta},
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeFirstFit is the large-class variant of Algorithm 1: instead of
+// rescanning every remaining member for the best Δ each round, it grows one
+// chain per pass and commits the first merge that clears MinMergeBenefit.
+// On batches of similar queries almost every attempted merge succeeds, so
+// this does O(k) buildSpec calls where best-improvement does O(k²) per
+// round — at the price of possibly picking a worse merge order.
+func (g *generator) mergeFirstFit(r []*spec) ([]*spec, error) {
+	var out []*spec
+	for len(r) > 1 {
+		cur := r[0]
+		r = r[1:]
+		isCandidate := false
+		curCost, err := g.costUsing(cur)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(r); {
+			m := r[i]
+			merged, err := buildSpec(g.m, append(append([]memo.GroupID(nil), cur.consumers...), m.consumers...))
+			if err != nil {
+				i++
+				continue
+			}
+			mCost, err := g.costUsing(m)
+			if err != nil {
+				return nil, err
+			}
+			mergedCost, err := g.costUsing(merged)
+			if err != nil {
+				return nil, err
+			}
+			delta := curCost + mCost - mergedCost
+			if delta <= g.set.MinMergeBenefit {
+				i++
+				continue
+			}
+			if g.trace != nil {
+				g.trace.Add(obs.Event{
+					Kind:   obs.EvH3Merge,
+					Groups: groupInts(merged.consumers),
+					Reason: "first-fit merge with positive Δ benefit (large class)",
+					Values: map[string]float64{
+						"delta":       delta,
+						"cur_cost":    curCost,
+						"merged_cost": mergedCost,
+					},
+				})
+			}
+			r = append(r[:i], r[i+1:]...)
+			cur = merged
+			curCost = mergedCost
+			isCandidate = true
+		}
+		if isCandidate {
+			out = append(out, cur)
+		} else {
+			g.stats.PrunedH3++
+			if g.trace != nil {
+				g.trace.Add(obs.Event{
+					Kind:   obs.EvH3Drop,
+					Groups: groupInts(cur.consumers),
+					Pruned: true,
+					Reason: "no merge with positive Δ benefit; trivial spec discarded",
+					Values: map[string]float64{"best_delta": g.set.MinMergeBenefit},
 				})
 			}
 		}

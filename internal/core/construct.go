@@ -35,7 +35,7 @@ type colMapper struct {
 func newColMapper(md *logical.Metadata, g *memo.Group) (*colMapper, error) {
 	cm := &colMapper{md: md, relByTable: make(map[string]*logical.RelInfo)}
 	for rid := 0; rid < md.NumRels(); rid++ {
-		if g.Rels&(1<<uint(rid)) == 0 {
+		if !g.Rels.Contains(logical.RelID(rid)) {
 			continue
 		}
 		rel := md.Rel(logical.RelID(rid))

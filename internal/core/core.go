@@ -9,6 +9,60 @@ import (
 	"repro/internal/opt"
 )
 
+// SearchStrategy selects the §5.3 cost-based selection search over candidate
+// subsets.
+type SearchStrategy string
+
+const (
+	// SearchAuto (the zero value) picks the exhaustive lattice for candidate
+	// sets small enough to enumerate and the greedy local search beyond that.
+	SearchAuto SearchStrategy = "auto"
+
+	// SearchLattice forces the paper's §5.3 subset enumeration with
+	// Propositions 5.4–5.6 pruning. Beyond 63 candidates (the mask width)
+	// it degrades to greedy.
+	SearchLattice SearchStrategy = "lattice"
+
+	// SearchGreedy forces the greedy marginal-gain local search (Volcano-RU
+	// style seed plus add/drop moves) regardless of candidate count.
+	SearchGreedy SearchStrategy = "greedy"
+)
+
+// ParseSearchStrategy validates a strategy name from a flag or shell command.
+// The empty string means auto.
+func ParseSearchStrategy(s string) (SearchStrategy, error) {
+	switch SearchStrategy(s) {
+	case "", SearchAuto:
+		return SearchAuto, nil
+	case SearchLattice:
+		return SearchLattice, nil
+	case SearchGreedy:
+		return SearchGreedy, nil
+	}
+	return "", fmt.Errorf("unknown search strategy %q (want auto, lattice, or greedy)", s)
+}
+
+// resolveSearchStrategy maps the requested strategy and the candidate count
+// to the strategy actually run. Auto switches to greedy past the lattice
+// enumeration bound; a forced lattice switches only when the candidate
+// universe no longer fits the uint64 subset masks.
+func resolveSearchStrategy(s SearchStrategy, n int) SearchStrategy {
+	switch s {
+	case SearchGreedy:
+		return SearchGreedy
+	case SearchLattice:
+		if n > maxMaskCandidates {
+			return SearchGreedy
+		}
+		return SearchLattice
+	default:
+		if n > maxLatticeCandidates {
+			return SearchGreedy
+		}
+		return SearchLattice
+	}
+}
+
 // Settings controls the CSE optimization phase.
 type Settings struct {
 	// EnableCSE turns the whole CSE phase on. Off reproduces the paper's
@@ -61,6 +115,12 @@ type Settings struct {
 	// across CSE reoptimizations.
 	NoHistoryReuse bool
 
+	// SearchStrategy selects how the §5.3 cost-based selection searches the
+	// candidate subset lattice: SearchAuto (default) enumerates exhaustively
+	// up to maxLatticeCandidates candidates and uses the greedy local search
+	// beyond; SearchLattice and SearchGreedy force one strategy.
+	SearchStrategy SearchStrategy
+
 	// ExtendedSubsetPruning enables a sound strengthening of Proposition
 	// 5.6 (an extension beyond the paper): after optimizing with S enabled
 	// and observing the winner used S* ⊆ S, every set between S* and S is
@@ -78,6 +138,7 @@ func DefaultSettings() Settings {
 		Beta:                0.90,
 		SubsetPruning:       true,
 		StackedCSE:          true,
+		SearchStrategy:      SearchAuto,
 		MaxCandidates:       64,
 		MaxCSEOptimizations: 256,
 	}
@@ -100,6 +161,11 @@ type Stats struct {
 	// CSEOptimizations is the number of reoptimizations performed in the
 	// CSE phase (the paper's bracketed "[CSE Opts]").
 	CSEOptimizations int
+
+	// SearchStrategy is the subset-search strategy the phase actually ran
+	// ("lattice" or "greedy") after resolving Settings.SearchStrategy against
+	// the candidate count; empty when the phase never reached the search.
+	SearchStrategy string
 
 	// BaseCost is the estimated cost of the best plan found by normal
 	// optimization (C_Q); FinalCost is the chosen plan's estimated cost.
@@ -224,12 +290,18 @@ func OptimizeObserved(m *memo.Memo, settings Settings, tr *obs.Trace, span *obs.
 			})
 		}
 	}
+	strategy := resolveSearchStrategy(settings.SearchStrategy, len(cands))
+	out.Stats.SearchStrategy = string(strategy)
 	subsetSpan := span.Child("subset-reoptimization")
+	subsetSpan.SetAttr("strategy", string(strategy))
 	best, used, nOpts, err := optimizeSubsets(o, m, cands, subsetOpts{
 		pruning:  settings.SubsetPruning,
 		extended: settings.ExtendedSubsetPruning,
 		maxOpts:  maxOpts,
+		strategy: strategy,
+		baseCost: base.Cost,
 		trace:    tr,
+		span:     subsetSpan,
 	})
 	if err != nil {
 		subsetSpan.End()

@@ -246,7 +246,7 @@ func buildSpec(m *memo.Memo, consumers []memo.GroupID) (*spec, error) {
 func (s *spec) canonRels() []logical.RelID {
 	var out []logical.RelID
 	for rid := 0; rid < s.m.Md.NumRels(); rid++ {
-		if s.canon.Rels&(1<<uint(rid)) != 0 {
+		if s.canon.Rels.Contains(logical.RelID(rid)) {
 			out = append(out, logical.RelID(rid))
 		}
 	}

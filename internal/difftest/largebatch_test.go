@@ -1,0 +1,91 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
+	"repro/internal/qgen"
+)
+
+// TestGreedyLargeBatch is the large-batch acceptance check for the greedy
+// subset search: a 500-query generated batch must optimize within the
+// MaxCSEOptimizations budget using O(N·k) optimizer calls (linear in
+// the candidate count, nowhere near the 2^N lattice), never cost more than
+// the no-CSE baseline, and return results byte-identical to the sequential
+// no-CSE oracle.
+func TestGreedyLargeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-query greedy batch is slow; run without -short")
+	}
+	def := core.DefaultSettings()
+	greedy := def
+	greedy.SearchStrategy = core.SearchGreedy
+	// A reduced budget keeps the test's wall clock bounded: each optimizer
+	// call re-optimizes the whole 500-query memo, and the per-call cost grows
+	// as committed moves enable more spools. ~1 full greedy round over the
+	// candidate set is plenty to prove convergence and budget accounting.
+	greedy.MaxCSEOptimizations = 48
+	off := def
+	off.EnableCSE = false
+
+	o, err := NewTPCH(0.002, []Config{
+		{Name: "nocse-seq", Settings: off, Parallelism: 1},
+		{Name: "cse-greedy", Settings: greedy, Parallelism: 1},
+		{Name: "cse-greedy-par", Settings: greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := qgen.New(qgen.Config{Seed: 9001, MinQueries: 500, MaxQueries: 500, NoCTE: true}).Batch()
+	if got := len(b.Queries); got != 500 {
+		t.Fatalf("generator produced %d queries, want 500", got)
+	}
+	sql := b.SQL()
+
+	// Optimize once directly to inspect the search stats.
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := logical.BuildBatch(stmts, o.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := memo.Build(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.Optimize(m, greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := out.Stats
+	if st.SearchStrategy != "greedy" {
+		t.Errorf("resolved strategy %q, want greedy", st.SearchStrategy)
+	}
+	budget := greedy.MaxCSEOptimizations
+	if st.CSEOptimizations > budget {
+		t.Errorf("%d optimizer calls exceed the %d budget", st.CSEOptimizations, budget)
+	}
+	// O(N·k): per round the greedy search makes at most one call per
+	// candidate; convergence takes few rounds, so the total stays within a
+	// small linear multiple of the candidate count — exponential blowup
+	// (2^N) trips this immediately.
+	if limit := 8 * (st.Candidates + 1); st.CSEOptimizations > limit {
+		t.Errorf("%d optimizer calls for %d candidates exceeds the linear bound %d",
+			st.CSEOptimizations, st.Candidates, limit)
+	}
+	if st.FinalCost > st.BaseCost {
+		t.Errorf("greedy final cost %.2f above no-CSE baseline %.2f", st.FinalCost, st.BaseCost)
+	}
+	t.Logf("500 queries: %d candidates, %d optimizer calls, cost %.0f -> %.0f (%d CSEs used)",
+		st.Candidates, st.CSEOptimizations, st.BaseCost, st.FinalCost, len(st.UsedCSEs))
+
+	// Byte-identical results against the sequential no-CSE oracle.
+	if err := o.Check(sql); err != nil {
+		t.Fatalf("differential failure on the 500-query batch: %v", err)
+	}
+}

@@ -64,11 +64,14 @@ func Matrix() []Config {
 		return s
 	}
 	off := vary(func(s *core.Settings) { s.EnableCSE = false })
+	greedy := vary(func(s *core.Settings) { s.SearchStrategy = core.SearchGreedy })
 	return []Config{
 		{Name: "nocse-seq", Settings: off, Parallelism: 1},
 		{Name: "nocse-par", Settings: off},
 		{Name: "cse-seq", Settings: def, Parallelism: 1},
 		{Name: "cse-par", Settings: def},
+		{Name: "cse-greedy", Settings: greedy, Parallelism: 1},
+		{Name: "cse-greedy-par", Settings: greedy},
 		{Name: "cse-par-cache", Settings: def, Cache: true, Repeat: 2},
 		{Name: "cse-par-observed", Settings: def, Observe: true},
 		{Name: "cse-cache-observed", Settings: def, Cache: true, Repeat: 2, Observe: true},
@@ -88,7 +91,7 @@ func Matrix() []Config {
 // plus the cells most likely to diverge.
 func Smoke() []Config {
 	m := Matrix()
-	keep := map[string]bool{"nocse-seq": true, "cse-par": true, "cse-chunk1": true, "cse-par-cache": true, "cse-par-observed": true}
+	keep := map[string]bool{"nocse-seq": true, "cse-par": true, "cse-greedy": true, "cse-chunk1": true, "cse-par-cache": true, "cse-par-observed": true}
 	var out []Config
 	for _, c := range m {
 		if keep[c.Name] {

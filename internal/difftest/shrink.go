@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/parser"
 	"repro/internal/qgen"
 )
 
@@ -21,6 +25,11 @@ func Shrink(o *Oracle, b *qgen.Batch) (*qgen.Batch, error) {
 	if err == nil {
 		return b, nil
 	}
+	// Pin every auto-strategy cell to the strategy the original batch
+	// actually ran: shrinking drops candidates, and once the count crosses
+	// the lattice threshold an auto cell would silently flip from greedy to
+	// lattice and stop reproducing a greedy-only failure.
+	o = pinSearchStrategies(o, b)
 	cur := b
 	try := func(c *qgen.Batch) bool {
 		if c == nil {
@@ -89,6 +98,42 @@ func Shrink(o *Oracle, b *qgen.Batch) (*qgen.Batch, error) {
 		}
 	}
 	return cur, err
+}
+
+// pinSearchStrategies returns a copy of the oracle whose auto-strategy CSE
+// cells carry the subset-search strategy (lattice or greedy) the original
+// failing batch resolved to, so minimization preserves the code path under
+// test. Resolution failures leave the cell untouched — the shrink still
+// works, just without the pin.
+func pinSearchStrategies(o *Oracle, b *qgen.Batch) *Oracle {
+	stmts, err := parser.Parse(b.SQL())
+	if err != nil {
+		return o
+	}
+	pinned := &Oracle{Cat: o.Cat, Store: o.Store, Configs: append([]Config(nil), o.Configs...)}
+	for i := range pinned.Configs {
+		cfg := &pinned.Configs[i]
+		if !cfg.Settings.EnableCSE {
+			continue
+		}
+		if s := cfg.Settings.SearchStrategy; s != "" && s != core.SearchAuto {
+			continue // already explicit
+		}
+		batch, err := logical.BuildBatch(stmts, o.Cat)
+		if err != nil {
+			continue
+		}
+		m, err := memo.Build(batch)
+		if err != nil {
+			continue
+		}
+		out, err := core.Optimize(m, cfg.Settings)
+		if err != nil || out.Stats.SearchStrategy == "" {
+			continue
+		}
+		cfg.Settings.SearchStrategy = core.SearchStrategy(out.Stats.SearchStrategy)
+	}
+	return pinned
 }
 
 // RegressionTest renders a ready-to-paste Go test reproducing the failure:

@@ -64,11 +64,11 @@ type Block struct {
 	Limit       int
 }
 
-// RelSet returns the set of relation IDs as a bitmap over instance IDs.
-func (b *Block) RelSet() uint64 {
-	var s uint64
+// RelSet returns the set of the block's relation instance IDs.
+func (b *Block) RelSet() RelSet {
+	var s RelSet
 	for _, r := range b.Rels {
-		s |= 1 << uint(r)
+		s.Add(r)
 	}
 	return s
 }

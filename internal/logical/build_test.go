@@ -386,8 +386,9 @@ select c.c_name from x`)
 func TestMetadataColsAndRelSet(t *testing.T) {
 	b := bind(t, "select c_name from customer, orders where c_custkey = o_custkey")
 	blk := b.Statements[0].Block
-	if blk.RelSet() != 0b11 {
-		t.Errorf("RelSet = %b", blk.RelSet())
+	rs := blk.RelSet()
+	if rs.Len() != 2 || !rs.Contains(blk.Rels[0]) || !rs.Contains(blk.Rels[1]) {
+		t.Errorf("RelSet = %v, want exactly the block's two instances", rs)
 	}
 	rel := b.Metadata.Rel(blk.Rels[0])
 	if rel.Cols().Len() != len(rel.Tab.Cols) {

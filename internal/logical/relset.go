@@ -1,0 +1,64 @@
+package logical
+
+import "math/bits"
+
+// RelSet is a set of table-instance IDs, a growable bitset over RelID. It
+// replaces the old single-uint64 bitmap, which capped a whole batch at 64
+// table instances — far too small for the coalesced many-hundred-query
+// batches the greedy MQO search targets.
+//
+// Sets are treated as immutable once built: derive new sets with Union
+// instead of mutating one that has been stored in a shared structure (the
+// memo copies Group values freely, and the copies alias the word slice).
+type RelSet struct {
+	words []uint64
+}
+
+// Add inserts r into the set, growing the backing words as needed.
+func (s *RelSet) Add(r RelID) {
+	w := int(r) >> 6
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(r) & 63)
+}
+
+// Contains reports whether r is in the set.
+func (s RelSet) Contains(r RelID) bool {
+	w := int(r) >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(r)&63)) != 0
+}
+
+// Union returns a new set holding every member of s and o; neither input is
+// modified.
+func (s RelSet) Union(o RelSet) RelSet {
+	long, short := s.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	out := make([]uint64, len(long))
+	copy(out, long)
+	for i, w := range short {
+		out[i] |= w
+	}
+	return RelSet{words: out}
+}
+
+// Empty reports whether the set has no members.
+func (s RelSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of members.
+func (s RelSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -18,9 +18,6 @@ const maxBlockRels = 14
 // the paper's architecture).
 func Build(batch *logical.Batch) (*Memo, error) {
 	md := batch.Metadata
-	if md.NumRels() > 64 {
-		return nil, fmt.Errorf("batch references %d table instances; at most 64 supported", md.NumRels())
-	}
 	m := NewMemo(md)
 	b := &builder{m: m, est: &Estimator{Md: md}}
 	m.SubqueryRoots = make([]GroupID, md.NumSubqueries())
@@ -363,11 +360,11 @@ func (bc *blockCtx) relsOf(mask uint64) []logical.RelID {
 	return out
 }
 
-// relSetOf maps a local mask to the batch-wide instance bitmap.
-func (bc *blockCtx) relSetOf(mask uint64) uint64 {
-	var s uint64
+// relSetOf maps a local mask to the batch-wide instance set.
+func (bc *blockCtx) relSetOf(mask uint64) logical.RelSet {
+	var s logical.RelSet
 	for _, r := range bc.relsOf(mask) {
-		s |= 1 << uint(r)
+		s.Add(r)
 	}
 	return s
 }
@@ -836,7 +833,7 @@ func (bc *blockCtx) addCombineExpr(target *Group, tgt aggTarget, pi *partialInfo
 			rows = 1
 		}
 		jg := m.NewGroup(&Group{
-			Rels:    cur.Rels | scanG.Rels,
+			Rels:    cur.Rels.Union(scanG.Rels),
 			OutCols: out,
 			Rows:    rows,
 			RowSize: est.RowWidth(out),
@@ -861,12 +858,12 @@ func (bc *blockCtx) addCombineExpr(target *Group, tgt aggTarget, pi *partialInfo
 	})
 }
 
-// maskOfRels converts a batch-wide instance bitmap back to this block's
-// local relation mask.
-func maskOfRels(bc *blockCtx, rels uint64) uint64 {
+// maskOfRels converts a batch-wide instance set back to this block's local
+// relation mask.
+func maskOfRels(bc *blockCtx, rels logical.RelSet) uint64 {
 	var mask uint64
 	for i, r := range bc.rels {
-		if rels&(1<<uint(r)) != 0 {
+		if rels.Contains(r) {
 			mask |= 1 << uint(i)
 		}
 	}

@@ -116,9 +116,9 @@ type Group struct {
 	ID    GroupID
 	Exprs []*Expr
 
-	// Rels is the set of table-instance IDs below this group (bitmap over
-	// logical.RelID; the builder guarantees at most 64 instances).
-	Rels uint64
+	// Rels is the set of table-instance IDs below this group. Treat it as
+	// immutable: Group values are copied freely and the copies alias it.
+	Rels logical.RelSet
 
 	// OutCols is the pruned, ordered output layout of the group.
 	OutCols []scalar.ColID

@@ -65,6 +65,13 @@ const (
 	// actually used. Values: cost.
 	EvSubsetOpt EventKind = "subset-opt"
 
+	// EvGreedyMove: one committed move of the greedy subset search — the
+	// seed (all-enabled optimization snapped to its used set) or a
+	// single-candidate add/drop with the round's best marginal cost delta.
+	// Enabled is the state after the move; Reason names the move. Values:
+	// cost, round, delta (absent on the seed).
+	EvGreedyMove EventKind = "greedy-move"
+
 	// EvFinal: the chosen CSE set. Values: base_cost, final_cost.
 	EvFinal EventKind = "final"
 

@@ -215,6 +215,9 @@ func (o *Optimizer) OptimizeWithCSEs(enabled []int) (*Result, []int, error) {
 	if o.doms == nil {
 		return nil, nil, fmt.Errorf("PrepareCSE must be called before OptimizeWithCSEs")
 	}
+	// Sort a copy: callers hold on to (and trace) their enabled slices, and
+	// reordering them in place here would corrupt that bookkeeping.
+	enabled = append([]int(nil), enabled...)
 	sort.Ints(enabled)
 	alts, err := o.alts(o.M.RootGroup, enabled)
 	if err != nil {

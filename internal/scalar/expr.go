@@ -2,6 +2,7 @@ package scalar
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/sqltypes"
@@ -329,6 +330,8 @@ func (e *Expr) Fingerprint() string {
 	return sb.String()
 }
 
+// encode appends without fmt: candidate generation fingerprints every
+// predicate of every pairwise merge, so this is hot on large batches.
 func (e *Expr) encode(sb *strings.Builder) {
 	if e == nil {
 		sb.WriteString("T")
@@ -336,19 +339,26 @@ func (e *Expr) encode(sb *strings.Builder) {
 	}
 	switch e.Op {
 	case OpConst:
-		fmt.Fprintf(sb, "#%d:%s", e.Const.Kind(), e.Const.String())
+		sb.WriteByte('#')
+		sb.WriteString(strconv.Itoa(int(e.Const.Kind())))
+		sb.WriteByte(':')
+		sb.WriteString(e.Const.String())
 	case OpCol:
-		fmt.Fprintf(sb, "@%d", e.Col)
+		sb.WriteByte('@')
+		sb.WriteString(strconv.Itoa(int(e.Col)))
 	case OpAgg:
-		fmt.Fprintf(sb, "%s(", e.Agg)
+		sb.WriteString(e.Agg.String())
+		sb.WriteByte('(')
 		for _, a := range e.Args {
 			a.encode(sb)
 		}
 		sb.WriteByte(')')
 	case OpSubquery:
-		fmt.Fprintf(sb, "$sq%d", e.Col)
+		sb.WriteString("$sq")
+		sb.WriteString(strconv.Itoa(int(e.Col)))
 	default:
-		fmt.Fprintf(sb, "%d(", e.Op)
+		sb.WriteString(strconv.Itoa(int(e.Op)))
+		sb.WriteByte('(')
 		for i, a := range e.Args {
 			if i > 0 {
 				sb.WriteByte(',')
