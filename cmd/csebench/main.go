@@ -9,7 +9,8 @@
 // Experiments: table1 (query batch Q1–Q3), table2 (stacked CSEs, Q1–Q4),
 // table3 (nested query), table4 (complex 8-table joins), figure8 (scale-up
 // sweep), viewmaint (§6.4), overhead (no-sharing optimizer overhead),
-// crossover (lattice-vs-greedy MQO search over batch sizes 4→N).
+// crossover (lattice-vs-greedy MQO search over batch sizes 4→N), scanspeed
+// (columnar plane vs row-at-a-time path on scan/filter/agg statements).
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|repeated|crossover|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|repeated|crossover|scanspeed|all")
 		sf          = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
 		reps        = flag.Int("reps", 0, "measurement repetitions per point (0 = default 3); 1 speeds up smoke runs")
@@ -171,6 +172,19 @@ func main() {
 			fmt.Print(bench.CSVCrossover(points))
 		default:
 			fmt.Println(bench.FormatCrossover(points))
+		}
+	}
+	if run("scanspeed") {
+		points, err := bench.RunScanSpeed(cfg)
+		switch {
+		case err != nil:
+			report(err)
+		case asJSON:
+			jsonOut["scanspeed"] = bench.ScanSpeedJSONObjects(points)
+		case *format == "csv":
+			fmt.Print(bench.CSVScanSpeed(points))
+		default:
+			fmt.Println(bench.FormatScanSpeed(points))
 		}
 	}
 	if run("repeated") {

@@ -24,6 +24,7 @@
 //	\heuristics on|off  toggle the §4.3 pruning heuristics
 //	\search [strategy]  show or set the MQO subset search: auto|lattice|greedy
 //	\parallel on|off|N  executor pool: on=GOMAXPROCS, off=sequential, N workers
+//	\colplane on|off    columnar data plane (off = row-at-a-time oracle path)
 //	\tables             list tables
 //	\q                  quit
 //
@@ -57,6 +58,7 @@ func main() {
 		search      = flag.String("search", "auto", "MQO subset-search strategy: auto|lattice|greedy")
 		maxRows     = flag.Int("max-rows", 20, "rows printed per statement")
 		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
+		colPlane    = flag.Bool("colplane", true, "use the columnar data plane; false forces the row-at-a-time oracle path")
 		trace       = flag.Bool("trace", false, "record the optimizer decision trace and print it after each batch")
 		debugAddr   = flag.String("debug", "", "start the debug HTTP server on this address and enable span tracing (e.g. 127.0.0.1:6060)")
 	)
@@ -75,6 +77,7 @@ func main() {
 		Tracing:         *trace,
 		SpanTracing:     *debugAddr != "",
 		DebugAddr:       *debugAddr,
+		DisableColPlane: !*colPlane,
 	})
 	if *debugAddr != "" {
 		if err := db.DebugServerError(); err != nil {
@@ -349,6 +352,17 @@ func handleMeta(db *csedb.DB, cmd string, explainNext, describeNext, analyzeNext
 			}
 			db.SetExecParallelism(n)
 			fmt.Printf("parallel execution with %d workers\n", n)
+		}
+	case "\\colplane":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(os.Stderr, "usage: \\colplane on|off")
+			break
+		}
+		db.SetColPlane(fields[1] == "on")
+		if db.ColPlane() {
+			fmt.Println("columnar data plane on")
+		} else {
+			fmt.Println("columnar data plane off (row-at-a-time oracle path)")
 		}
 	case "\\search":
 		if len(fields) == 1 {

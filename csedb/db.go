@@ -99,6 +99,13 @@ type Options struct {
 	// server can also be started and stopped at runtime with
 	// StartDebugServer / StopDebugServer (the shell's \debug command).
 	DebugAddr string
+
+	// DisableColPlane forces the row-at-a-time execution path, disabling
+	// the columnar data plane (typed column chunks plus selection-vector
+	// kernels). The row path is the engine's differential oracle; this knob
+	// exists for debugging and for row-vs-column benchmarking (the shell's
+	// \colplane command and csebench -exp scanspeed).
+	DisableColPlane bool
 }
 
 // DB is an in-memory database instance. Read-only queries (Run on SELECT
@@ -115,6 +122,7 @@ type DB struct {
 	deltaSeq    int
 	parallelism int
 	chunkSize   int
+	noColPlane  bool
 	tracing     bool
 	spanTracing bool
 	metrics     *obs.Registry
@@ -145,6 +153,7 @@ func Open(opts Options) *DB {
 		views:       views.NewManager(),
 		parallelism: opts.ExecParallelism,
 		chunkSize:   opts.ExecChunkSize,
+		noColPlane:  opts.DisableColPlane,
 		tracing:     opts.Tracing,
 		spanTracing: opts.SpanTracing,
 		metrics:     obs.NewRegistry(),
@@ -186,6 +195,15 @@ func (db *DB) ExecParallelism() int { return db.parallelism }
 // SetExecParallelism changes the executor worker-pool setting for
 // subsequent batches.
 func (db *DB) SetExecParallelism(n int) { db.parallelism = n }
+
+// ColPlane reports whether the columnar data plane is in force (the
+// default). When false, batches run the row-at-a-time reference path.
+func (db *DB) ColPlane() bool { return !db.noColPlane }
+
+// SetColPlane toggles the columnar data plane for subsequent batches.
+// Turning it off forces the row-at-a-time path — the differential oracle —
+// which is useful for isolating kernel bugs and for row-vs-column timing.
+func (db *DB) SetColPlane(on bool) { db.noColPlane = !on }
 
 // ExecChunkSize returns the executor morsel granularity (0 = default).
 func (db *DB) ExecChunkSize() int { return db.chunkSize }
@@ -468,7 +486,7 @@ func (db *DB) runObserved(ctx context.Context, stmts []parser.Statement, rec *ob
 	start = time.Now()
 	execSpan := root.Child("execute")
 	results, execStats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
-		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Cache: db.cache, Span: execSpan})
+		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Cache: db.cache, Span: execSpan, NoColPlane: db.noColPlane})
 	if err != nil {
 		execSpan.End()
 		db.recordFailure(rec, root, batchStart, err)
@@ -553,6 +571,8 @@ func (db *DB) recordMetrics(nStatements int, stats *core.Stats, es *exec.Stats, 
 		r.Counter("exec_sequential_fallbacks_total").Inc()
 	}
 	r.Counter("exec_spools_cached_total").Add(int64(es.CacheHits()))
+	r.Counter("exec_col_selections_total").Add(int64(es.ColSelections))
+	r.Counter("exec_col_hash_passes_total").Add(int64(es.ColHashPasses))
 	r.Gauge("exec_worker_utilization").Set(es.Utilization())
 	r.Histogram("optimize_seconds").Observe(optTime.Seconds())
 	r.Histogram("exec_seconds").Observe(execTime.Seconds())

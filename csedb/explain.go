@@ -51,7 +51,7 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, sql string) (string, er
 
 	start = time.Now()
 	results, stats, err := exec.RunWithOptions(ctx, out.Result, batch.Metadata, db.store,
-		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Analyze: true})
+		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Analyze: true, NoColPlane: db.noColPlane})
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/csedb"
+)
+
+// scanSpeedQueries are the row-vs-column comparison workload: statements
+// dominated by scanning, filtering, and hash aggregation over lineitem (the
+// largest table), where the columnar plane's selection-vector kernels and
+// typed hash passes should pay off the most. Join-shaped statements are
+// included so the comparison also covers typed build/probe hashing.
+var scanSpeedQueries = []struct {
+	Name string
+	SQL  string
+}{
+	{
+		// Pure scan+filter with a narrow projection: the best case for
+		// selection kernels plus late materialization.
+		Name: "scan-filter",
+		SQL: `select l_orderkey, l_extendedprice
+from lineitem
+where l_quantity < 24 and l_discount < 0.05 and l_shipdate < '1997-01-01'`,
+	},
+	{
+		// Highly selective conjunction: kernels skim the column, the row
+		// path evaluates the full predicate tree per row.
+		Name: "scan-selective",
+		SQL: `select l_orderkey, l_quantity, l_tax
+from lineitem
+where l_quantity > 49 and l_returnflag = 'R' and l_shipmode = 'AIR'`,
+	},
+	{
+		// TPC-H Q1-shaped: filter + wide hash aggregation, exercising
+		// column-at-a-time group-key hashing.
+		Name: "filter-agg",
+		SQL: `select l_returnflag, l_shipmode, sum(l_quantity) as sq, sum(l_extendedprice) as se,
+  avg(l_discount) as ad, count(*) as n
+from lineitem
+where l_shipdate < '1998-09-02'
+group by l_returnflag, l_shipmode`,
+	},
+	{
+		// Unfiltered aggregation straight over the table: the hash-agg input
+		// is the base table itself, so group keys are hashed
+		// column-at-a-time (a filtered input is a fresh intermediate row
+		// set with no columnar view).
+		Name: "agg-group",
+		SQL: `select l_returnflag, l_shipmode, sum(l_extendedprice) as se, count(*) as n
+from lineitem
+group by l_returnflag, l_shipmode`,
+	},
+	{
+		// Filter + join + aggregation: typed hashing on both join sides.
+		Name: "filter-join-agg",
+		SQL: `select o_orderpriority, sum(l_extendedprice) as rev
+from orders, lineitem
+where o_orderkey = l_orderkey and l_quantity < 30 and o_orderdate < '1996-07-01'
+group by o_orderpriority`,
+	},
+}
+
+// ScanSpeedPoint is one statement of the row-vs-column comparison: minimum
+// execution time over the reps under each plane, plus evidence the columnar
+// plane actually engaged (kernel and hash-pass counts from the first
+// columnar rep).
+type ScanSpeedPoint struct {
+	Name          string
+	ColExec       time.Duration
+	RowExec       time.Duration
+	Rows          int
+	ColSelections int
+	ColHashPasses int
+}
+
+// Speedup is RowExec / ColExec (> 1 means the columnar plane won).
+func (p *ScanSpeedPoint) Speedup() float64 { return speedup(p.RowExec, p.ColExec) }
+
+// RunScanSpeed measures every scan-speed statement under the columnar plane
+// and the row-at-a-time reference path on one database, taking the minimum
+// execution time over cfg.Reps per plane. Both planes must return the same
+// per-statement row counts; a divergence is an error (the difftest oracle
+// pins full byte-identity — this is the harness's cheaper cross-check). The
+// result cache stays off so warm reps re-execute rather than replay spools.
+func RunScanSpeed(cfg Config) ([]ScanSpeedPoint, error) {
+	s := WithCSE.Settings()
+	db := csedb.Open(csedb.Options{CSE: &s, ExecParallelism: cfg.Parallelism, CacheBudget: -1})
+	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
+		return nil, err
+	}
+	measure := func(sql string, colPlane bool) (time.Duration, int, *ScanSpeedPoint, error) {
+		db.SetColPlane(colPlane)
+		var best time.Duration
+		var rows int
+		probe := &ScanSpeedPoint{}
+		for rep := 0; rep < cfg.reps(); rep++ {
+			res, err := db.Run(sql)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if rep == 0 {
+				rows = len(res.Statements[0].Rows)
+				if es := res.ExecStats; es != nil {
+					probe.ColSelections = es.ColSelections
+					probe.ColHashPasses = es.ColHashPasses
+				}
+			}
+			if best == 0 || res.ExecTime < best {
+				best = res.ExecTime
+			}
+		}
+		return best, rows, probe, nil
+	}
+	out := make([]ScanSpeedPoint, 0, len(scanSpeedQueries))
+	for _, q := range scanSpeedQueries {
+		colExec, colRows, probe, err := measure(q.SQL, true)
+		if err != nil {
+			return nil, fmt.Errorf("scanspeed %s (columnar): %w", q.Name, err)
+		}
+		rowExec, rowRows, rowProbe, err := measure(q.SQL, false)
+		if err != nil {
+			return nil, fmt.Errorf("scanspeed %s (row): %w", q.Name, err)
+		}
+		if colRows != rowRows {
+			return nil, fmt.Errorf("scanspeed %s: columnar plane returned %d rows, row plane %d",
+				q.Name, colRows, rowRows)
+		}
+		if rowProbe.ColSelections != 0 || rowProbe.ColHashPasses != 0 {
+			return nil, fmt.Errorf("scanspeed %s: row-plane run reported columnar work (%d selections, %d hash passes)",
+				q.Name, rowProbe.ColSelections, rowProbe.ColHashPasses)
+		}
+		out = append(out, ScanSpeedPoint{
+			Name:          q.Name,
+			ColExec:       colExec,
+			RowExec:       rowExec,
+			Rows:          colRows,
+			ColSelections: probe.ColSelections,
+			ColHashPasses: probe.ColHashPasses,
+		})
+	}
+	db.SetColPlane(true)
+	return out, nil
+}
+
+// FormatScanSpeed renders the row-vs-column comparison as a table.
+func FormatScanSpeed(points []ScanSpeedPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Scan speed: columnar plane vs row-at-a-time path (min exec time over reps)\n")
+	sb.WriteString("  statement        |   row (secs) |   col (secs) | speedup | kernels | hash passes |  rows\n")
+	for i := range points {
+		p := &points[i]
+		fmt.Fprintf(&sb, "  %-16s | %12.4f | %12.4f | %6.2fx | %7d | %11d | %5d\n",
+			p.Name, p.RowExec.Seconds(), p.ColExec.Seconds(), p.Speedup(),
+			p.ColSelections, p.ColHashPasses, p.Rows)
+	}
+	return sb.String()
+}
+
+// CSVScanSpeed renders the comparison as CSV.
+func CSVScanSpeed(points []ScanSpeedPoint) string {
+	var sb strings.Builder
+	sb.WriteString("statement,row_exec_s,col_exec_s,speedup,col_selections,col_hash_passes,rows\n")
+	for i := range points {
+		p := &points[i]
+		fmt.Fprintf(&sb, "%q,%.6f,%.6f,%.3f,%d,%d,%d\n",
+			p.Name, p.RowExec.Seconds(), p.ColExec.Seconds(), p.Speedup(),
+			p.ColSelections, p.ColHashPasses, p.Rows)
+	}
+	return sb.String()
+}
+
+// ScanSpeedJSON is the machine-readable form of one comparison point.
+type ScanSpeedJSON struct {
+	Name          string  `json:"name"`
+	RowExecSecs   float64 `json:"row_exec_s"`
+	ColExecSecs   float64 `json:"col_exec_s"`
+	Speedup       float64 `json:"speedup"`
+	ColSelections int     `json:"col_selections"`
+	ColHashPasses int     `json:"col_hash_passes"`
+	Rows          int     `json:"rows"`
+}
+
+// ScanSpeedJSONObjects converts the comparison for serialization.
+func ScanSpeedJSONObjects(points []ScanSpeedPoint) []ScanSpeedJSON {
+	out := make([]ScanSpeedJSON, len(points))
+	for i := range points {
+		p := &points[i]
+		out[i] = ScanSpeedJSON{
+			Name:          p.Name,
+			RowExecSecs:   p.RowExec.Seconds(),
+			ColExecSecs:   p.ColExec.Seconds(),
+			Speedup:       p.Speedup(),
+			ColSelections: p.ColSelections,
+			ColHashPasses: p.ColHashPasses,
+			Rows:          p.Rows,
+		}
+	}
+	return out
+}

@@ -15,9 +15,11 @@
 // set) is cheaper than recomputing its plan (the plan's estimated cost), and
 // only when it fits the byte budget. Eviction is LRU.
 //
-// Cached rows are shared by reference, never copied: the executor already
-// treats spool rows as immutable (parallel consumers of one batch share
-// them), and the cache inherits that invariant.
+// Cached results are shared by reference, never copied: entries hold a
+// storage.ColBox — the row set plus its lazily built columnar shadow — so a
+// hit hands back both forms without copying or re-encoding. The executor
+// already treats spool rows as immutable (parallel consumers of one batch
+// share them), and the cache inherits that invariant.
 package cache
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
 // DefaultBudget is the byte budget used when a Cache is created with a
@@ -43,7 +46,7 @@ var lookupBounds = []float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3, 1e-2}
 // entry is one cached spool result.
 type entry struct {
 	key      string
-	rows     []sqltypes.Row
+	box      *storage.ColBox
 	bytes    int64
 	versions map[string]uint64
 	elem     *list.Element
@@ -90,11 +93,11 @@ func New(budget int64, metrics *obs.Registry) *Cache {
 	}
 }
 
-// Lookup returns the cached rows for a key when present and still valid
+// Lookup returns the cached result for a key when present and still valid
 // against the caller's current version snapshot. A version mismatch removes
 // the entry (counted as an invalidation) and reports a miss, so hits+misses
 // always equals lookups.
-func (c *Cache) Lookup(key string, versions map[string]uint64) ([]sqltypes.Row, bool) {
+func (c *Cache) Lookup(key string, versions map[string]uint64) (*storage.ColBox, bool) {
 	start := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -122,7 +125,7 @@ func (c *Cache) Lookup(key string, versions map[string]uint64) ([]sqltypes.Row, 
 	if c.metrics != nil {
 		c.metrics.Histogram("cache_hit_seconds").Observe(time.Since(start).Seconds())
 	}
-	return e.rows, true
+	return e.box, true
 }
 
 // Admit offers a freshly materialized spool result to the cache. versions
@@ -131,12 +134,12 @@ func (c *Cache) Lookup(key string, versions map[string]uint64) ([]sqltypes.Row, 
 // (computeCost) — the H2-style bound — or when it alone exceeds the budget;
 // otherwise LRU entries are evicted until it fits. Reports whether the entry
 // was admitted.
-func (c *Cache) Admit(key string, rows []sqltypes.Row, versions map[string]uint64, readCost, computeCost float64) bool {
-	if key == "" {
+func (c *Cache) Admit(key string, box *storage.ColBox, versions map[string]uint64, readCost, computeCost float64) bool {
+	if key == "" || box == nil {
 		return false
 	}
 	var bytes int64
-	for _, r := range rows {
+	for _, r := range box.Rows() {
 		bytes += int64(sqltypes.RowSize(r))
 	}
 	c.mu.Lock()
@@ -159,7 +162,7 @@ func (c *Cache) Admit(key string, rows []sqltypes.Row, versions map[string]uint6
 		c.evictions++
 		c.count("cache_evictions_total")
 	}
-	e := &entry{key: key, rows: rows, bytes: bytes, versions: copyVersions(versions)}
+	e := &entry{key: key, box: box, bytes: bytes, versions: copyVersions(versions)}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.bytes += bytes
@@ -218,7 +221,7 @@ func (c *Cache) Entries() []EntryInfo {
 		e := el.Value.(*entry)
 		out = append(out, EntryInfo{
 			Key:      e.key,
-			Rows:     len(e.rows),
+			Rows:     len(e.box.Rows()),
 			Bytes:    e.bytes,
 			Versions: copyVersions(e.versions),
 		})

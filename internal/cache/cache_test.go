@@ -7,21 +7,22 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
-// rowsOfSize builds n rows whose total RowSize is deterministic, for
-// budget-sensitive tests.
-func rowsOfSize(n int) []sqltypes.Row {
+// rowsOfSize builds a boxed result of n rows whose total RowSize is
+// deterministic, for budget-sensitive tests.
+func rowsOfSize(n int) *storage.ColBox {
 	out := make([]sqltypes.Row, n)
 	for i := range out {
 		out[i] = sqltypes.Row{sqltypes.NewInt(int64(i))}
 	}
-	return out
+	return storage.NewColBox(out)
 }
 
-func rowsBytes(rows []sqltypes.Row) int64 {
+func rowsBytes(box *storage.ColBox) int64 {
 	var b int64
-	for _, r := range rows {
+	for _, r := range box.Rows() {
 		b += int64(sqltypes.RowSize(r))
 	}
 	return b
@@ -38,8 +39,8 @@ func TestLookupMissThenHit(t *testing.T) {
 		t.Fatal("admit rejected a cheap entry")
 	}
 	got, ok := c.Lookup("k", v)
-	if !ok || len(got) != 3 {
-		t.Fatalf("lookup after admit: ok=%v rows=%d", ok, len(got))
+	if !ok || len(got.Rows()) != 3 {
+		t.Fatalf("lookup after admit: ok=%v box=%v", ok, got)
 	}
 	s := c.Stats()
 	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
@@ -161,9 +162,9 @@ func TestReAdmitReplaces(t *testing.T) {
 	c := New(0, nil)
 	c.Admit("k", rowsOfSize(1), map[string]uint64{"t": 1}, 1, 100)
 	c.Admit("k", rowsOfSize(4), map[string]uint64{"t": 2}, 1, 100)
-	rows, ok := c.Lookup("k", map[string]uint64{"t": 2})
-	if !ok || len(rows) != 4 {
-		t.Fatalf("re-admit did not replace: ok=%v rows=%d", ok, len(rows))
+	box, ok := c.Lookup("k", map[string]uint64{"t": 2})
+	if !ok || len(box.Rows()) != 4 {
+		t.Fatalf("re-admit did not replace: ok=%v box=%v", ok, box)
 	}
 	if s := c.Stats(); s.Entries != 1 || s.Bytes != rowsBytes(rowsOfSize(4)) {
 		t.Fatalf("stats after replace = %+v", s)
@@ -207,9 +208,9 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", i%7)
-				if rows, ok := c.Lookup(key, v); ok {
-					if len(rows) != 3 {
-						t.Errorf("cached rows len = %d, want 3", len(rows))
+				if box, ok := c.Lookup(key, v); ok {
+					if len(box.Rows()) != 3 {
+						t.Errorf("cached rows len = %d, want 3", len(box.Rows()))
 						return
 					}
 				} else {

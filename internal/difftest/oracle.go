@@ -51,6 +51,11 @@ type Config struct {
 	// checks span-lifecycle invariants (no unfinished spans after a clean
 	// run).
 	Observe bool
+
+	// RowPlane disables the columnar data plane (exec.Options.NoColPlane),
+	// forcing the row-at-a-time reference path. The row-plane baseline is
+	// what pins the selection kernels byte-for-byte.
+	RowPlane bool
 }
 
 // Matrix returns the full differential configuration matrix. The first
@@ -66,8 +71,14 @@ func Matrix() []Config {
 	off := vary(func(s *core.Settings) { s.EnableCSE = false })
 	greedy := vary(func(s *core.Settings) { s.SearchStrategy = core.SearchGreedy })
 	return []Config{
+		// The baseline is the row-at-a-time sequential interpreter with CSE
+		// off: the simplest, most independent path. Every columnar cell below
+		// is therefore pinned byte-for-byte against the row plane.
+		{Name: "nocse-seq-row", Settings: off, Parallelism: 1, RowPlane: true},
 		{Name: "nocse-seq", Settings: off, Parallelism: 1},
 		{Name: "nocse-par", Settings: off},
+		{Name: "cse-par-row", Settings: def, RowPlane: true},
+		{Name: "cse-cache-row", Settings: def, Cache: true, Repeat: 2, RowPlane: true},
 		{Name: "cse-seq", Settings: def, Parallelism: 1},
 		{Name: "cse-par", Settings: def},
 		{Name: "cse-greedy", Settings: greedy, Parallelism: 1},
@@ -91,7 +102,7 @@ func Matrix() []Config {
 // plus the cells most likely to diverge.
 func Smoke() []Config {
 	m := Matrix()
-	keep := map[string]bool{"nocse-seq": true, "cse-par": true, "cse-greedy": true, "cse-chunk1": true, "cse-par-cache": true, "cse-par-observed": true}
+	keep := map[string]bool{"nocse-seq-row": true, "nocse-seq": true, "cse-par": true, "cse-par-row": true, "cse-greedy": true, "cse-chunk1": true, "cse-par-cache": true, "cse-par-observed": true}
 	var out []Config
 	for _, c := range m {
 		if keep[c.Name] {
@@ -212,6 +223,7 @@ func (o *Oracle) runConfig(cfg Config, stmts []parser.Statement) (string, error)
 			ChunkSize:   cfg.ChunkSize,
 			Cache:       c,
 			Span:        root,
+			NoColPlane:  cfg.RowPlane,
 		})
 		if err != nil {
 			return "", fmt.Errorf("exec (run %d): %w", r+1, err)

@@ -220,10 +220,18 @@ func newAggPartial(spec *aggSpec) *aggPartial {
 	return &aggPartial{spec: spec, groups: make(map[uint64][]*groupAcc)}
 }
 
-func (ap *aggPartial) absorb(rows []sqltypes.Row) {
+// absorb accumulates a contiguous block of rows. hashes, when non-nil, holds
+// the precomputed group-key hash of each row (column-at-a-time extraction);
+// nil means hash row-wise.
+func (ap *aggPartial) absorb(rows []sqltypes.Row, hashes []uint64) {
 	spec := ap.spec
-	for _, r := range rows {
-		h := spec.hasher.HashRow(r, spec.groupIdx)
+	for ri, r := range rows {
+		var h uint64
+		if hashes != nil {
+			h = hashes[ri]
+		} else {
+			h = spec.hasher.HashRow(r, spec.groupIdx)
+		}
 		var acc *groupAcc
 		for _, g := range ap.groups[h] {
 			if keysEqual(r, spec.groupIdx, g.key, spec.keyIdx) {
@@ -305,6 +313,15 @@ func (c *Context) execHashAgg(p *opt.Plan) ([]sqltypes.Row, error) {
 		hasher:   sqltypes.NewHasher(),
 	}
 
+	// Column-at-a-time group hashing when the input is backed by a columnar
+	// shadow: one typed pass per grouping column replaces the per-row kind
+	// switches, and the resulting hashes are identical to HashRow's.
+	var hashes []uint64
+	if cd := c.sourceView(p.Children[0], in); cd != nil {
+		hashes = colHashRows(spec.hasher, cd, in, groupIdx)
+		c.stats.recordColHash()
+	}
+
 	// Aggregate contiguous chunk-aligned blocks in parallel, then merge the
 	// partials in block order: exact states make the values independent of
 	// the partitioning, and ordered merging keeps the sequential
@@ -313,7 +330,11 @@ func (c *Context) execHashAgg(p *opt.Plan) ([]sqltypes.Row, error) {
 	partials := make([]*aggPartial, len(bounds)-1)
 	err = c.runParts(p, len(partials), func(part int) error {
 		ap := newAggPartial(spec)
-		ap.absorb(in[bounds[part]:bounds[part+1]])
+		var bh []uint64
+		if hashes != nil {
+			bh = hashes[bounds[part]:bounds[part+1]]
+		}
+		ap.absorb(in[bounds[part]:bounds[part+1]], bh)
 		partials[part] = ap
 		return nil
 	})

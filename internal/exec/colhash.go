@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// Column-at-a-time hash-key extraction for hash joins and hash aggregation.
+// When an operator's input rows are backed by a columnar shadow (sourceView),
+// the per-row HashRow/HashKey calls — a kind switch and a Datum load per key
+// column per row — are replaced by one typed pass per key column folding
+// 64-bit key encodings into a running hash array with sqltypes.MixBits. The
+// fold order matches Hasher.HashRow exactly, so the hashes (and therefore
+// every downstream structure) are identical to the row path's.
+
+// colHashRows computes HashRow(rows[i], cols) for every row. Columns without
+// a typed form fall back to a per-row DatumBits pass for that column only.
+func colHashRows(hs *sqltypes.Hasher, cd *storage.ColumnData, rows []sqltypes.Row, cols []int) []uint64 {
+	h := make([]uint64, len(rows))
+	for _, pos := range cols {
+		mixColumn(hs, h, nil, cd, rows, pos)
+	}
+	return h
+}
+
+// colHashKeys computes HashKey(rows[i], cols) for every row: ok[i] is false
+// when any key column of row i is NULL (such rows never join).
+func colHashKeys(hs *sqltypes.Hasher, cd *storage.ColumnData, rows []sqltypes.Row, cols []int) (h []uint64, ok []bool) {
+	h = make([]uint64, len(rows))
+	ok = make([]bool, len(rows))
+	for i := range ok {
+		ok[i] = true
+	}
+	for _, pos := range cols {
+		mixColumn(hs, h, ok, cd, rows, pos)
+	}
+	return h, ok
+}
+
+// mixColumn folds one column's key encodings into h. When ok is non-nil,
+// NULL values clear ok[i] instead of folding NullBits (HashKey semantics);
+// with ok nil they fold NullBits (HashRow semantics).
+func mixColumn(hs *sqltypes.Hasher, h []uint64, ok []bool, cd *storage.ColumnData, rows []sqltypes.Row, pos int) {
+	var col *storage.Column
+	if pos >= 0 && pos < len(cd.Cols) && cd.Cols[pos].OK {
+		col = &cd.Cols[pos]
+	}
+	if col == nil {
+		// Heterogeneous column: per-row fallback for this column only.
+		for i := range h {
+			d := rows[i][pos]
+			if ok != nil && d.IsNull() {
+				ok[i] = false
+				continue
+			}
+			h[i] = sqltypes.MixBits(h[i], hs.DatumBits(d))
+		}
+		return
+	}
+	null := func(i int) bool {
+		if ok == nil {
+			h[i] = sqltypes.MixBits(h[i], sqltypes.NullBits())
+		} else {
+			ok[i] = false
+		}
+		return true
+	}
+	switch col.Kind {
+	case sqltypes.KindNull:
+		for i := range h {
+			null(i)
+		}
+	case sqltypes.KindInt, sqltypes.KindDate:
+		for i, v := range col.Ints {
+			if !col.IsValid(i) {
+				null(i)
+				continue
+			}
+			h[i] = sqltypes.MixBits(h[i], sqltypes.NumericBits(float64(v)))
+		}
+	case sqltypes.KindBool:
+		for i, v := range col.Ints {
+			if !col.IsValid(i) {
+				null(i)
+				continue
+			}
+			h[i] = sqltypes.MixBits(h[i], sqltypes.BoolBits(v != 0))
+		}
+	case sqltypes.KindFloat:
+		for i, v := range col.Floats {
+			if !col.IsValid(i) {
+				null(i)
+				continue
+			}
+			h[i] = sqltypes.MixBits(h[i], sqltypes.NumericBits(v))
+		}
+	case sqltypes.KindString:
+		// One maphash per distinct string, then O(1) per row.
+		dictBits := make([]uint64, len(col.Dict))
+		for k, s := range col.Dict {
+			dictBits[k] = hs.StringBits(s)
+		}
+		for i, code := range col.Codes {
+			if !col.IsValid(i) {
+				null(i)
+				continue
+			}
+			h[i] = sqltypes.MixBits(h[i], dictBits[code])
+		}
+	}
+}

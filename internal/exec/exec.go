@@ -66,6 +66,12 @@ type Options struct {
 	// hit/miss and wait-for-materialization attributes), and per statement.
 	// Nil disables span recording at zero cost.
 	Span *obs.Span
+
+	// NoColPlane disables the columnar data plane: selection-vector kernels
+	// over typed column chunks and column-at-a-time hash-key extraction. Off
+	// by default (the column plane is on); the row-at-a-time path it forces
+	// is kept as the differential-testing oracle.
+	NoColPlane bool
 }
 
 func (o Options) workers() int {
@@ -93,6 +99,10 @@ type spoolEntry struct {
 	done bool
 	rows []sqltypes.Row
 	err  error
+
+	// box pairs rows with their lazily built columnar form; cache hits hand
+	// back the same box, so the column slices are shared by reference.
+	box *storage.ColBox
 
 	// Cross-batch cache identity: the candidate's canonical spec key and
 	// the base tables its plan reads (lowercase, sorted). key is "" when the
@@ -130,6 +140,11 @@ type Context struct {
 	workers   int
 	chunkSize int
 	pool      chan struct{}
+
+	// colPlane enables selection-vector kernels and column-at-a-time hashing
+	// over columnar shadows (see vector.go); false forces the row-at-a-time
+	// reference path.
+	colPlane bool
 }
 
 func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, store *storage.Store, stats *collector, opts Options) *Context {
@@ -152,6 +167,7 @@ func newContext(ctx context.Context, res *opt.Result, md *logical.Metadata, stor
 		span:          opts.Span,
 		workers:       intraOp,
 		chunkSize:     opts.chunkSize(),
+		colPlane:      !opts.NoColPlane,
 	}
 	if intraOp > 1 {
 		c.pool = make(chan struct{}, intraOp-1)
@@ -526,11 +542,14 @@ func (e *spoolEntry) materialize(c *Context) {
 		sp.SetAttr("cache", "uncacheable")
 	} else {
 		versions = c.Store.Versions(e.sources)
-		if rows, ok := c.cache.Lookup(e.key, versions); ok {
-			e.rows = rows
+		if box, ok := c.cache.Lookup(e.key, versions); ok {
+			// The cached box carries both forms: rows and any columnar shadow
+			// already built for them — a hit re-encodes nothing.
+			e.box = box
+			e.rows = box.Rows()
 			sp.SetAttr("cache", "hit")
-			sp.SetAttr("rows", len(rows))
-			c.stats.recordSpoolCached(e.id, len(rows), time.Since(start))
+			sp.SetAttr("rows", len(e.rows))
+			c.stats.recordSpoolCached(e.id, len(e.rows), time.Since(start))
 			return
 		}
 		sp.SetAttr("cache", "miss")
@@ -542,6 +561,7 @@ func (e *spoolEntry) materialize(c *Context) {
 		return
 	}
 	e.rows = rows
+	e.box = storage.NewColBox(rows)
 	sp.SetAttr("rows", len(rows))
 	c.stats.recordSpool(e.id, len(rows), time.Since(start))
 	if e.key != "" {
@@ -552,7 +572,7 @@ func (e *spoolEntry) materialize(c *Context) {
 		// H2-style admission bound: cache only when reading the rows back
 		// costs less than recomputing the plan.
 		readCost := opt.SpoolReadCost(float64(len(rows)), float64(bytes))
-		c.cache.Admit(e.key, rows, versions, readCost, e.plan.Cost)
+		c.cache.Admit(e.key, e.box, versions, readCost, e.plan.Cost)
 	}
 }
 
@@ -566,10 +586,14 @@ func (c *Context) execScan(p *opt.Plan) ([]sqltypes.Row, error) {
 	full := fullColIDs(rel)
 	layout := layoutOf(full)
 	var filter scalar.EvalFn
+	var cs *colSelection
 	if p.Filter != nil {
-		filter, err = c.compile(p.Filter, layout)
-		if err != nil {
-			return nil, fmt.Errorf("scan filter on %s: %w", rel.Tab.Name, err)
+		cs = c.buildColSelection(c.substituteSubqueries(p.Filter), c.tableView(tab), layout)
+		if cs == nil {
+			filter, err = c.compile(p.Filter, layout)
+			if err != nil {
+				return nil, fmt.Errorf("scan filter on %s: %w", rel.Tab.Name, err)
+			}
 		}
 	}
 	// Projection indices from full row to output layout.
@@ -586,12 +610,29 @@ func (c *Context) execScan(p *opt.Plan) ([]sqltypes.Row, error) {
 	// rows can be shared instead of copied — operators never mutate their
 	// inputs (the same sharing spool reads rely on).
 	if identityProjection(idx, len(full)) {
+		if cs != nil {
+			return c.selectShared(p, source, cs)
+		}
 		if filter == nil {
 			return source, nil
 		}
 		return c.filterShared(p, source, filter)
 	}
 	return c.runMorsels(p, len(source), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		if cs != nil {
+			// Late materialization: the kernels pick the surviving row
+			// numbers from the typed columns, then only those rows are
+			// decoded into the projected layout.
+			for _, si := range cs.apply(source, lo, hi) {
+				r := source[si]
+				row := arena.NewRow(len(idx))
+				for i, pos := range idx {
+					row[i] = r[pos]
+				}
+				*out = append(*out, row)
+			}
+			return nil
+		}
 		if filter == nil {
 			// Exactly one output row per input row: size the slice once.
 			*out = append(*out, make([]sqltypes.Row, 0, hi-lo)...)
@@ -638,6 +679,13 @@ func (c *Context) execFilter(p *opt.Plan) ([]sqltypes.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// When the child handed back storage-backed rows (shared scan or spool
+	// work table), filter on their columnar shadow instead.
+	if cd := c.sourceView(p.Children[0], in); cd != nil {
+		if cs := c.buildColSelection(c.substituteSubqueries(p.Filter), cd, layoutOf(p.Children[0].Cols)); cs != nil {
+			return c.selectShared(p, in, cs)
+		}
+	}
 	return c.filterShared(p, in, fn)
 }
 
@@ -680,6 +728,16 @@ func (c *Context) execHashJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 		return nil, nil
 	}
 	hasher := sqltypes.NewHasher()
+	// Typed hash-key extraction: when a side's rows are backed by a columnar
+	// shadow, key hashes are computed column-at-a-time in one typed pass per
+	// key column; the fold order matches HashKey, so the table and probes are
+	// identical either way.
+	var buildHash []uint64
+	var buildKeyed []bool
+	if cd := c.sourceView(p.Children[1], build); cd != nil {
+		buildHash, buildKeyed = colHashKeys(hasher, cd, build, buildKeys)
+		c.stats.recordColHash()
+	}
 	// Chain-layout hash table: heads maps a key hash to the first matching
 	// build row, next links same-hash rows. Chains are threaded back-to-front
 	// so probes walk them in build order, preserving the sequential emit
@@ -688,7 +746,13 @@ func (c *Context) execHashJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 	heads := make(map[uint64]int, len(build))
 	next := make([]int, len(build))
 	for i := len(build) - 1; i >= 0; i-- {
-		h, ok := hasher.HashKey(build[i], buildKeys)
+		var h uint64
+		var ok bool
+		if buildHash != nil {
+			h, ok = buildHash[i], buildKeyed[i]
+		} else {
+			h, ok = hasher.HashKey(build[i], buildKeys)
+		}
 		if !ok {
 			continue
 		}
@@ -703,6 +767,12 @@ func (c *Context) execHashJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	var probeHash []uint64
+	var probeKeyed []bool
+	if cd := c.sourceView(p.Children[0], probe); cd != nil {
+		probeHash, probeKeyed = colHashKeys(hasher, cd, probe, probeKeys)
+		c.stats.recordColHash()
+	}
 	probeWidth := len(p.Children[0].Cols)
 	width := probeWidth + len(p.Children[1].Cols)
 	return c.runMorsels(p, len(probe), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
@@ -710,8 +780,15 @@ func (c *Context) execHashJoin(p *opt.Plan) ([]sqltypes.Row, error) {
 		// arena once and reused until a match survives the residual, so each
 		// emitted row costs exactly one allocation (amortized by the slab).
 		var row sqltypes.Row
-		for _, pr := range probe[lo:hi] {
-			h, keyed := hasher.HashKey(pr, probeKeys)
+		for pi := lo; pi < hi; pi++ {
+			pr := probe[pi]
+			var h uint64
+			var keyed bool
+			if probeHash != nil {
+				h, keyed = probeHash[pi], probeKeyed[pi]
+			} else {
+				h, keyed = hasher.HashKey(pr, probeKeys)
+			}
 			if !keyed {
 				continue
 			}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/scalar"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
 // fusionEnabled reports whether Filter/Project nodes marked fusion-eligible
@@ -41,6 +42,7 @@ func (c *Context) execFused(p *opt.Plan) ([]sqltypes.Row, error) {
 		source []sqltypes.Row
 		layout map[scalar.ColID]int
 		outIdx []int // leaf projection (scan leaves only)
+		cd     *storage.ColumnData
 	)
 	switch node.Op {
 	case opt.PScan:
@@ -75,6 +77,7 @@ func (c *Context) execFused(p *opt.Plan) ([]sqltypes.Row, error) {
 			}
 		}
 		source = tab.Rows
+		cd = c.tableView(tab)
 	case opt.PSpoolScan:
 		rows, err := c.spool(node.SpoolID)
 		if err != nil {
@@ -83,17 +86,28 @@ func (c *Context) execFused(p *opt.Plan) ([]sqltypes.Row, error) {
 		c.stats.recordSpoolHit(node.SpoolID)
 		source = rows
 		layout = layoutOf(node.Cols)
+		cd = c.sourceView(node, rows)
 	default:
 		return nil, fmt.Errorf("fused chain over unexpected leaf %s", node.Op)
 	}
 
-	filters := make([]scalar.EvalFn, len(filterExprs))
-	for i, e := range filterExprs {
-		fn, err := c.compile(e, layout)
-		if err != nil {
-			return nil, err
+	// The whole filter chain is one conjunction for selection purposes (a row
+	// survives iff every filter is true), so it kernelizes as a unit; any
+	// non-kernelizable conjuncts become the selection's residual.
+	var cs *colSelection
+	if len(filterExprs) > 0 {
+		cs = c.buildColSelection(c.substituteSubqueries(scalar.And(filterExprs...)), cd, layout)
+	}
+	var filters []scalar.EvalFn
+	if cs == nil {
+		filters = make([]scalar.EvalFn, len(filterExprs))
+		for i, e := range filterExprs {
+			fn, err := c.compile(e, layout)
+			if err != nil {
+				return nil, err
+			}
+			filters[i] = fn
 		}
-		filters[i] = fn
 	}
 	var projections []scalar.EvalFn
 	if hasProject {
@@ -108,14 +122,7 @@ func (c *Context) execFused(p *opt.Plan) ([]sqltypes.Row, error) {
 	}
 
 	return c.runMorsels(p, len(source), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
-	rows:
-		for _, r := range source[lo:hi] {
-			for _, f := range filters {
-				d := f(r)
-				if d.IsNull() || !d.Bool() {
-					continue rows
-				}
-			}
+		emit := func(r sqltypes.Row) {
 			switch {
 			case hasProject:
 				row := arena.NewRow(len(projections))
@@ -133,6 +140,24 @@ func (c *Context) execFused(p *opt.Plan) ([]sqltypes.Row, error) {
 				// Filter over a spool read: pass the shared row through.
 				*out = append(*out, r)
 			}
+		}
+		if cs != nil {
+			// Kernel path: select the surviving row numbers from the typed
+			// columns, then decode only those.
+			for _, si := range cs.apply(source, lo, hi) {
+				emit(source[si])
+			}
+			return nil
+		}
+	rows:
+		for _, r := range source[lo:hi] {
+			for _, f := range filters {
+				d := f(r)
+				if d.IsNull() || !d.Bool() {
+					continue rows
+				}
+			}
+			emit(r)
 		}
 		return nil
 	})

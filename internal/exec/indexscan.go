@@ -25,10 +25,14 @@ func (c *Context) execIndexScan(p *opt.Plan) ([]sqltypes.Row, error) {
 	}
 	layout := layoutOf(fullColIDs(rel))
 	var filter scalar.EvalFn
+	var cs *colSelection
 	if p.Filter != nil {
-		filter, err = c.compile(p.Filter, layout)
-		if err != nil {
-			return nil, err
+		cs = c.buildColSelection(c.substituteSubqueries(p.Filter), c.tableView(tab), layout)
+		if cs == nil {
+			filter, err = c.compile(p.Filter, layout)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	idx := make([]int, len(p.Cols))
@@ -43,6 +47,24 @@ func (c *Context) execIndexScan(p *opt.Plan) ([]sqltypes.Row, error) {
 	span := indexSpan(tab.Rows, perm, p.IndexOrd, p.Bounds)
 
 	return c.runMorsels(p, len(span), func(arena *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		if cs != nil {
+			// Span entries are row numbers into the table — the index space of
+			// its columnar shadow — so the residual filter refines them as a
+			// selection vector before any row is decoded.
+			sel := make([]int32, hi-lo)
+			for k, ri := range span[lo:hi] {
+				sel[k] = int32(ri)
+			}
+			for _, ri := range cs.refineSel(tab.Rows, sel) {
+				r := tab.Rows[ri]
+				row := arena.NewRow(len(idx))
+				for j, pos := range idx {
+					row[j] = r[pos]
+				}
+				*out = append(*out, row)
+			}
+			return nil
+		}
 		for _, ri := range span[lo:hi] {
 			r := tab.Rows[ri]
 			if filter != nil {

@@ -70,6 +70,11 @@ func (c *Context) execSource(p *opt.Plan) ([]sqltypes.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cd := c.sourceView(p.Children[0], in); cd != nil {
+			if cs := c.buildColSelection(c.substituteSubqueries(p.Filter), cd, layoutOf(c.sourceCols(p))); cs != nil {
+				return c.selectShared(p, in, cs)
+			}
+		}
 		return c.filterShared(p, in, fn)
 	case opt.PSort:
 		keys, err := colPositions(p.SortCols, layoutOf(c.sourceCols(p)), "sort column")
@@ -97,6 +102,9 @@ func (c *Context) scanSource(p *opt.Plan) ([]sqltypes.Row, error) {
 	if p.Filter == nil {
 		return tab.Rows, nil
 	}
+	if cs := c.buildColSelection(c.substituteSubqueries(p.Filter), c.tableView(tab), layoutOf(fullColIDs(rel))); cs != nil {
+		return c.selectShared(p, tab.Rows, cs)
+	}
 	filter, err := c.compile(p.Filter, layoutOf(fullColIDs(rel)))
 	if err != nil {
 		return nil, fmt.Errorf("scan filter on %s: %w", rel.Tab.Name, err)
@@ -117,14 +125,30 @@ func (c *Context) indexScanSource(p *opt.Plan) ([]sqltypes.Row, error) {
 		return nil, fmt.Errorf("no index on %s.%s", rel.Tab.Name, rel.Tab.Cols[p.IndexOrd].Name)
 	}
 	var filter scalar.EvalFn
+	var cs *colSelection
 	if p.Filter != nil {
-		filter, err = c.compile(p.Filter, layoutOf(fullColIDs(rel)))
-		if err != nil {
-			return nil, err
+		cs = c.buildColSelection(c.substituteSubqueries(p.Filter), c.tableView(tab), layoutOf(fullColIDs(rel)))
+		if cs == nil {
+			filter, err = c.compile(p.Filter, layoutOf(fullColIDs(rel)))
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	span := indexSpan(tab.Rows, perm, p.IndexOrd, p.Bounds)
 	return c.runMorsels(p, len(span), func(_ *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		if cs != nil {
+			// The span holds row numbers into the table, which is exactly the
+			// index space of its columnar shadow: refine it as a selection.
+			sel := make([]int32, hi-lo)
+			for k, ri := range span[lo:hi] {
+				sel[k] = int32(ri)
+			}
+			for _, ri := range cs.refineSel(tab.Rows, sel) {
+				*out = append(*out, tab.Rows[ri])
+			}
+			return nil
+		}
 		for _, ri := range span[lo:hi] {
 			r := tab.Rows[ri]
 			if filter != nil {

@@ -66,6 +66,13 @@ type Stats struct {
 	Morsels     int
 	ParallelOps int
 
+	// ColSelections counts predicates compiled to selection-vector kernels
+	// over columnar data; ColHashPasses counts column-at-a-time hash-key
+	// extractions (hash join sides and aggregation group keys). Both are 0
+	// when Options.NoColPlane forced the row-at-a-time path.
+	ColSelections int
+	ColHashPasses int
+
 	// WallTime is the total batch execution time; BusyTime is the summed
 	// spool and statement work time across workers.
 	WallTime time.Duration
@@ -108,6 +115,8 @@ type collector struct {
 	fallback    string
 	morsels     int
 	parallelOps int
+	colSelects  int
+	colHashes   int
 	nodes       map[*opt.Plan]*NodeStats
 }
 
@@ -151,6 +160,20 @@ func (s *collector) recordSpoolHit(id int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.spoolHits[id]++
+}
+
+// recordColSelect counts one predicate compiled to selection kernels.
+func (s *collector) recordColSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.colSelects++
+}
+
+// recordColHash counts one column-at-a-time hash-key extraction pass.
+func (s *collector) recordColHash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.colHashes++
 }
 
 func (s *collector) recordStmt(i int, d time.Duration) {
@@ -213,6 +236,8 @@ func (s *collector) snapshot(wall time.Duration) *Stats {
 		FallbackReason: s.fallback,
 		Morsels:        s.morsels,
 		ParallelOps:    s.parallelOps,
+		ColSelections:  s.colSelects,
+		ColHashPasses:  s.colHashes,
 		WallTime:       wall,
 	}
 	if !s.sequential {

@@ -1,0 +1,696 @@
+package exec
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/scalar"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// Selection-vector kernels: a scan/filter predicate is split into top-level
+// conjuncts, and each conjunct that matches a supported shape (column vs
+// constant comparison, column vs column on matching kinds, column LIKE
+// pattern) is compiled into a typed loop over the columnar shadow. The
+// first kernel scans its column range densely, producing a []int32
+// selection vector; later kernels refine it in place; conjuncts that don't
+// kernelize are folded into a single row-wise residual that only sees the
+// surviving rows. Kernels replicate sqltypes.Compare exactly — NULL drops
+// the row, cross-kind numerics compare through float64, mismatched
+// non-numeric kinds compare by kind ordinal, NaN sorts first — so the
+// columnar plane is byte-identical to the row plane by construction (and
+// the difftest matrix pins it).
+
+// selKernel is one conjunct compiled against the columnar form. dense scans
+// rows [lo,hi) appending passing indices to out; pass is the same predicate
+// row-at-a-time, used for refining an existing (already reduced) selection.
+type selKernel struct {
+	dense func(lo, hi int32, out []int32) []int32
+	pass  func(i int32) bool
+}
+
+// colSelection is a fully compiled predicate: kernels plus the row-wise
+// residual for conjuncts that didn't kernelize (nil when all did).
+type colSelection struct {
+	kernels  []selKernel
+	residual scalar.EvalFn
+}
+
+// buildColSelection compiles a filter (subqueries must already be
+// substituted) into a colSelection over cd. layout maps column IDs to
+// ordinals in cd/the row form — for scans these coincide with the table's
+// column ordinals, for spools with the spool's declared layout. Returns nil
+// when no conjunct kernelizes (callers fall back to the row path wholesale,
+// so compile errors surface through the existing path too).
+func (c *Context) buildColSelection(filter *scalar.Expr, cd *storage.ColumnData, layout map[scalar.ColID]int) *colSelection {
+	if !c.colPlane || cd == nil || filter == nil {
+		return nil
+	}
+	conjs := scalar.Conjuncts(filter)
+	var kernels []selKernel
+	var rest []*scalar.Expr
+	for _, e := range conjs {
+		if k, ok := kernelize(e, cd, layout); ok {
+			kernels = append(kernels, k)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	if len(kernels) == 0 {
+		return nil
+	}
+	cs := &colSelection{kernels: kernels}
+	if len(rest) > 0 {
+		fn, err := scalar.Compile(scalar.And(rest...), layout)
+		if err != nil {
+			return nil
+		}
+		cs.residual = fn
+	}
+	c.stats.recordColSelect()
+	return cs
+}
+
+// apply selects the passing rows of [lo, hi): dense first kernel, then
+// refinement, then the residual over survivors.
+func (cs *colSelection) apply(rows []sqltypes.Row, lo, hi int) []int32 {
+	sel := cs.kernels[0].dense(int32(lo), int32(hi), make([]int32, 0, hi-lo))
+	return cs.refineFrom(rows, sel, 1)
+}
+
+// refineSel refines an existing selection (e.g. an index-scan span) through
+// every kernel and the residual; the selection's order is preserved.
+func (cs *colSelection) refineSel(rows []sqltypes.Row, sel []int32) []int32 {
+	return cs.refineFrom(rows, sel, 0)
+}
+
+func (cs *colSelection) refineFrom(rows []sqltypes.Row, sel []int32, from int) []int32 {
+	for _, k := range cs.kernels[from:] {
+		if len(sel) == 0 {
+			return sel
+		}
+		out := sel[:0]
+		for _, i := range sel {
+			if k.pass(i) {
+				out = append(out, i)
+			}
+		}
+		sel = out
+	}
+	if cs.residual != nil && len(sel) > 0 {
+		out := sel[:0]
+		for _, i := range sel {
+			d := cs.residual(rows[i])
+			if !d.IsNull() && d.Bool() {
+				out = append(out, i)
+			}
+		}
+		sel = out
+	}
+	return sel
+}
+
+// kernelize compiles one conjunct, reporting false when its shape or types
+// are unsupported (it then joins the residual).
+func kernelize(e *scalar.Expr, cd *storage.ColumnData, layout map[scalar.ColID]int) (selKernel, bool) {
+	switch e.Op {
+	case scalar.OpEq, scalar.OpNe, scalar.OpLt, scalar.OpLe, scalar.OpGt, scalar.OpGe:
+		l, r := e.Args[0], e.Args[1]
+		switch {
+		case l.Op == scalar.OpCol && r.Op == scalar.OpConst:
+			return cmpColConst(e.Op, l.Col, r.Const, cd, layout)
+		case l.Op == scalar.OpConst && r.Op == scalar.OpCol:
+			return cmpColConst(flipCmp(e.Op), r.Col, l.Const, cd, layout)
+		case l.Op == scalar.OpCol && r.Op == scalar.OpCol:
+			return cmpColCol(e.Op, l.Col, r.Col, cd, layout)
+		}
+	case scalar.OpLike:
+		if e.Args[0].Op == scalar.OpCol && e.Args[1].Op == scalar.OpConst {
+			return likeColConst(e.Args[0].Col, e.Args[1].Const, cd, layout)
+		}
+	case scalar.OpConst:
+		d := e.Const
+		if d.IsNull() {
+			return neverKernel(), true
+		}
+		if d.Kind() == sqltypes.KindBool {
+			if d.Bool() {
+				return allKernel(), true
+			}
+			return neverKernel(), true
+		}
+	}
+	return selKernel{}, false
+}
+
+// flipCmp mirrors a comparison for swapped operands: const op col becomes
+// col flip(op) const.
+func flipCmp(op scalar.Op) scalar.Op {
+	switch op {
+	case scalar.OpLt:
+		return scalar.OpGt
+	case scalar.OpLe:
+		return scalar.OpGe
+	case scalar.OpGt:
+		return scalar.OpLt
+	case scalar.OpGe:
+		return scalar.OpLe
+	default:
+		return op
+	}
+}
+
+// cmpVerdict applies a comparison operator to a Compare result.
+func cmpVerdict(op scalar.Op, c int) bool {
+	switch op {
+	case scalar.OpEq:
+		return c == 0
+	case scalar.OpNe:
+		return c != 0
+	case scalar.OpLt:
+		return c < 0
+	case scalar.OpLe:
+		return c <= 0
+	case scalar.OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// colOf resolves a column reference to its typed chunk, rejecting columns
+// without one (missing from the layout, out of range, or heterogeneous).
+func colOf(id scalar.ColID, cd *storage.ColumnData, layout map[scalar.ColID]int) (*storage.Column, bool) {
+	pos, ok := layout[id]
+	if !ok || pos < 0 || pos >= len(cd.Cols) {
+		return nil, false
+	}
+	col := &cd.Cols[pos]
+	if !col.OK {
+		return nil, false
+	}
+	return col, true
+}
+
+func cmpColConst(op scalar.Op, id scalar.ColID, cv sqltypes.Datum, cd *storage.ColumnData, layout map[scalar.ColID]int) (selKernel, bool) {
+	col, ok := colOf(id, cd, layout)
+	if !ok {
+		return selKernel{}, false
+	}
+	if cv.IsNull() || col.Kind == sqltypes.KindNull {
+		// A comparison with NULL is NULL for every row: nothing passes.
+		return neverKernel(), true
+	}
+	ck, vk := col.Kind, cv.Kind()
+	switch {
+	case ck == vk && (ck == sqltypes.KindInt || ck == sqltypes.KindDate):
+		return intCmpKernel(col.Ints, col.Valid, op, cv.Int()), true
+	case ck == vk && ck == sqltypes.KindBool:
+		var b int64
+		if cv.Bool() {
+			b = 1
+		}
+		return intCmpKernel(col.Ints, col.Valid, op, b), true
+	case ck == sqltypes.KindFloat && vk.Numeric():
+		cf := cv.Float()
+		if math.IsNaN(cf) {
+			return floatNaNConstKernel(col.Floats, col.Valid, op), true
+		}
+		return floatCmpKernel(col.Floats, col.Valid, op, cf), true
+	case ck == sqltypes.KindInt && vk == sqltypes.KindFloat:
+		cf := cv.Float()
+		if math.IsNaN(cf) {
+			// cmpFloat(v, NaN) is +1 for every (never-NaN) int value.
+			return verdictKernel(cmpVerdict(op, 1), col.Valid), true
+		}
+		return intFloatCmpKernel(col.Ints, col.Valid, op, cf), true
+	case ck == vk && ck == sqltypes.KindString:
+		mask := make([]bool, len(col.Dict))
+		s := cv.Str()
+		for k, ds := range col.Dict {
+			mask[k] = cmpVerdict(op, strings.Compare(ds, s))
+		}
+		return maskKernel(col.Codes, col.Valid, mask), true
+	default:
+		// Mismatched kinds outside the numeric tower compare by kind
+		// ordinal — a constant verdict for every non-NULL row.
+		return verdictKernel(cmpVerdict(op, cmpKinds(ck, vk)), col.Valid), true
+	}
+}
+
+func cmpKinds(a, b sqltypes.Kind) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpColCol(op scalar.Op, ida, idb scalar.ColID, cd *storage.ColumnData, layout map[scalar.ColID]int) (selKernel, bool) {
+	a, okA := colOf(ida, cd, layout)
+	b, okB := colOf(idb, cd, layout)
+	if !okA || !okB {
+		return selKernel{}, false
+	}
+	if a.Kind == sqltypes.KindNull || b.Kind == sqltypes.KindNull {
+		return neverKernel(), true
+	}
+	if a.Kind != b.Kind {
+		return selKernel{}, false // cross-kind column pairs stay row-wise
+	}
+	switch a.Kind {
+	case sqltypes.KindInt, sqltypes.KindDate, sqltypes.KindBool:
+		return intPairKernel(a.Ints, b.Ints, a.Valid, b.Valid, op), true
+	case sqltypes.KindFloat:
+		return floatPairKernel(a.Floats, b.Floats, a.Valid, b.Valid, op), true
+	default:
+		return selKernel{}, false
+	}
+}
+
+func likeColConst(id scalar.ColID, cv sqltypes.Datum, cd *storage.ColumnData, layout map[scalar.ColID]int) (selKernel, bool) {
+	col, ok := colOf(id, cd, layout)
+	if !ok {
+		return selKernel{}, false
+	}
+	// LIKE yields NULL (filter-false) unless both sides are strings.
+	if cv.Kind() != sqltypes.KindString || col.Kind != sqltypes.KindString {
+		return neverKernel(), true
+	}
+	// One LIKE evaluation per distinct string, then O(1) per row.
+	pat := cv.Str()
+	mask := make([]bool, len(col.Dict))
+	for k, ds := range col.Dict {
+		mask[k] = scalar.LikeMatch(ds, pat)
+	}
+	return maskKernel(col.Codes, col.Valid, mask), true
+}
+
+// bitSet reports whether bit i of the validity bitmap is set.
+func bitSet(bm []uint64, i int32) bool {
+	return bm[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
+}
+
+// ok2 reports row validity against an optional bitmap.
+func ok1(valid []uint64, i int32) bool { return valid == nil || bitSet(valid, i) }
+
+func allKernel() selKernel {
+	return selKernel{
+		dense: func(lo, hi int32, out []int32) []int32 {
+			for i := lo; i < hi; i++ {
+				out = append(out, i)
+			}
+			return out
+		},
+		pass: func(int32) bool { return true },
+	}
+}
+
+func neverKernel() selKernel {
+	return selKernel{
+		dense: func(_, _ int32, out []int32) []int32 { return out },
+		pass:  func(int32) bool { return false },
+	}
+}
+
+// verdictKernel selects every valid row (verdict true) or nothing.
+func verdictKernel(verdict bool, valid []uint64) selKernel {
+	if !verdict {
+		return neverKernel()
+	}
+	if valid == nil {
+		return allKernel()
+	}
+	return selKernel{
+		dense: func(lo, hi int32, out []int32) []int32 {
+			for i := lo; i < hi; i++ {
+				if bitSet(valid, i) {
+					out = append(out, i)
+				}
+			}
+			return out
+		},
+		pass: func(i int32) bool { return bitSet(valid, i) },
+	}
+}
+
+// intCmpKernel compares an int64-backed column (INT, DATE, BOOL payloads)
+// against a constant.
+func intCmpKernel(vals []int64, valid []uint64, op scalar.Op, cv int64) selKernel {
+	switch op {
+	case scalar.OpEq:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] == cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] == cv },
+		}
+	case scalar.OpNe:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] != cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] != cv },
+		}
+	case scalar.OpLt:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] < cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] < cv },
+		}
+	case scalar.OpLe:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] <= cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] <= cv },
+		}
+	case scalar.OpGt:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] > cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] > cv },
+		}
+	default: // OpGe
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] >= cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] >= cv },
+		}
+	}
+}
+
+// floatCmpKernel compares a float column against a non-NaN constant with
+// Compare's total order: NaN values sort before everything, so they pass
+// OpLt/OpLe/OpNe and fail OpEq/OpGt/OpGe — which is what the IEEE
+// comparisons below produce, except for Lt/Le where NaN must pass.
+func floatCmpKernel(vals []float64, valid []uint64, op scalar.Op, cv float64) selKernel {
+	switch op {
+	case scalar.OpEq:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] == cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] == cv },
+		}
+	case scalar.OpNe:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] != cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] != cv },
+		}
+	case scalar.OpLt:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && (vals[i] < cv || math.IsNaN(vals[i])) {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && (vals[i] < cv || math.IsNaN(vals[i])) },
+		}
+	case scalar.OpLe:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && (vals[i] <= cv || math.IsNaN(vals[i])) {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && (vals[i] <= cv || math.IsNaN(vals[i])) },
+		}
+	case scalar.OpGt:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] > cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] > cv },
+		}
+	default: // OpGe
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && vals[i] >= cv {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && vals[i] >= cv },
+		}
+	}
+}
+
+// floatNaNConstKernel compares a float column against a NaN constant:
+// cmpFloat(v, NaN) is 0 for NaN values and +1 otherwise.
+func floatNaNConstKernel(vals []float64, valid []uint64, op scalar.Op) selKernel {
+	switch op {
+	case scalar.OpEq, scalar.OpLe: // cmp==0: NaN values only
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && math.IsNaN(vals[i]) {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && math.IsNaN(vals[i]) },
+		}
+	case scalar.OpNe, scalar.OpGt: // cmp==+1: non-NaN values only
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && !math.IsNaN(vals[i]) {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && !math.IsNaN(vals[i]) },
+		}
+	case scalar.OpGe: // cmp >= 0 always
+		return verdictKernel(true, valid)
+	default: // OpLt: cmp < 0 never
+		return neverKernel()
+	}
+}
+
+// intFloatCmpKernel compares an int column against a non-NaN float
+// constant by widening each value, exactly as Compare does for cross-kind
+// numerics.
+func intFloatCmpKernel(vals []int64, valid []uint64, op scalar.Op, cf float64) selKernel {
+	switch op {
+	case scalar.OpEq:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && float64(vals[i]) == cf {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && float64(vals[i]) == cf },
+		}
+	case scalar.OpNe:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && float64(vals[i]) != cf {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && float64(vals[i]) != cf },
+		}
+	case scalar.OpLt:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && float64(vals[i]) < cf {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && float64(vals[i]) < cf },
+		}
+	case scalar.OpLe:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && float64(vals[i]) <= cf {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && float64(vals[i]) <= cf },
+		}
+	case scalar.OpGt:
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && float64(vals[i]) > cf {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && float64(vals[i]) > cf },
+		}
+	default: // OpGe
+		return selKernel{
+			dense: func(lo, hi int32, out []int32) []int32 {
+				for i := lo; i < hi; i++ {
+					if ok1(valid, i) && float64(vals[i]) >= cf {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+			pass: func(i int32) bool { return ok1(valid, i) && float64(vals[i]) >= cf },
+		}
+	}
+}
+
+// maskKernel selects rows whose dictionary code is set in the precomputed
+// per-distinct-value mask (string comparisons and LIKE).
+func maskKernel(codes []uint32, valid []uint64, mask []bool) selKernel {
+	return selKernel{
+		dense: func(lo, hi int32, out []int32) []int32 {
+			for i := lo; i < hi; i++ {
+				if ok1(valid, i) && mask[codes[i]] {
+					out = append(out, i)
+				}
+			}
+			return out
+		},
+		pass: func(i int32) bool { return ok1(valid, i) && mask[codes[i]] },
+	}
+}
+
+// intPairKernel compares two int64-backed columns of the same kind.
+func intPairKernel(a, b []int64, va, vb []uint64, op scalar.Op) selKernel {
+	pass := func(i int32) bool {
+		if !ok1(va, i) || !ok1(vb, i) {
+			return false
+		}
+		switch op {
+		case scalar.OpEq:
+			return a[i] == b[i]
+		case scalar.OpNe:
+			return a[i] != b[i]
+		case scalar.OpLt:
+			return a[i] < b[i]
+		case scalar.OpLe:
+			return a[i] <= b[i]
+		case scalar.OpGt:
+			return a[i] > b[i]
+		default:
+			return a[i] >= b[i]
+		}
+	}
+	return pairKernel(pass)
+}
+
+// floatPairKernel compares two float columns with Compare's NaN-first total
+// order.
+func floatPairKernel(a, b []float64, va, vb []uint64, op scalar.Op) selKernel {
+	pass := func(i int32) bool {
+		if !ok1(va, i) || !ok1(vb, i) {
+			return false
+		}
+		x, y := a[i], b[i]
+		switch op {
+		case scalar.OpEq:
+			return x == y || (math.IsNaN(x) && math.IsNaN(y))
+		case scalar.OpNe:
+			return x != y && !(math.IsNaN(x) && math.IsNaN(y))
+		case scalar.OpLt:
+			return x < y || (math.IsNaN(x) && !math.IsNaN(y))
+		case scalar.OpLe:
+			return x <= y || math.IsNaN(x)
+		case scalar.OpGt:
+			return x > y || (math.IsNaN(y) && !math.IsNaN(x))
+		default:
+			return x >= y || math.IsNaN(y)
+		}
+	}
+	return pairKernel(pass)
+}
+
+// pairKernel builds a kernel from a row predicate; pair comparisons are
+// rare enough that the per-row indirect call is acceptable.
+func pairKernel(pass func(i int32) bool) selKernel {
+	return selKernel{
+		dense: func(lo, hi int32, out []int32) []int32 {
+			for i := lo; i < hi; i++ {
+				if pass(i) {
+					out = append(out, i)
+				}
+			}
+			return out
+		},
+		pass: pass,
+	}
+}

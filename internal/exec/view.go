@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"repro/internal/opt"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// sourceView returns columnar data aligned index-for-index with rows, when
+// rows are a storage-backed set that execSource (or exec) handed back shared:
+// an unfiltered scan's own table rows, or a spool work table. Alignment is
+// verified by slice identity against the backing store, never inferred from
+// plan shape, so projected/filtered/copied row sets can never pick up a
+// mismatched view. Returns nil when the column plane is off or no aligned
+// columnar form exists.
+func (c *Context) sourceView(p *opt.Plan, rows []sqltypes.Row) *storage.ColumnData {
+	if !c.colPlane || len(rows) == 0 {
+		return nil
+	}
+	switch p.Op {
+	case opt.PScan:
+		if p.Filter != nil {
+			return nil
+		}
+		rel := c.Md.Rel(p.Rel)
+		tab, err := c.Store.Table(rel.Tab.Name)
+		if err != nil || len(tab.Rows) != len(rows) || &tab.Rows[0] != &rows[0] {
+			return nil
+		}
+		return tab.Columns()
+	case opt.PSpoolScan:
+		e, ok := c.spools[p.SpoolID]
+		if !ok || e.box == nil {
+			return nil
+		}
+		brows := e.box.Rows()
+		if len(brows) != len(rows) || &brows[0] != &rows[0] {
+			return nil
+		}
+		return e.box.Columns()
+	}
+	return nil
+}
+
+// tableView returns a table's columnar form when the column plane is on.
+func (c *Context) tableView(tab *storage.Table) *storage.ColumnData {
+	if !c.colPlane {
+		return nil
+	}
+	return tab.Columns()
+}
+
+// selectShared keeps the rows selected by the kernels, sharing them with the
+// input — the columnar counterpart of filterShared, with identical output.
+func (c *Context) selectShared(p *opt.Plan, rows []sqltypes.Row, cs *colSelection) ([]sqltypes.Row, error) {
+	return c.runMorsels(p, len(rows), func(_ *sqltypes.RowArena, lo, hi int, out *[]sqltypes.Row) error {
+		for _, i := range cs.apply(rows, lo, hi) {
+			*out = append(*out, rows[i])
+		}
+		return nil
+	})
+}

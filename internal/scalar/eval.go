@@ -156,7 +156,7 @@ func Compile(e *Expr, layout map[ColID]int) (EvalFn, error) {
 			if a.Kind() != sqltypes.KindString || b.Kind() != sqltypes.KindString {
 				return sqltypes.Null
 			}
-			return sqltypes.NewBool(likeMatch(a.Str(), b.Str()))
+			return sqltypes.NewBool(LikeMatch(a.Str(), b.Str()))
 		}, nil
 
 	case OpAgg:
@@ -230,9 +230,11 @@ func EvalPredicate(e *Expr, layout map[ColID]int, row sqltypes.Row) (bool, error
 	return !d.IsNull() && d.Bool(), nil
 }
 
-// likeMatch implements SQL LIKE: '%' matches any sequence, '_' any single
+// LikeMatch implements SQL LIKE: '%' matches any sequence, '_' any single
 // character. Matching is case-sensitive, by iterative backtracking on '%'.
-func likeMatch(s, pattern string) bool {
+// Exported so the executor's dictionary-mask kernels can evaluate a LIKE
+// once per distinct string instead of once per row.
+func LikeMatch(s, pattern string) bool {
 	si, pi := 0, 0
 	star, ss := -1, 0
 	for si < len(s) {

@@ -393,7 +393,7 @@ func TestLikeMatchesRegexpReference(t *testing.T) {
 		}, s)
 		p := build(pSeed, int(pLen%8))
 		re := regexp.MustCompile(toRegexp(p))
-		return likeMatch(s, p) == re.MatchString(s)
+		return LikeMatch(s, p) == re.MatchString(s)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
 		t.Error(err)

@@ -2,6 +2,7 @@ package sqltypes
 
 import (
 	"hash/maphash"
+	"math"
 	"strings"
 )
 
@@ -40,6 +41,14 @@ func CompareRows(a, b Row) int {
 }
 
 // Hasher hashes rows and datum keys consistently within one process.
+//
+// Hashing is typed-first: each datum is reduced to a 64-bit key encoding
+// (DatumBits) by a single kind switch — numerics through their float64 bit
+// pattern so INT 2 and FLOAT 2.0 still collide, strings through a seeded
+// maphash — and the per-column encodings are folded with a splitmix64-style
+// mixer. This replaces streaming every datum byte-by-byte through a
+// maphash.Hash, which dominated hash join builds and aggregation grouping.
+// The invariant is unchanged: datums that Compare equal hash equal.
 type Hasher struct {
 	seed maphash.Seed
 }
@@ -47,37 +56,98 @@ type Hasher struct {
 // NewHasher returns a hasher with a process-stable random seed.
 func NewHasher() *Hasher { return &Hasher{seed: maphash.MakeSeed()} }
 
+// Key-encoding tags: arbitrary odd constants separating the kind classes
+// that can never compare equal (NULL / bool / numeric / string).
+const (
+	nullBits = 0x517cc1b727220a95
+	boolTag  = 0xbf58476d1ce4e5b9
+	numTag   = 0x94d049bb133111eb
+)
+
+// MixBits folds one column's key encoding into a running row hash. The
+// fold is order-dependent (splitmix64 over h+v), so multi-column keys can
+// be accumulated column-at-a-time: pass the previous column's result as h.
+func MixBits(h, v uint64) uint64 {
+	x := h + 0x9e3779b97f4a7c15 + v
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NullBits is the key encoding of SQL NULL.
+func NullBits() uint64 { return nullBits }
+
+// BoolBits is the key encoding of a boolean payload.
+func BoolBits(v bool) uint64 {
+	if v {
+		return boolTag + 1
+	}
+	return boolTag
+}
+
+// NumericBits is the key encoding of an INT, FLOAT, or DATE payload widened
+// to float64 (with -0.0 normalized), mirroring Compare's cross-kind
+// numeric equality.
+func NumericBits(f float64) uint64 {
+	if f == 0 {
+		f = 0 // normalize -0.0
+	}
+	return numTag ^ math.Float64bits(f)
+}
+
+// StringBits is the key encoding of a string payload under this hasher's
+// seed; equal strings encode equally within one process.
+func (hs *Hasher) StringBits(s string) uint64 {
+	return maphash.String(hs.seed, s)
+}
+
+// DatumBits returns the datum's 64-bit key encoding: datums that Compare
+// equal have equal bits.
+func (hs *Hasher) DatumBits(d Datum) uint64 {
+	switch d.kind {
+	case KindNull:
+		return nullBits
+	case KindBool:
+		return BoolBits(d.i != 0)
+	case KindInt, KindDate, KindFloat:
+		return NumericBits(d.Float())
+	default:
+		return hs.StringBits(d.s)
+	}
+}
+
 // HashRow returns a hash of the given columns of the row (all columns when
 // cols is nil).
 func (hs *Hasher) HashRow(r Row, cols []int) uint64 {
-	var h maphash.Hash
-	h.SetSeed(hs.seed)
+	var h uint64
 	if cols == nil {
 		for _, d := range r {
-			d.HashInto(&h)
+			h = MixBits(h, hs.DatumBits(d))
 		}
 	} else {
 		for _, c := range cols {
-			r[c].HashInto(&h)
+			h = MixBits(h, hs.DatumBits(r[c]))
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // HashKey hashes the given columns like HashRow but reports ok=false as
 // soon as one of them is NULL, in the same pass — the join-key guard (NULL
 // keys never match) without a separate scan over the key columns.
 func (hs *Hasher) HashKey(r Row, cols []int) (uint64, bool) {
-	var h maphash.Hash
-	h.SetSeed(hs.seed)
+	var h uint64
 	for _, c := range cols {
 		d := r[c]
 		if d.IsNull() {
 			return 0, false
 		}
-		d.HashInto(&h)
+		h = MixBits(h, hs.DatumBits(d))
 	}
-	return h.Sum64(), true
+	return h, true
 }
 
 // RowSize returns the approximate in-memory size of the row in bytes.

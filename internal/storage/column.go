@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"repro/internal/sqltypes"
+)
+
+// Columnar shadow of a row set. Rows stay the source of truth everywhere —
+// mutation, spool materialization, cache entries, results — but scans,
+// filters, and hash builds are dominated by per-datum dispatch over []Row,
+// so a Table (and any spool work table, via ColBox) carries a derived
+// column-major form: one typed slice per column plus a validity bitmap. The
+// executor's selection-vector kernels run over these slices and only touch
+// the row form for the rows that survive.
+//
+// The columnar form is built lazily on first use and invalidated by an
+// epoch counter that every mutation path bumps (Store.Insert, Store.Touch,
+// Table.Append); in-place row mutations (view delta merges) go through
+// Touch, so staleness is explicit rather than inferred from row counts.
+
+// Column is the typed form of one column over a row set. Exactly one of the
+// value slices is populated, chosen by Kind; Valid is a bitmap with one bit
+// per row (set = non-NULL), nil when the column has no NULLs.
+type Column struct {
+	// Kind is the uniform kind of the column's non-NULL values; KindNull
+	// when every value is NULL.
+	Kind sqltypes.Kind
+
+	// OK is false when the column mixes value kinds (heterogeneous data has
+	// no typed form); such a column has no slices and readers must fall back
+	// to the row form.
+	OK bool
+
+	// Valid has bit i set when row i is non-NULL; nil means no NULLs.
+	Valid []uint64
+
+	// Ints holds KindInt and KindDate payloads, and KindBool as 0/1.
+	Ints []int64
+
+	// Floats holds KindFloat payloads.
+	Floats []float64
+
+	// Dict and Codes dictionary-encode KindString: Codes[i] indexes Dict.
+	// Codes are 32-bit, so dictionaries may exceed 64k distinct strings.
+	Dict  []string
+	Codes []uint32
+}
+
+// IsValid reports whether row i is non-NULL.
+func (c *Column) IsValid(i int) bool {
+	return c.Valid == nil || c.Valid[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// NullCount returns the number of NULL rows out of n.
+func (c *Column) NullCount(n int) int {
+	if c.Valid == nil {
+		return 0
+	}
+	valid := 0
+	for _, w := range c.Valid {
+		valid += bits.OnesCount64(w)
+	}
+	return n - valid
+}
+
+// Datum decodes row i back to its datum form. It must only be called on OK
+// columns; the round-trip is exact (same kind, same payload).
+func (c *Column) Datum(i int) sqltypes.Datum {
+	if !c.IsValid(i) {
+		return sqltypes.Null
+	}
+	switch c.Kind {
+	case sqltypes.KindInt:
+		return sqltypes.NewInt(c.Ints[i])
+	case sqltypes.KindDate:
+		return sqltypes.NewDate(c.Ints[i])
+	case sqltypes.KindBool:
+		return sqltypes.NewBool(c.Ints[i] != 0)
+	case sqltypes.KindFloat:
+		return sqltypes.NewFloat(c.Floats[i])
+	case sqltypes.KindString:
+		return sqltypes.NewString(c.Dict[c.Codes[i]])
+	default:
+		return sqltypes.Null
+	}
+}
+
+// ColumnData is the columnar form of one row set.
+type ColumnData struct {
+	NRows int
+	Cols  []Column
+
+	// epoch is the Table mutation counter the build observed; a mismatch
+	// with the current counter means the data is stale.
+	epoch uint64
+}
+
+// BuildColumns encodes a row set column-major. It returns nil when the rows
+// cannot be represented (row count beyond the selection vector's int32
+// domain); individual heterogeneous columns are marked !OK instead of
+// failing the whole set.
+func BuildColumns(rows []sqltypes.Row) *ColumnData {
+	if len(rows) > math.MaxInt32 {
+		return nil
+	}
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	cd := &ColumnData{NRows: len(rows), Cols: make([]Column, width)}
+	for ci := range cd.Cols {
+		buildColumn(&cd.Cols[ci], rows, ci)
+	}
+	return cd
+}
+
+func buildColumn(col *Column, rows []sqltypes.Row, ci int) {
+	n := len(rows)
+	col.Kind = sqltypes.KindNull
+	col.OK = true
+	var dict map[string]uint32
+	anyNull := false
+	for i, r := range rows {
+		d := r[ci]
+		if d.IsNull() {
+			anyNull = true
+			continue
+		}
+		k := d.Kind()
+		if col.Kind == sqltypes.KindNull {
+			// First non-NULL value fixes the column's kind and allocates its
+			// value slice (zero-filled up to here for the NULL prefix).
+			col.Kind = k
+			switch k {
+			case sqltypes.KindInt, sqltypes.KindDate, sqltypes.KindBool:
+				col.Ints = make([]int64, n)
+			case sqltypes.KindFloat:
+				col.Floats = make([]float64, n)
+			case sqltypes.KindString:
+				col.Codes = make([]uint32, n)
+				dict = make(map[string]uint32)
+			}
+		} else if k != col.Kind {
+			*col = Column{Kind: k, OK: false}
+			return
+		}
+		switch k {
+		case sqltypes.KindInt, sqltypes.KindDate:
+			col.Ints[i] = d.Int()
+		case sqltypes.KindBool:
+			if d.Bool() {
+				col.Ints[i] = 1
+			}
+		case sqltypes.KindFloat:
+			col.Floats[i] = d.Float()
+		case sqltypes.KindString:
+			s := d.Str()
+			code, ok := dict[s]
+			if !ok {
+				code = uint32(len(col.Dict))
+				dict[s] = code
+				col.Dict = append(col.Dict, s)
+			}
+			col.Codes[i] = code
+		}
+	}
+	if anyNull {
+		col.Valid = make([]uint64, (n+63)/64)
+		for i, r := range rows {
+			if !r[ci].IsNull() {
+				col.Valid[uint(i)>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+}
+
+// ColBox pairs a materialized row set with its lazily built columnar form.
+// Spool work tables and cross-batch cache entries hold a ColBox so the
+// column slices are shared by reference everywhere the rows are: a cache hit
+// hands back both forms without copying or re-encoding.
+type ColBox struct {
+	rows []sqltypes.Row
+	once sync.Once
+	cols *ColumnData
+}
+
+// NewColBox wraps a row set. The rows must not be mutated afterwards (the
+// same immutability spool consumers already rely on).
+func NewColBox(rows []sqltypes.Row) *ColBox { return &ColBox{rows: rows} }
+
+// Rows returns the row form.
+func (b *ColBox) Rows() []sqltypes.Row {
+	if b == nil {
+		return nil
+	}
+	return b.rows
+}
+
+// Columns returns the columnar form, building it exactly once across
+// concurrent callers.
+func (b *ColBox) Columns() *ColumnData {
+	if b == nil {
+		return nil
+	}
+	b.once.Do(func() { b.cols = BuildColumns(b.rows) })
+	return b.cols
+}
+
+// columnar caching on Table: an epoch counter bumped by every mutation, and
+// an atomically published build stamped with the epoch it observed.
+
+// InvalidateColumns marks the table's columnar form stale. Mutation paths
+// (Insert, Touch, Append) call it; external in-place mutators signal through
+// Store.Touch, which forwards here.
+func (t *Table) InvalidateColumns() { t.colEpoch.Add(1) }
+
+// Columns returns the table's columnar form, (re)building it when a
+// mutation has occurred since the last build. Concurrent readers are safe
+// against each other; mutations are serialized against reads by the engine,
+// as for Rows itself. Returns nil when the table cannot be encoded.
+func (t *Table) Columns() *ColumnData {
+	epoch := t.colEpoch.Load()
+	if cd := t.colData.Load(); cd != nil && cd.epoch == epoch {
+		return cd
+	}
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	epoch = t.colEpoch.Load()
+	if cd := t.colData.Load(); cd != nil && cd.epoch == epoch {
+		return cd
+	}
+	cd := BuildColumns(t.Rows)
+	if cd == nil {
+		return nil
+	}
+	cd.epoch = epoch
+	t.colData.Store(cd)
+	return cd
+}

@@ -1,0 +1,374 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+)
+
+// roundTrip asserts that decoding every OK column of the table's columnar
+// form reproduces the row datums exactly.
+func roundTrip(t *testing.T, rows []sqltypes.Row) *ColumnData {
+	t.Helper()
+	cd := BuildColumns(rows)
+	if cd == nil {
+		t.Fatal("BuildColumns returned nil")
+	}
+	if cd.NRows != len(rows) {
+		t.Fatalf("NRows = %d, want %d", cd.NRows, len(rows))
+	}
+	for ci := range cd.Cols {
+		col := &cd.Cols[ci]
+		if !col.OK {
+			continue
+		}
+		for i, r := range rows {
+			got, want := col.Datum(i), r[ci]
+			if got.Kind() != want.Kind() || sqltypes.Compare(got, want) != 0 {
+				t.Fatalf("col %d row %d: decoded %v (%s), want %v (%s)",
+					ci, i, got, got.Kind(), want, want.Kind())
+			}
+		}
+	}
+	return cd
+}
+
+func TestBuildColumnsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var rows []sqltypes.Row
+	for i := 0; i < 500; i++ {
+		r := sqltypes.Row{
+			sqltypes.NewInt(rng.Int63n(100) - 50),
+			sqltypes.NewFloat(rng.NormFloat64()),
+			sqltypes.NewString(fmt.Sprintf("s%d", rng.Intn(20))),
+			sqltypes.NewDate(int64(rng.Intn(10000))),
+			sqltypes.NewBool(rng.Intn(2) == 0),
+		}
+		// Sprinkle NULLs into every column.
+		for ci := range r {
+			if rng.Intn(7) == 0 {
+				r[ci] = sqltypes.Null
+			}
+		}
+		rows = append(rows, r)
+	}
+	// Edge floats: NaN, ±0, ±Inf.
+	rows = append(rows,
+		sqltypes.Row{sqltypes.NewInt(0), sqltypes.NewFloat(math.NaN()), sqltypes.NewString(""), sqltypes.Null, sqltypes.NewBool(true)},
+		sqltypes.Row{sqltypes.NewInt(0), sqltypes.NewFloat(math.Copysign(0, -1)), sqltypes.NewString(""), sqltypes.Null, sqltypes.NewBool(false)},
+		sqltypes.Row{sqltypes.NewInt(0), sqltypes.NewFloat(math.Inf(-1)), sqltypes.NewString("z"), sqltypes.Null, sqltypes.NewBool(false)},
+	)
+	cd := roundTrip(t, rows)
+	for ci, col := range cd.Cols {
+		if !col.OK {
+			t.Errorf("col %d not OK", ci)
+		}
+		if col.Valid == nil {
+			t.Errorf("col %d: expected a validity bitmap", ci)
+		}
+	}
+}
+
+func TestBuildColumnsEmptyTable(t *testing.T) {
+	cd := BuildColumns(nil)
+	if cd == nil || cd.NRows != 0 || len(cd.Cols) != 0 {
+		t.Fatalf("empty build = %+v", cd)
+	}
+}
+
+func TestBuildColumnsAllNull(t *testing.T) {
+	rows := []sqltypes.Row{{sqltypes.Null}, {sqltypes.Null}, {sqltypes.Null}}
+	cd := roundTrip(t, rows)
+	col := &cd.Cols[0]
+	if col.Kind != sqltypes.KindNull || !col.OK {
+		t.Fatalf("all-NULL column: kind %s ok %v", col.Kind, col.OK)
+	}
+	if got := col.NullCount(3); got != 3 {
+		t.Fatalf("NullCount = %d, want 3", got)
+	}
+}
+
+func TestBuildColumnsMixedKindsNotOK(t *testing.T) {
+	rows := []sqltypes.Row{{sqltypes.NewInt(1)}, {sqltypes.NewString("x")}}
+	cd := BuildColumns(rows)
+	if cd.Cols[0].OK {
+		t.Fatal("heterogeneous column marked OK")
+	}
+}
+
+func TestDictionaryOverflow64k(t *testing.T) {
+	// More than 64k distinct strings: 32-bit codes must keep every entry
+	// distinct where 16-bit codes would wrap.
+	const n = 70_000
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewString(fmt.Sprintf("v%06d", i))}
+	}
+	cd := BuildColumns(rows)
+	col := &cd.Cols[0]
+	if len(col.Dict) != n {
+		t.Fatalf("dict size = %d, want %d", len(col.Dict), n)
+	}
+	for _, i := range []int{0, 1, 65535, 65536, 65537, n - 1} {
+		if got, want := col.Datum(i).Str(), fmt.Sprintf("v%06d", i); got != want {
+			t.Fatalf("row %d decoded %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestColumnsInvalidation(t *testing.T) {
+	s := NewStore()
+	tab := s.Create("t")
+	if err := s.Insert("t", []sqltypes.Row{{sqltypes.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	cd1 := tab.Columns()
+	if cd1 == nil || cd1.NRows != 1 {
+		t.Fatalf("first build = %+v", cd1)
+	}
+	if cd2 := tab.Columns(); cd2 != cd1 {
+		t.Fatal("unchanged table rebuilt its columns")
+	}
+	if err := s.Insert("t", []sqltypes.Row{{sqltypes.NewInt(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	cd3 := tab.Columns()
+	if cd3 == cd1 || cd3.NRows != 2 {
+		t.Fatalf("insert did not invalidate columns: %+v", cd3)
+	}
+	// In-place mutation signaled by Touch.
+	tab.Rows[0][0] = sqltypes.NewInt(99)
+	s.Touch("t")
+	cd4 := tab.Columns()
+	if cd4 == cd3 {
+		t.Fatal("Touch did not invalidate columns")
+	}
+	if got := cd4.Cols[0].Ints[0]; got != 99 {
+		t.Fatalf("rebuilt column value = %d, want 99", got)
+	}
+	// Append invalidates too.
+	tab.Append(sqltypes.Row{sqltypes.NewInt(3)})
+	if cd5 := tab.Columns(); cd5 == cd4 || cd5.NRows != 3 {
+		t.Fatal("Append did not invalidate columns")
+	}
+}
+
+// TestConcurrentReadersDuringRebuild drives many concurrent Columns()
+// readers across Touch-signaled rebuilds; run under -race this pins that
+// lazy rebuilding is safe for concurrent readers.
+func TestConcurrentReadersDuringRebuild(t *testing.T) {
+	s := NewStore()
+	tab := s.Create("t")
+	rows := make([]sqltypes.Row, 2000)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("s%d", i%50))}
+	}
+	if err := s.Insert("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cd := tab.Columns()
+				if cd == nil || cd.NRows != 2000 {
+					t.Errorf("reader saw %+v", cd)
+					return
+				}
+				if d := cd.Cols[0].Datum(1); d.Int() != 1 {
+					t.Errorf("decoded %v", d)
+					return
+				}
+			}
+		}()
+	}
+	// Rows are not mutated — only the epoch moves — so readers racing the
+	// rebuild see either the old or the new ColumnData, both valid.
+	for i := 0; i < 50; i++ {
+		s.Touch("t")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestInsertExtendsIndexes is the regression test for indexes built by
+// ANALYZE going stale: rows inserted (or appended) afterwards must be
+// visible in the sorted permutation, in exactly the order a stable rebuild
+// would produce.
+func TestInsertExtendsIndexes(t *testing.T) {
+	ct := &catalog.Table{
+		Name:    "t",
+		Cols:    []catalog.Column{{Name: "k", Type: sqltypes.KindInt}},
+		Indexes: []catalog.Index{{Col: 0}},
+	}
+	s := NewStore()
+	tab := s.Create("t")
+	for _, v := range []int64{5, 1, 3, 3, 9} {
+		tab.Rows = append(tab.Rows, sqltypes.Row{sqltypes.NewInt(v)})
+	}
+	AnalyzeTable(ct, tab)
+	if len(tab.Index(0)) != 5 {
+		t.Fatalf("index len = %d", len(tab.Index(0)))
+	}
+	// Insert after ANALYZE, including duplicate keys.
+	if err := s.Insert("t", []sqltypes.Row{{sqltypes.NewInt(3)}, {sqltypes.NewInt(0)}, {sqltypes.NewInt(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Append(sqltypes.Row{sqltypes.NewInt(5)})
+
+	got := tab.Index(0)
+	// A full stable rebuild is the ground truth.
+	want := make(map[int][]int)
+	wantTab := &Table{Rows: tab.Rows}
+	AnalyzeTable(ct, wantTab)
+	want[0] = wantTab.Index(0)
+	if len(got) != len(tab.Rows) {
+		t.Fatalf("index len = %d, want %d (inserted rows invisible to index scans)", len(got), len(tab.Rows))
+	}
+	for i := range got {
+		if got[i] != want[0][i] {
+			t.Fatalf("index perm %v, want %v (stable order violated)", got, want[0])
+		}
+	}
+}
+
+// TestAnalyzeColumnarMatchesRows pins that the typed-chunk ANALYZE computes
+// the same statistics as the row fallback, including NaN/±0 float edge
+// cases and NULL handling.
+func TestAnalyzeColumnarMatchesRows(t *testing.T) {
+	ct := &catalog.Table{Name: "t", Cols: []catalog.Column{
+		{Name: "i", Type: sqltypes.KindInt},
+		{Name: "f", Type: sqltypes.KindFloat},
+		{Name: "s", Type: sqltypes.KindString},
+		{Name: "d", Type: sqltypes.KindDate},
+		{Name: "b", Type: sqltypes.KindBool},
+		{Name: "n", Type: sqltypes.KindInt},
+	}}
+	rng := rand.New(rand.NewSource(11))
+	tab := &Table{Name: "t"}
+	for i := 0; i < 400; i++ {
+		r := sqltypes.Row{
+			sqltypes.NewInt(rng.Int63n(40)),
+			sqltypes.NewFloat(float64(rng.Intn(10)) / 4),
+			sqltypes.NewString(fmt.Sprintf("v%d", rng.Intn(15))),
+			sqltypes.NewDate(int64(rng.Intn(30))),
+			sqltypes.NewBool(rng.Intn(2) == 0),
+			sqltypes.Null,
+		}
+		for ci := 0; ci < 5; ci++ {
+			if rng.Intn(9) == 0 {
+				r[ci] = sqltypes.Null
+			}
+		}
+		tab.Rows = append(tab.Rows, r)
+	}
+	tab.Rows = append(tab.Rows,
+		sqltypes.Row{sqltypes.NewInt(-1), sqltypes.NewFloat(math.NaN()), sqltypes.NewString(""), sqltypes.NewDate(0), sqltypes.NewBool(true), sqltypes.Null},
+		sqltypes.Row{sqltypes.NewInt(-1), sqltypes.NewFloat(math.Copysign(0, -1)), sqltypes.NewString(""), sqltypes.NewDate(0), sqltypes.NewBool(true), sqltypes.Null},
+	)
+
+	AnalyzeTable(ct, tab)
+	colStats := ct.Stats
+
+	analyzeColumnar = false
+	defer func() { analyzeColumnar = true }()
+	AnalyzeTable(ct, tab)
+	rowStats := ct.Stats
+
+	if colStats.RowCount != rowStats.RowCount {
+		t.Fatalf("rowcount %v vs %v", colStats.RowCount, rowStats.RowCount)
+	}
+	for ci := range colStats.Cols {
+		c, r := colStats.Cols[ci], rowStats.Cols[ci]
+		if c.Distinct != r.Distinct {
+			t.Errorf("col %d distinct: columnar %v, rows %v", ci, c.Distinct, r.Distinct)
+		}
+		if c.NullFrac != r.NullFrac {
+			t.Errorf("col %d nullfrac: columnar %v, rows %v", ci, c.NullFrac, r.NullFrac)
+		}
+		if c.Min.Kind() != r.Min.Kind() || sqltypes.Compare(c.Min, r.Min) != 0 {
+			t.Errorf("col %d min: columnar %v, rows %v", ci, c.Min, r.Min)
+		}
+		if c.Max.Kind() != r.Max.Kind() || sqltypes.Compare(c.Max, r.Max) != 0 {
+			t.Errorf("col %d max: columnar %v, rows %v", ci, c.Max, r.Max)
+		}
+	}
+}
+
+func TestColBoxSharing(t *testing.T) {
+	rows := []sqltypes.Row{{sqltypes.NewInt(1)}, {sqltypes.NewInt(2)}}
+	box := NewColBox(rows)
+	cd := box.Columns()
+	if cd == nil || cd.NRows != 2 {
+		t.Fatalf("box columns = %+v", cd)
+	}
+	if box.Columns() != cd {
+		t.Fatal("box rebuilt its columns")
+	}
+	var nilBox *ColBox
+	if nilBox.Rows() != nil || nilBox.Columns() != nil {
+		t.Fatal("nil box must be inert")
+	}
+}
+
+// benchRows builds an ANALYZE-shaped table: ints, floats, low-cardinality
+// strings, dates.
+func benchRows(n int) *Table {
+	rng := rand.New(rand.NewSource(3))
+	tab := &Table{Name: "b"}
+	tab.Rows = make([]sqltypes.Row, n)
+	for i := range tab.Rows {
+		tab.Rows[i] = sqltypes.Row{
+			sqltypes.NewInt(rng.Int63n(1000)),
+			sqltypes.NewFloat(rng.Float64() * 100),
+			sqltypes.NewString(fmt.Sprintf("part%d", rng.Intn(40))),
+			sqltypes.NewDate(int64(rng.Intn(2500))),
+		}
+	}
+	return tab
+}
+
+var benchCatalog = &catalog.Table{Name: "b", Cols: []catalog.Column{
+	{Name: "i", Type: sqltypes.KindInt},
+	{Name: "f", Type: sqltypes.KindFloat},
+	{Name: "s", Type: sqltypes.KindString},
+	{Name: "d", Type: sqltypes.KindDate},
+}}
+
+// BenchmarkAnalyzeColumnar vs BenchmarkAnalyzeRowFallback measures the
+// satellite-2 fix: distinct counting from typed chunks instead of one
+// rendered string per datum. Compare allocs/op between the two.
+func BenchmarkAnalyzeColumnar(b *testing.B) {
+	tab := benchRows(50_000)
+	tab.Columns() // pre-build, as a warm engine would have
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeTable(benchCatalog, tab)
+	}
+}
+
+func BenchmarkAnalyzeRowFallback(b *testing.B) {
+	tab := benchRows(50_000)
+	analyzeColumnar = false
+	defer func() { analyzeColumnar = true }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeTable(benchCatalog, tab)
+	}
+}

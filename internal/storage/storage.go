@@ -4,20 +4,29 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/sqltypes"
 )
 
 // Table holds the rows of one stored object, plus any secondary indexes
-// (sorted row-number permutations keyed by column ordinal).
+// (sorted row-number permutations keyed by column ordinal) and a lazily
+// built columnar shadow (see column.go).
 type Table struct {
 	Name    string
 	Rows    []sqltypes.Row
 	Indexes map[int][]int
+
+	// Columnar cache: colEpoch counts mutations, colData holds the last
+	// build stamped with the epoch it observed.
+	colEpoch atomic.Uint64
+	colMu    sync.Mutex
+	colData  atomic.Pointer[ColumnData]
 }
 
 // Index returns the sorted permutation for a column, or nil when absent.
@@ -25,8 +34,33 @@ func (t *Table) Index(col int) []int {
 	return t.Indexes[col]
 }
 
-// Append adds a row (without copying).
-func (t *Table) Append(r sqltypes.Row) { t.Rows = append(t.Rows, r) }
+// Append adds a row (without copying), extends any secondary indexes, and
+// invalidates the columnar shadow.
+func (t *Table) Append(r sqltypes.Row) {
+	t.Rows = append(t.Rows, r)
+	t.extendIndexes(len(t.Rows) - 1)
+	t.InvalidateColumns()
+}
+
+// extendIndexes inserts rows [from, len(Rows)) into every secondary index,
+// keeping each permutation sorted. New rows land at the upper bound of their
+// key's run — after all existing equal keys — which is exactly where a full
+// stable re-sort would place them, so an incrementally extended index is
+// indistinguishable from a rebuilt one.
+func (t *Table) extendIndexes(from int) {
+	for col, perm := range t.Indexes {
+		for ri := from; ri < len(t.Rows); ri++ {
+			d := t.Rows[ri][col]
+			pos := sort.Search(len(perm), func(j int) bool {
+				return sqltypes.Compare(t.Rows[perm[j]][col], d) > 0
+			})
+			perm = append(perm, 0)
+			copy(perm[pos+1:], perm[pos:])
+			perm[pos] = ri
+		}
+		t.Indexes[col] = perm
+	}
+}
 
 // Len returns the number of rows.
 func (t *Table) Len() int { return len(t.Rows) }
@@ -98,7 +132,12 @@ func (s *Store) Insert(name string, rows []sqltypes.Row) error {
 	if !ok {
 		return fmt.Errorf("insert into unknown table %q", name)
 	}
+	from := len(t.Rows)
 	t.Rows = append(t.Rows, rows...)
+	// Keep secondary indexes live across inserts: an index built by ANALYZE
+	// would otherwise go stale and hide the new rows from index scans.
+	t.extendIndexes(from)
+	t.InvalidateColumns()
 	s.versions[key]++
 	return nil
 }
@@ -109,7 +148,13 @@ func (s *Store) Insert(name string, rows []sqltypes.Row) error {
 func (s *Store) Touch(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.versions[strings.ToLower(name)]++
+	key := strings.ToLower(name)
+	if t, ok := s.tables[key]; ok {
+		// In-place mutations change values the columnar shadow has already
+		// encoded; the epoch bump forces a rebuild on next columnar read.
+		t.InvalidateColumns()
+	}
+	s.versions[key]++
 }
 
 // Version returns the table's monotonic modification counter. Names that
@@ -132,40 +177,31 @@ func (s *Store) Versions(names []string) map[string]uint64 {
 	return out
 }
 
+// analyzeColumnar selects the typed-chunk ANALYZE implementation; the row
+// fallback remains for heterogeneous columns and for benchmarking the
+// allocation difference.
+var analyzeColumnar = true
+
 // AnalyzeTable computes fresh statistics for a stored table and installs
 // them on the catalog object: row count and, per column, distinct count,
-// min/max, and null fraction.
+// min/max, and null fraction. Statistics are computed from the columnar
+// shadow where possible — distinct counting over typed slices (a string
+// dictionary is its own distinct count) instead of one rendered string per
+// datum — falling back to the row form for heterogeneous columns.
 func AnalyzeTable(ct *catalog.Table, st *Table) {
 	n := len(st.Rows)
 	stats := catalog.TableStats{RowCount: float64(n), Cols: make([]catalog.ColStat, len(ct.Cols))}
+	var cd *ColumnData
+	if analyzeColumnar {
+		cd = st.Columns()
+	}
 	var rowBytes int
 	for ci := range ct.Cols {
-		seen := make(map[string]struct{})
-		var min, max sqltypes.Datum
-		nulls := 0
-		first := true
-		for _, r := range st.Rows {
-			d := r[ci]
-			if d.IsNull() {
-				nulls++
-				continue
-			}
-			seen[d.String()] = struct{}{}
-			if first {
-				min, max = d, d
-				first = false
-				continue
-			}
-			if sqltypes.Compare(d, min) < 0 {
-				min = d
-			}
-			if sqltypes.Compare(d, max) > 0 {
-				max = d
-			}
-		}
-		cs := catalog.ColStat{Distinct: float64(len(seen)), Min: min, Max: max}
-		if n > 0 {
-			cs.NullFrac = float64(nulls) / float64(n)
+		var cs catalog.ColStat
+		if cd != nil && ci < len(cd.Cols) && cd.Cols[ci].OK {
+			cs = colStatFromColumn(&cd.Cols[ci], n)
+		} else {
+			cs = colStatFromRows(st.Rows, ci)
 		}
 		if cs.Distinct == 0 {
 			cs.Distinct = 1
@@ -195,6 +231,129 @@ func AnalyzeTable(ct *catalog.Table, st *Table) {
 			st.Indexes[col] = perm
 		}
 	}
+}
+
+// colStatFromColumn computes one column's statistics from its typed chunk.
+// The results match colStatFromRows exactly: distinct values are counted on
+// the typed payload (the dictionary for strings, raw bits with canonical
+// NaNs for floats — both agree with distinct-by-rendered-string), and
+// min/max replicate sqltypes.Compare, including its NaN-sorts-first rule.
+func colStatFromColumn(col *Column, n int) catalog.ColStat {
+	nulls := col.NullCount(n)
+	cs := catalog.ColStat{}
+	if n > 0 {
+		cs.NullFrac = float64(nulls) / float64(n)
+	}
+	if nulls == n || n == 0 {
+		return cs // Min/Max stay NULL, Distinct 0 (caller floors to 1)
+	}
+	switch col.Kind {
+	case sqltypes.KindInt, sqltypes.KindDate, sqltypes.KindBool:
+		seen := make(map[int64]struct{})
+		var minV, maxV int64
+		first := true
+		for i, v := range col.Ints {
+			if !col.IsValid(i) {
+				continue
+			}
+			seen[v] = struct{}{}
+			if first || v < minV {
+				minV = v
+			}
+			if first || v > maxV {
+				maxV = v
+			}
+			first = false
+		}
+		cs.Distinct = float64(len(seen))
+		mk := func(v int64) sqltypes.Datum {
+			switch col.Kind {
+			case sqltypes.KindDate:
+				return sqltypes.NewDate(v)
+			case sqltypes.KindBool:
+				return sqltypes.NewBool(v != 0)
+			default:
+				return sqltypes.NewInt(v)
+			}
+		}
+		cs.Min, cs.Max = mk(minV), mk(maxV)
+	case sqltypes.KindFloat:
+		seen := make(map[uint64]struct{})
+		var minV, maxV float64
+		first := true
+		for i, v := range col.Floats {
+			if !col.IsValid(i) {
+				continue
+			}
+			bits := math.Float64bits(v)
+			if math.IsNaN(v) {
+				bits = math.Float64bits(math.NaN()) // one distinct NaN
+			}
+			seen[bits] = struct{}{}
+			if first {
+				minV, maxV = v, v
+				first = false
+				continue
+			}
+			// Compare's float order: NaN sorts before every other value.
+			if v < minV || (math.IsNaN(v) && !math.IsNaN(minV)) {
+				minV = v
+			}
+			if v > maxV || (math.IsNaN(maxV) && !math.IsNaN(v)) {
+				maxV = v
+			}
+		}
+		cs.Distinct = float64(len(seen))
+		cs.Min, cs.Max = sqltypes.NewFloat(minV), sqltypes.NewFloat(maxV)
+	case sqltypes.KindString:
+		// Every dictionary entry appears in some row, so the dictionary is
+		// the distinct set; min/max scan it instead of the rows.
+		cs.Distinct = float64(len(col.Dict))
+		minS, maxS := col.Dict[0], col.Dict[0]
+		for _, s := range col.Dict[1:] {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		cs.Min, cs.Max = sqltypes.NewString(minS), sqltypes.NewString(maxS)
+	}
+	return cs
+}
+
+// colStatFromRows is the row-at-a-time fallback (heterogeneous columns): it
+// renders each datum to count distincts, which allocates per datum.
+func colStatFromRows(rows []sqltypes.Row, ci int) catalog.ColStat {
+	seen := make(map[string]struct{})
+	var min, max sqltypes.Datum
+	nulls := 0
+	first := true
+	for _, r := range rows {
+		d := r[ci]
+		if d.IsNull() {
+			nulls++
+			continue
+		}
+		seen[d.String()] = struct{}{}
+		if first {
+			min, max = d, d
+			first = false
+			continue
+		}
+		if sqltypes.Compare(d, min) < 0 {
+			min = d
+		}
+		if sqltypes.Compare(d, max) > 0 {
+			max = d
+		}
+	}
+	cs := catalog.ColStat{Distinct: float64(len(seen)), Min: min, Max: max}
+	if n := len(rows); n > 0 {
+		cs.NullFrac = float64(nulls) / float64(n)
+	}
+	return cs
 }
 
 // SortRows sorts rows lexicographically in place; used to canonicalize
