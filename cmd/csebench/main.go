@@ -10,7 +10,8 @@
 // table3 (nested query), table4 (complex 8-table joins), figure8 (scale-up
 // sweep), viewmaint (§6.4), overhead (no-sharing optimizer overhead),
 // crossover (lattice-vs-greedy MQO search over batch sizes 4→N), scanspeed
-// (columnar plane vs row-at-a-time path on scan/filter/agg statements).
+// (columnar plane vs row-at-a-time path on scan/filter/agg statements),
+// serving (many-client load through the coalescing server, on vs off).
 package main
 
 import (
@@ -30,23 +31,27 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|repeated|crossover|scanspeed|all")
-		sf          = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
-		seed        = flag.Int64("seed", 42, "data generation seed")
-		reps        = flag.Int("reps", 0, "measurement repetitions per point (0 = default 3); 1 speeds up smoke runs")
-		maxN        = flag.Int("figure8-max", 10, "largest batch size for figure8")
-		crossMax    = flag.Int("crossover-max", 64, "largest batch size for the lattice-vs-greedy crossover sweep")
-		search      = flag.String("search", "auto", "MQO subset-search strategy for table experiments: auto|lattice|greedy")
-		deltaN      = flag.Int("delta-rows", 200, "delta rows for view maintenance")
-		verbose     = flag.Bool("v", false, "print candidate CSE details")
-		format      = flag.String("format", "text", "output format: text|csv|json")
-		parallelism = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
-		traceJSON   = flag.String("trace-json", "", "enable optimizer tracing and write the last table experiment's CSE-run trace as JSON to this file")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
-		memProfile  = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
-		debugSmoke  = flag.Bool("debug-smoke", false, "run the observability smoke instead of experiments: start the debug server, run a batch twice, scrape /metrics and /trace/last, and assert the phase histograms are populated")
-		metricsOut  = flag.String("metrics-out", "", "with -debug-smoke, write the scraped /metrics text to this file")
-		chromeTrace = flag.String("chrome-trace", "", "with -debug-smoke, write the /trace/last Chrome trace to this file")
+		exp          = flag.String("exp", "all", "experiment: table1|table2|table3|table4|figure8|viewmaint|overhead|ablation|repeated|crossover|scanspeed|serving|all")
+		sf           = flag.Float64("sf", 0.05, "TPC-H scale factor (1.0 = paper's 1GB)")
+		seed         = flag.Int64("seed", 42, "data generation seed")
+		reps         = flag.Int("reps", 0, "measurement repetitions per point (0 = default 3); 1 speeds up smoke runs")
+		maxN         = flag.Int("figure8-max", 10, "largest batch size for figure8")
+		crossMax     = flag.Int("crossover-max", 64, "largest batch size for the lattice-vs-greedy crossover sweep")
+		search       = flag.String("search", "auto", "MQO subset-search strategy for table experiments: auto|lattice|greedy")
+		deltaN       = flag.Int("delta-rows", 200, "delta rows for view maintenance")
+		verbose      = flag.Bool("v", false, "print candidate CSE details")
+		format       = flag.String("format", "text", "output format: text|csv|json")
+		parallelism  = flag.Int("parallelism", 0, "executor worker pool: 0=GOMAXPROCS (parallel, default), 1=sequential, n>1=n workers")
+		traceJSON    = flag.String("trace-json", "", "enable optimizer tracing and write the last table experiment's CSE-run trace as JSON to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
+		debugSmoke   = flag.Bool("debug-smoke", false, "run the observability smoke instead of experiments: start the debug server, run a batch twice, scrape /metrics and /trace/last, and assert the phase histograms are populated")
+		metricsOut   = flag.String("metrics-out", "", "with -debug-smoke, write the scraped /metrics text to this file")
+		chromeTrace  = flag.String("chrome-trace", "", "with -debug-smoke, write the /trace/last Chrome trace to this file")
+		servClients  = flag.Int("serving-clients", 0, "serving experiment: concurrent client sessions (0 = default 12)")
+		servRequests = flag.Int("serving-requests", 0, "serving experiment: requests per client (0 = default 40)")
+		servShapes   = flag.Int("serving-shapes", 0, "serving experiment: distinct query shapes (0 = default 6)")
+		servWindow   = flag.Duration("serving-window", 0, "serving experiment: coalescing window (0 = server default)")
 	)
 	flag.Parse()
 
@@ -185,6 +190,22 @@ func main() {
 			fmt.Print(bench.CSVScanSpeed(points))
 		default:
 			fmt.Println(bench.FormatScanSpeed(points))
+		}
+	}
+	if run("serving") {
+		points, err := bench.RunServing(cfg, bench.ServingOptions{
+			Clients:           *servClients,
+			RequestsPerClient: *servRequests,
+			Shapes:            *servShapes,
+			Window:            *servWindow,
+		})
+		switch {
+		case err != nil:
+			report(err)
+		case asJSON:
+			jsonOut["serving"] = bench.ServingJSONObjects(points)
+		default:
+			fmt.Println(bench.FormatServing(points))
 		}
 	}
 	if run("repeated") {

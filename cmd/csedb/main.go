@@ -6,6 +6,7 @@
 //	csedb -sf 0.05 -f queries.sql        # run a SQL file as one batch
 //	csedb -sf 0.05 -e "select ...; ..."  # run a batch from the command line
 //	csedb -explain -e "..."              # show the plan instead of rows
+//	csedb -serve 127.0.0.1:8632          # HTTP/JSON server with coalescing
 //
 // Shell meta-commands:
 //
@@ -39,12 +40,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/csedb"
 	"repro/internal/core"
+	"repro/internal/server"
 )
 
 func main() {
@@ -61,6 +65,13 @@ func main() {
 		colPlane    = flag.Bool("colplane", true, "use the columnar data plane; false forces the row-at-a-time oracle path")
 		trace       = flag.Bool("trace", false, "record the optimizer decision trace and print it after each batch")
 		debugAddr   = flag.String("debug", "", "start the debug HTTP server on this address and enable span tracing (e.g. 127.0.0.1:6060)")
+
+		serveAddr     = flag.String("serve", "", "serve HTTP/JSON queries on this address instead of running a shell (e.g. 127.0.0.1:8632; \":0\" picks a port)")
+		serveWindow   = flag.Duration("serve-window", 0, "coalescing window for -serve (0 = server default)")
+		serveBatch    = flag.Int("serve-max-batch", 0, "count trigger for -serve: flush the window at this many pending requests (0 = default)")
+		serveInflight = flag.Int("serve-max-inflight", 0, "admission bound for -serve: reject beyond this many in-flight requests (0 = default)")
+		serveNoCoal   = flag.Bool("serve-no-coalesce", false, "disable the coalescing window for -serve (every request runs alone)")
+		servePlans    = flag.Int("serve-plan-cache", 0, "plan-shape cache entries for -serve (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -91,6 +102,14 @@ func main() {
 	}
 
 	switch {
+	case *serveAddr != "":
+		serve(db, *serveAddr, server.Options{
+			Window:           *serveWindow,
+			MaxBatch:         *serveBatch,
+			MaxInflight:      *serveInflight,
+			NoCoalesce:       *serveNoCoal,
+			PlanCacheEntries: *servePlans,
+		})
 	case *file != "":
 		data, err := os.ReadFile(*file)
 		if err != nil {
@@ -107,6 +126,31 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "csedb: %v\n", err)
 	os.Exit(1)
+}
+
+// serve runs the HTTP/JSON serving layer until SIGINT/SIGTERM, then drains:
+// the listener stops, in-flight coalescing windows flush and complete, and
+// only then does the process exit.
+func serve(db *csedb.DB, addr string, opts server.Options) {
+	srv := server.New(db, opts)
+	h := server.NewHTTPServer(srv)
+	bound, err := h.Start(addr)
+	if err != nil {
+		fatal(err)
+	}
+	mode := "coalescing"
+	if opts.NoCoalesce {
+		mode = "no-coalesce"
+	}
+	fmt.Fprintf(os.Stderr, "serving on http://%s (%s; POST /v1/session, POST /v1/query, GET /v1/stats)\n", bound, mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight batches...")
+	if err := h.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func runBatch(db *csedb.DB, sql string, explain bool, maxRows int) {

@@ -574,7 +574,11 @@ func (db *DB) recordMetrics(nStatements int, stats *core.Stats, es *exec.Stats, 
 	r.Counter("exec_col_selections_total").Add(int64(es.ColSelections))
 	r.Counter("exec_col_hash_passes_total").Add(int64(es.ColHashPasses))
 	r.Gauge("exec_worker_utilization").Set(es.Utilization())
-	r.Histogram("optimize_seconds").Observe(optTime.Seconds())
+	// The prepared-execution path passes optTime 0 (the plan was optimized
+	// once, elsewhere); recording those zeros would skew the histogram.
+	if optTime > 0 {
+		r.Histogram("optimize_seconds").Observe(optTime.Seconds())
+	}
 	r.Histogram("exec_seconds").Observe(execTime.Seconds())
 	for id, d := range es.SpoolTimes {
 		if !es.SpoolCached[id] {

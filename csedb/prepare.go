@@ -1,0 +1,203 @@
+package csedb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// OpenOn returns a database wired onto an existing catalog and row store.
+// The serving layer and the differential harness use it to run several DB
+// configurations over one shared data set; the caller owns write
+// serialization across all databases sharing the store.
+func OpenOn(cat *catalog.Catalog, store *storage.Store, opts Options) *DB {
+	db := Open(opts)
+	db.cat = cat
+	db.store = store
+	return db
+}
+
+// Prepared is an optimized, execution-ready SELECT batch: the output of
+// parse + bind + CSE optimization, reusable across executions. A Prepared
+// is immutable after Prepare returns — the optimizer result is read-only at
+// execution time — so it is safe to execute concurrently from many
+// goroutines and to cache across requests.
+//
+// Staleness: Versions snapshots the referenced tables' version counters
+// BEFORE optimization reads any statistics, so a plan built while a write
+// raced it reports stale on the very next Versions check — the same
+// discipline the spool result cache uses.
+type Prepared struct {
+	db           *DB
+	stmts        []parser.Statement
+	md           *logical.Metadata
+	out          *core.Output
+	sourceTables []string
+	versions     map[string]uint64
+	prepareTime  time.Duration
+}
+
+// Prepare parses and optimizes a SELECT-only batch without executing it.
+func (db *DB) Prepare(sql string) (*Prepared, error) {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.PrepareStatements(stmts)
+}
+
+// PrepareStatements is Prepare over a pre-parsed batch. Only plain SELECT
+// statements may be prepared: DDL (CREATE MATERIALIZED VIEW) has
+// side effects that must not replay on reuse.
+func (db *DB) PrepareStatements(stmts []parser.Statement) (*Prepared, error) {
+	for i, st := range stmts {
+		if _, ok := st.(*parser.SelectStmt); !ok {
+			return nil, fmt.Errorf("statement %d: only SELECT statements can be prepared", i+1)
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	start := time.Now()
+	batch, err := logical.BuildBatch(stmts, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	// Version snapshot before the optimizer reads statistics: the table set
+	// is every bound instance in the metadata (a superset of what the final
+	// plan scans, which is sound for invalidation).
+	seen := map[string]bool{}
+	var tables []string
+	for i := 0; i < batch.Metadata.NumRels(); i++ {
+		name := batch.Metadata.Rel(logical.RelID(i)).Tab.Name
+		if !seen[name] {
+			seen[name] = true
+			tables = append(tables, name)
+		}
+	}
+	sort.Strings(tables)
+	versions := db.store.Versions(tables)
+
+	m, err := memo.Build(batch)
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.OptimizeTraced(m, db.settings, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		db:           db,
+		stmts:        stmts,
+		md:           batch.Metadata,
+		out:          out,
+		sourceTables: tables,
+		versions:     versions,
+		prepareTime:  time.Since(start),
+	}, nil
+}
+
+// NumStatements returns the number of statements in the prepared batch.
+func (p *Prepared) NumStatements() int { return len(p.stmts) }
+
+// SourceTables returns the sorted base tables the batch binds (catalog
+// spelling).
+func (p *Prepared) SourceTables() []string { return p.sourceTables }
+
+// Versions returns the pre-optimize version snapshot of SourceTables
+// (lowercased keys, matching storage.Store.Versions).
+func (p *Prepared) Versions() map[string]uint64 { return p.versions }
+
+// PrepareTime returns the parse-to-optimized wall time.
+func (p *Prepared) PrepareTime() time.Duration { return p.prepareTime }
+
+// Stale reports whether any referenced table has changed since the plan was
+// prepared, per the given store's current version counters.
+func (p *Prepared) Stale(store *storage.Store) bool {
+	now := store.Versions(p.sourceTables)
+	for k, v := range p.versions {
+		if now[k] != v {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecutePrepared runs a prepared batch. The context cancels the executor
+// (all parallel workers) — for a coalesced batch serving many clients, pass
+// the server's base context, never an individual client's. The optional
+// annotate hook runs on the root span before execution so callers (the
+// serving layer) can attach coalesce/session attributes; it is never called
+// when span tracing is off.
+//
+// ExecutePrepared skips the per-execution work Run does that a prepared
+// plan has already paid or cannot need: parse, bind, optimize, view
+// materialization, and Explain formatting.
+func (db *DB) ExecutePrepared(ctx context.Context, p *Prepared, annotate func(*obs.Span)) (*BatchResult, error) {
+	batchStart := time.Now()
+	rec := db.newSpanRecorder()
+	root := rec.StartSpan("batch")
+	root.SetAttr("statements", len(p.stmts))
+	root.SetAttr("prepared", true)
+	if annotate != nil && rec.Enabled() {
+		annotate(root)
+	}
+
+	execSpan := root.Child("execute")
+	results, execStats, err := exec.RunWithOptions(ctx, p.out.Result, p.md, db.store,
+		exec.Options{Parallelism: db.parallelism, ChunkSize: db.chunkSize, Cache: db.cache, Span: execSpan, NoColPlane: db.noColPlane})
+	if err != nil {
+		execSpan.End()
+		db.recordFailure(rec, root, batchStart, err)
+		return nil, err
+	}
+	execSpan.SetAttr("spools", len(execStats.SpoolRows))
+	execSpan.SetAttr("spools_cached", execStats.CacheHits())
+	execSpan.End()
+	execTime := time.Since(batchStart)
+	db.recordMetrics(len(results), &p.out.Stats, execStats, 0, execTime)
+
+	rows := 0
+	for _, r := range results {
+		rows += len(r.Rows)
+	}
+	root.SetAttr("rows", rows)
+	root.End()
+	rec.Finish()
+	var spans []*obs.SpanNode
+	if rec.Enabled() {
+		spans = rec.Tree()
+	}
+	db.flight.Record(&obs.BatchRecord{
+		Start:              batchStart,
+		Wall:               time.Since(batchStart),
+		Exec:               execTime,
+		Statements:         len(results),
+		Rows:               rows,
+		Candidates:         p.out.Stats.Candidates,
+		UsedCSEs:           len(p.out.Stats.UsedCSEs),
+		SpoolsMaterialized: len(execStats.SpoolRows) - execStats.CacheHits(),
+		SpoolsCached:       execStats.CacheHits(),
+		Spans:              spans,
+	})
+
+	return &BatchResult{
+		Statements:    results,
+		Stats:         p.out.Stats,
+		ExecTime:      execTime,
+		EstimatedCost: p.out.Result.Cost,
+		SpoolRows:     execStats.SpoolRows,
+		ExecStats:     execStats,
+		Spans:         spans,
+	}, nil
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/csedb"
+	"repro/internal/qgen"
+	"repro/internal/server"
+)
+
+// ServingOptions shapes the synthetic many-client load (csebench -exp
+// serving): Clients concurrent sessions each issue RequestsPerClient
+// single-statement requests drawn round-robin from Shapes distinct query
+// shapes, against a coalescing and then a non-coalescing server over
+// identical fresh databases.
+type ServingOptions struct {
+	Clients           int           // concurrent client sessions (default 12)
+	RequestsPerClient int           // requests per client (default 40)
+	Shapes            int           // distinct query shapes in the workload (default 6)
+	Window            time.Duration // coalescing window (default server.DefaultWindow)
+	MaxBatch          int           // count trigger (default server.DefaultMaxBatch)
+}
+
+func (o ServingOptions) withDefaults() ServingOptions {
+	if o.Clients <= 0 {
+		o.Clients = 12
+	}
+	if o.RequestsPerClient <= 0 {
+		o.RequestsPerClient = 40
+	}
+	if o.Shapes <= 0 {
+		o.Shapes = 6
+	}
+	return o
+}
+
+// ServingPoint is one serving-mode measurement: end-to-end throughput and
+// client-observed latency percentiles, plus the server counters that prove
+// which machinery ran.
+type ServingPoint struct {
+	Mode              string // "coalesce" | "nocoalesce"
+	Clients           int
+	Requests          int // completed requests
+	Errors            int
+	Wall              time.Duration
+	Throughput        float64 // requests per second
+	P50, P95, P99     time.Duration
+	Max               time.Duration
+	Batches           int64 // server batches executed
+	CoalescedBatches  int64 // batches holding > 1 request
+	CoalescedRequests int64 // requests that rode a coalesced batch
+	PlanCacheHits     int64
+	UsedCSEs          int64 // CSEs exploited across all server batches
+}
+
+// RunServing drives the many-client load against coalescing on and off and
+// returns one point per mode (coalescing off first — the baseline). Each
+// mode gets a fresh database so caches never leak across modes; the plan
+// cache is on in both, so the only delta between the points is the window.
+func RunServing(cfg Config, opts ServingOptions) ([]ServingPoint, error) {
+	opts = opts.withDefaults()
+
+	// One qgen batch supplies the similar-but-distinct shapes: the CSE
+	// optimizer's target workload, arriving as separate requests.
+	b := qgen.New(qgen.Config{Seed: cfg.Seed, MinQueries: opts.Shapes, MaxQueries: opts.Shapes}).Batch()
+	shapes := make([]string, len(b.Queries))
+	for i, q := range b.Queries {
+		shapes[i] = q.SQL(b.Schema, i)
+	}
+
+	var points []ServingPoint
+	for _, mode := range []string{"nocoalesce", "coalesce"} {
+		pt, err := runServingMode(cfg, opts, mode, shapes)
+		if err != nil {
+			return nil, fmt.Errorf("mode %s: %w", mode, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func runServingMode(cfg Config, opts ServingOptions, mode string, shapes []string) (ServingPoint, error) {
+	db := csedb.Open(csedb.Options{})
+	if err := db.LoadTPCH(cfg.ScaleFactor, cfg.Seed); err != nil {
+		return ServingPoint{}, err
+	}
+	srv := server.New(db, server.Options{
+		Window:     opts.Window,
+		MaxBatch:   opts.MaxBatch,
+		NoCoalesce: mode == "nocoalesce",
+	})
+	defer srv.Close()
+
+	// Warm-up pass (one request per shape) so both modes measure steady
+	// state: plans cached, columnar shadows built.
+	warm, err := srv.NewSession()
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	for _, s := range shapes {
+		if _, err := warm.Query(context.Background(), s); err != nil {
+			return ServingPoint{}, err
+		}
+	}
+
+	total := opts.Clients * opts.RequestsPerClient
+	latencies := make([]time.Duration, total)
+	errCount := make([]int, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess, err := srv.NewSession()
+			if err != nil {
+				errCount[c] = opts.RequestsPerClient
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < opts.RequestsPerClient; i++ {
+				sql := shapes[(c+i)%len(shapes)]
+				t0 := time.Now()
+				_, err := sess.Query(context.Background(), sql)
+				if err != nil {
+					errCount[c]++
+					continue
+				}
+				latencies[c*opts.RequestsPerClient+i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lats []time.Duration
+	for _, l := range latencies {
+		if l > 0 {
+			lats = append(lats, l)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	errs := 0
+	for _, e := range errCount {
+		errs += e
+	}
+
+	snap := db.Metrics().Snapshot()
+	pt := ServingPoint{
+		Mode:              mode,
+		Clients:           opts.Clients,
+		Requests:          len(lats),
+		Errors:            errs,
+		Wall:              wall,
+		Batches:           int64(snap["server_batches_total"]),
+		CoalescedBatches:  int64(snap["server_coalesced_batches_total"]),
+		CoalescedRequests: int64(snap["server_coalesced_queries_total"]),
+		PlanCacheHits:     int64(snap["plancache_hits_total"]),
+		UsedCSEs:          int64(snap["cse_used_total"]),
+	}
+	if wall > 0 {
+		pt.Throughput = float64(len(lats)) / wall.Seconds()
+	}
+	if n := len(lats); n > 0 {
+		pt.P50 = lats[n/2]
+		pt.P95 = lats[n*95/100]
+		pt.P99 = lats[n*99/100]
+		pt.Max = lats[n-1]
+	}
+	return pt, nil
+}
+
+// FormatServing renders the serving comparison as an aligned text table.
+func FormatServing(points []ServingPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-11s %8s %8s %10s %10s %10s %10s %8s %8s %8s\n",
+		"mode", "reqs", "errors", "req/s", "p50", "p95", "p99", "batches", "coalsc", "pchits")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-11s %8d %8d %10.1f %10s %10s %10s %8d %8d %8d\n",
+			p.Mode, p.Requests, p.Errors, p.Throughput,
+			p.P50.Round(time.Microsecond), p.P95.Round(time.Microsecond), p.P99.Round(time.Microsecond),
+			p.Batches, p.CoalescedBatches, p.PlanCacheHits)
+	}
+	if len(points) == 2 && points[0].Throughput > 0 {
+		fmt.Fprintf(&sb, "\ncoalescing throughput speedup: %.2fx\n", points[1].Throughput/points[0].Throughput)
+	}
+	return sb.String()
+}
+
+// ServingJSON is the machine-readable serving point (durations in seconds).
+type ServingJSON struct {
+	Mode              string  `json:"mode"`
+	Clients           int     `json:"clients"`
+	Requests          int     `json:"requests"`
+	Errors            int     `json:"errors"`
+	WallSeconds       float64 `json:"wall_s"`
+	Throughput        float64 `json:"throughput_rps"`
+	P50Seconds        float64 `json:"p50_s"`
+	P95Seconds        float64 `json:"p95_s"`
+	P99Seconds        float64 `json:"p99_s"`
+	MaxSeconds        float64 `json:"max_s"`
+	Batches           int64   `json:"batches"`
+	CoalescedBatches  int64   `json:"coalesced_batches"`
+	CoalescedRequests int64   `json:"coalesced_requests"`
+	PlanCacheHits     int64   `json:"plancache_hits"`
+	UsedCSEs          int64   `json:"used_cses"`
+}
+
+// ServingJSONObjects converts serving points for serialization.
+func ServingJSONObjects(points []ServingPoint) []ServingJSON {
+	out := make([]ServingJSON, len(points))
+	for i, p := range points {
+		out[i] = ServingJSON{
+			Mode:              p.Mode,
+			Clients:           p.Clients,
+			Requests:          p.Requests,
+			Errors:            p.Errors,
+			WallSeconds:       p.Wall.Seconds(),
+			Throughput:        p.Throughput,
+			P50Seconds:        p.P50.Seconds(),
+			P95Seconds:        p.P95.Seconds(),
+			P99Seconds:        p.P99.Seconds(),
+			MaxSeconds:        p.Max.Seconds(),
+			Batches:           p.Batches,
+			CoalescedBatches:  p.CoalescedBatches,
+			CoalescedRequests: p.CoalescedRequests,
+			PlanCacheHits:     p.PlanCacheHits,
+			UsedCSEs:          p.UsedCSEs,
+		}
+	}
+	return out
+}

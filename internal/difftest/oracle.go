@@ -56,6 +56,17 @@ type Config struct {
 	// forcing the row-at-a-time reference path. The row-plane baseline is
 	// what pins the selection kernels byte-for-byte.
 	RowPlane bool
+
+	// Server routes the batch through the serving layer instead of direct
+	// execution: statements are dealt round-robin to Sessions concurrent
+	// fake clients against a coalescing server over the shared store, and
+	// the demuxed results are reassembled in original order.
+	Server bool
+	// NoCoalesce disables the server's coalescing window for this cell
+	// (every request runs alone); only meaningful with Server.
+	NoCoalesce bool
+	// Sessions is the number of concurrent client sessions (default 1).
+	Sessions int
 }
 
 // Matrix returns the full differential configuration matrix. The first
@@ -95,6 +106,8 @@ func Matrix() []Config {
 		{Name: "beta-0.80", Settings: vary(func(s *core.Settings) { s.Beta = 0.80 })},
 		{Name: "beta-0.95", Settings: vary(func(s *core.Settings) { s.Beta = 0.95 })},
 		{Name: "delta-raised", Settings: vary(func(s *core.Settings) { s.MinMergeBenefit = 1e4 })},
+		{Name: "server-coalesce", Settings: def, Server: true, Sessions: 4},
+		{Name: "server-nocoalesce", Settings: def, Server: true, NoCoalesce: true, Sessions: 4},
 	}
 }
 
@@ -165,7 +178,12 @@ func (o *Oracle) Check(sql string) error {
 	}
 	var baseName, baseText string
 	for i, cfg := range o.Configs {
-		text, err := o.runConfig(cfg, stmts)
+		var text string
+		if cfg.Server {
+			text, err = o.runServerConfig(cfg, sql)
+		} else {
+			text, err = o.runConfig(cfg, stmts)
+		}
 		if err != nil {
 			return fmt.Errorf("config %q: %w", cfg.Name, err)
 		}

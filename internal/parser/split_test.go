@@ -1,0 +1,51 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"select 1", []string{"select 1"}},
+		{"select 1;", []string{"select 1"}},
+		{"select 1; select 2;\n\nselect 3", []string{"select 1", "select 2", "select 3"}},
+		{"select ';' from t; select 2", []string{"select ';' from t", "select 2"}},
+		{"select 1 -- trailing ; comment\n; select 2", []string{"select 1 -- trailing ; comment", "select 2"}},
+		{";;;", nil},
+		{"  \n ", nil},
+		{"with q as (select 1) select * from q;", []string{"with q as (select 1) select * from q"}},
+	}
+	for _, c := range cases {
+		got, err := SplitStatements(c.src)
+		if err != nil {
+			t.Fatalf("SplitStatements(%q): %v", c.src, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitStatements(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+	// Each split piece must itself parse when the whole parses.
+	src := "select c_custkey from customer where c_name = 'a;b';\nselect o_orderkey from orders"
+	parts, err := SplitStatements(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %#v", parts)
+	}
+	for _, p := range parts {
+		if _, err := Parse(p); err != nil {
+			t.Errorf("part %q does not parse: %v", p, err)
+		}
+	}
+}
+
+func TestSplitStatementsLexError(t *testing.T) {
+	if _, err := SplitStatements("select 'unterminated"); err == nil {
+		t.Fatal("want lex error")
+	}
+}

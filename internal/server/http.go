@@ -1,0 +1,231 @@
+// HTTP/JSON transport for the serving layer. Endpoints (Go 1.22 method
+// patterns):
+//
+//	POST   /v1/session        → {"session": "s0001"}
+//	DELETE /v1/session/{id}   → 204
+//	POST   /v1/query          {"session": "...", "sql": "..."} → results
+//	GET    /v1/stats          → metrics snapshot
+//
+// Typed server errors map onto status codes: overloaded → 429,
+// shutting_down → 503, session_closed / unknown session → 404, parse and
+// other request errors → 400. Error bodies carry the machine-readable form:
+// {"error": {"code": ..., "message": ..., "retryable": ...}}.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sqltypes"
+)
+
+// HTTPServer serves the Server over HTTP/JSON.
+type HTTPServer struct {
+	srv  *Server
+	http *http.Server
+
+	mu   sync.Mutex
+	addr string
+}
+
+// NewHTTPServer wraps srv with the HTTP transport; call Start to listen.
+func NewHTTPServer(srv *Server) *HTTPServer {
+	h := &HTTPServer{srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", h.handleNewSession)
+	mux.HandleFunc("DELETE /v1/session/{id}", h.handleCloseSession)
+	mux.HandleFunc("POST /v1/query", h.handleQuery)
+	mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.http = &http.Server{Handler: mux}
+	return h
+}
+
+// Handler exposes the route mux (httptest and embedding).
+func (h *HTTPServer) Handler() http.Handler { return h.http.Handler }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background. It returns the bound address.
+func (h *HTTPServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	h.addr = ln.Addr().String()
+	h.mu.Unlock()
+	go func() { _ = h.http.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address; empty before Start.
+func (h *HTTPServer) Addr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addr
+}
+
+// Close stops the listener (in-flight handlers get a grace period) and then
+// drains the coalescing server.
+func (h *HTTPServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = h.http.Shutdown(ctx)
+	return h.srv.Close()
+}
+
+type errorBody struct {
+	Error struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		Retryable bool   `json:"retryable"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string, retryable bool) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	body.Error.Retryable = retryable
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeServerError(w http.ResponseWriter, err error) {
+	var se *Error
+	if errors.As(err, &se) {
+		status := http.StatusBadRequest
+		switch se.Code {
+		case "overloaded":
+			status = http.StatusTooManyRequests
+		case "shutting_down":
+			status = http.StatusServiceUnavailable
+		case "session_closed":
+			status = http.StatusNotFound
+		}
+		writeError(w, status, se.Code, se.Message, se.Retryable)
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, 499, "canceled", err.Error(), true)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "query_error", err.Error(), false)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *HTTPServer) handleNewSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := h.srv.NewSession()
+	if err != nil {
+		writeServerError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"session": sess.ID()})
+}
+
+func (h *HTTPServer) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	sess := h.srv.Session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown_session", "no such session", false)
+		return
+	}
+	sess.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type queryRequest struct {
+	Session string `json:"session"`
+	SQL     string `json:"sql"`
+}
+
+type statementJSON struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+type queryResponse struct {
+	Statements []statementJSON `json:"statements"`
+	Coalesced  int             `json:"coalesced"`
+	Sessions   int             `json:"sessions"`
+	PlanCached bool            `json:"plan_cached"`
+	WaitUS     int64           `json:"wait_us"`
+	WallUS     int64           `json:"wall_us"`
+}
+
+// handleQuery submits the query under the HTTP request's context, so a
+// client disconnect cancels exactly that client's delivery (the coalesced
+// batch keeps running for everyone else — see Session.Query).
+func (h *HTTPServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error(), false)
+		return
+	}
+	sess := h.srv.Session(q.Session)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown_session", "no such session", false)
+		return
+	}
+	res, err := sess.Query(r.Context(), q.SQL)
+	if err != nil {
+		writeServerError(w, err)
+		return
+	}
+	out := queryResponse{
+		Statements: make([]statementJSON, len(res.Statements)),
+		Coalesced:  res.Coalesced,
+		Sessions:   res.Sessions,
+		PlanCached: res.PlanCached,
+		WaitUS:     res.Wait.Microseconds(),
+		WallUS:     res.Wall.Microseconds(),
+	}
+	for i, st := range res.Statements {
+		out.Statements[i] = encodeStatement(st)
+	}
+	writeJSON(w, out)
+}
+
+func encodeStatement(st *exec.StatementResult) statementJSON {
+	enc := statementJSON{Columns: st.Names, Rows: make([][]any, len(st.Rows))}
+	for i, row := range st.Rows {
+		vals := make([]any, len(row))
+		for j, d := range row {
+			vals[j] = encodeDatum(d)
+		}
+		enc.Rows[i] = vals
+	}
+	return enc
+}
+
+// encodeDatum maps a datum to its JSON value; dates render via the datum's
+// own formatter so the wire form matches the shell's.
+func encodeDatum(d sqltypes.Datum) any {
+	switch d.Kind() {
+	case sqltypes.KindNull:
+		return nil
+	case sqltypes.KindBool:
+		return d.Bool()
+	case sqltypes.KindInt:
+		return d.Int()
+	case sqltypes.KindFloat:
+		return d.Float()
+	case sqltypes.KindString:
+		return d.Str()
+	default:
+		return d.String()
+	}
+}
+
+func (h *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.srv.Stats())
+}

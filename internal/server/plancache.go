@@ -1,0 +1,129 @@
+// Plan-shape cache: maps a normalized batch shape to a *csedb.Prepared so
+// repeat shapes skip parse + bind + optimize entirely. Invalidation follows
+// the spool result cache's discipline (internal/cache): each entry carries a
+// version snapshot of every table it binds, taken BEFORE the optimizer read
+// any statistics, and a lookup revalidates that snapshot against the live
+// store — so a plan built while a write raced it is stranded (at worst it
+// misses once), and a write after caching invalidates on the next lookup.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/csedb"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// planEntry is one cached shape: the prepared batch plus the per-request
+// statement counts needed to demultiplex a coalesced execution.
+type planEntry struct {
+	key      string
+	prepared *csedb.Prepared
+	counts   []int
+	elem     *list.Element
+}
+
+// planCache is a mutex-guarded LRU over normalized batch shapes.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*planEntry
+	lru     *list.List // front = most recent
+	cap     int
+	store   *storage.Store
+	metrics *obs.Registry
+}
+
+func newPlanCache(capacity int, store *storage.Store, metrics *obs.Registry) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		entries: make(map[string]*planEntry),
+		lru:     list.New(),
+		cap:     capacity,
+		store:   store,
+		metrics: metrics,
+	}
+}
+
+// lookup returns the cached plan for key, revalidating its table-version
+// snapshot; a stale entry is evicted and reported as a miss. Nil receiver =
+// cache disabled = always miss (unmetered).
+func (pc *planCache) lookup(key string) (*csedb.Prepared, []int, bool) {
+	if pc == nil {
+		return nil, nil, false
+	}
+	pc.mu.Lock()
+	e, ok := pc.entries[key]
+	if ok {
+		pc.lru.MoveToFront(e.elem)
+	}
+	pc.mu.Unlock()
+	if !ok {
+		pc.metrics.Counter("plancache_misses_total").Inc()
+		return nil, nil, false
+	}
+	// Version check outside pc.mu: Store.Versions takes the store lock, and
+	// holding both invites ordering trouble for no benefit — a racing evict
+	// of the same entry is harmless.
+	if e.prepared.Stale(pc.store) {
+		pc.remove(key)
+		pc.metrics.Counter("plancache_invalidations_total").Inc()
+		pc.metrics.Counter("plancache_misses_total").Inc()
+		return nil, nil, false
+	}
+	pc.metrics.Counter("plancache_hits_total").Inc()
+	return e.prepared, e.counts, true
+}
+
+// admit inserts a freshly prepared plan, evicting from the LRU tail past
+// capacity.
+func (pc *planCache) admit(key string, p *csedb.Prepared, counts []int) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.entries[key]; ok {
+		e.prepared, e.counts = p, counts
+		pc.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &planEntry{key: key, prepared: p, counts: counts}
+	e.elem = pc.lru.PushFront(e)
+	pc.entries[key] = e
+	for len(pc.entries) > pc.cap {
+		tail := pc.lru.Back()
+		pc.removeLocked(tail.Value.(*planEntry).key)
+		pc.metrics.Counter("plancache_evictions_total").Inc()
+	}
+	pc.metrics.Gauge("plancache_entries").Set(float64(len(pc.entries)))
+}
+
+func (pc *planCache) remove(key string) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.removeLocked(key)
+}
+
+func (pc *planCache) removeLocked(key string) {
+	e, ok := pc.entries[key]
+	if !ok {
+		return
+	}
+	pc.lru.Remove(e.elem)
+	delete(pc.entries, key)
+	pc.metrics.Gauge("plancache_entries").Set(float64(len(pc.entries)))
+}
+
+// len reports the live entry count (for tests).
+func (pc *planCache) len() int {
+	if pc == nil {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}
