@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -248,7 +249,9 @@ func (sess *Session) isClosed() bool {
 // returns ctx's error immediately, but the request itself stays in its
 // coalesced batch — execution is governed by the server's lifecycle, not
 // the client's, so other clients in the batch are unaffected (and still
-// reuse any spools the departed client's statements fed).
+// reuse any spools the departed client's statements fed). The request's
+// admission slot is likewise held until its batch delivers, so MaxInflight
+// bounds true occupancy even under cancellation storms.
 func (sess *Session) Query(ctx context.Context, sql string) (*Result, error) {
 	s := sess.srv
 	if sess.isClosed() {
@@ -298,12 +301,11 @@ func (sess *Session) Query(ctx context.Context, sql string) (*Result, error) {
 		}
 	}
 
-	defer func() {
-		s.mu.Lock()
-		s.inflight--
-		s.mu.Unlock()
-	}()
-
+	// No inflight decrement here: the slot is released by finish when the
+	// request's batch delivers its response. Returning early on ctx.Done
+	// must NOT free the slot — the canceled request still occupies the
+	// pending window or an executing batch, and releasing early would let a
+	// cancellation storm admit more concurrent work than MaxInflight bounds.
 	select {
 	case resp := <-r.done:
 		if resp.err != nil {
@@ -315,6 +317,17 @@ func (sess *Session) Query(ctx context.Context, sql string) (*Result, error) {
 		s.metrics.Counter("server_canceled_total").Inc()
 		return nil, ctx.Err()
 	}
+}
+
+// finish delivers a request's terminal response and releases its admission
+// slot. Every request passes through here exactly once — on demux, on a
+// per-request parse error, or on a batch failure — so inflight tracks true
+// occupancy (window + execution), not just clients still waiting.
+func (s *Server) finish(r *request, resp response) {
+	r.done <- resp
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
 }
 
 func (s *Server) kickFlusher() {
@@ -410,7 +423,7 @@ func (s *Server) dispatch(reqs []*request) {
 	for i, r := range reqs {
 		shapes[i] = r.shape
 	}
-	key := strings.Join(shapes, "\x00")
+	key := batchKey(shapes)
 
 	p, counts, cached := s.plans.lookup(key)
 	if !cached {
@@ -422,7 +435,7 @@ func (s *Server) dispatch(reqs []*request) {
 		for _, r := range reqs {
 			stmts, err := parser.Parse(r.sql)
 			if err != nil {
-				r.done <- response{err: err}
+				s.finish(r, response{err: err})
 				continue
 			}
 			all = append(all, stmts...)
@@ -441,7 +454,7 @@ func (s *Server) dispatch(reqs []*request) {
 			for _, r := range reqs {
 				shapes = append(shapes, r.shape)
 			}
-			key = strings.Join(shapes, "\x00")
+			key = batchKey(shapes)
 		}
 		var err error
 		p, err = s.db.PrepareStatements(all)
@@ -449,7 +462,6 @@ func (s *Server) dispatch(reqs []*request) {
 			s.failOrRetrySingles(reqs, err)
 			return
 		}
-		s.plans.admit(key, p, counts)
 	}
 
 	sessions := map[*Session]bool{}
@@ -477,8 +489,20 @@ func (s *Server) dispatch(reqs []*request) {
 		}
 	})
 	if err != nil {
+		if cached {
+			// A cached plan that fails execution must not keep serving the
+			// shape: left in place, every future batch with this key would
+			// hit, fail, and pay the retry-singles fallback again.
+			s.plans.remove(key)
+		}
 		s.failOrRetrySingles(reqs, err)
 		return
+	}
+	if !cached {
+		// Admit only after a successful execution so a plan that fails
+		// deterministically (e.g. a table dropped between parse and run)
+		// never enters the cache.
+		s.plans.admit(key, p, counts)
 	}
 
 	s.metrics.Counter("server_batches_total").Inc()
@@ -502,7 +526,7 @@ func (s *Server) dispatch(reqs []*request) {
 		off += n
 		s.metrics.Histogram("server_window_wait_seconds").Observe(res.Wait.Seconds())
 		s.metrics.Histogram("server_request_seconds").Observe(res.Wall.Seconds())
-		r.done <- response{res: res}
+		s.finish(r, response{res: res})
 	}
 }
 
@@ -513,7 +537,7 @@ func (s *Server) dispatch(reqs []*request) {
 func (s *Server) failOrRetrySingles(reqs []*request, err error) {
 	if len(reqs) == 1 || s.baseCtx.Err() != nil {
 		for _, r := range reqs {
-			r.done <- response{err: err}
+			s.finish(r, response{err: err})
 		}
 		return
 	}
@@ -521,9 +545,10 @@ func (s *Server) failOrRetrySingles(reqs []*request, err error) {
 	for _, r := range reqs {
 		if r.ctx.Err() != nil {
 			// The client is gone and nobody shares this work anymore.
-			r.done <- response{err: r.ctx.Err()}
+			s.finish(r, response{err: r.ctx.Err()})
 			continue
 		}
+		// The retry dispatch delivers (and releases the slot) itself.
 		s.dispatch([]*request{r})
 	}
 }
@@ -531,11 +556,41 @@ func (s *Server) failOrRetrySingles(reqs []*request, err error) {
 // Stats snapshots the server's metrics registry (shared with the DB).
 func (s *Server) Stats() map[string]float64 { return s.metrics.Snapshot() }
 
+// batchKey combines a batch's per-request shapes into one plan-cache key.
+// Each shape is length-prefixed so the combined key is unambiguous even
+// when a shape itself contains any would-be separator byte (a NUL inside a
+// string literal survives shapeKey verbatim): ["ab","c"] and ["a","bc"]
+// and ["ab\x00c"] all key differently.
+func batchKey(shapes []string) string {
+	var b strings.Builder
+	n := 0
+	for _, sh := range shapes {
+		n += len(sh) + 8
+	}
+	b.Grow(n)
+	for _, sh := range shapes {
+		b.WriteString(strconv.Itoa(len(sh)))
+		b.WriteByte(':')
+		b.WriteString(sh)
+	}
+	return b.String()
+}
+
 // shapeKey normalizes a request's SQL to its coalescing shape: runs of
-// whitespace collapse to one space and trailing semicolons drop, but bytes
-// inside single-quoted string literals are preserved verbatim ('a  b' and
-// 'a b' are different values, not the same shape). Case is preserved —
-// equality stays strictly semantics-preserving.
+// whitespace collapse to one space, `--` line comments are stripped (the
+// lexer skips them, so they must not distinguish — or conflate — shapes),
+// and trailing semicolons drop, but bytes inside single-quoted string
+// literals are preserved verbatim ('a  b' and 'a b' are different values,
+// not the same shape). Case is preserved — equality stays strictly
+// semantics-preserving.
+//
+// Comment handling is the load-bearing part: a newline both separates
+// tokens and terminates a comment, so collapsing it blindly would merge
+// "SELECT a FROM t --c WHERE a=1" (WHERE swallowed by the comment) with
+// "SELECT a FROM t\n--c\nWHERE a=1" (WHERE active) into one shape and a
+// plan-cache hit would then run the wrong plan. Mirroring the lexer —
+// comment bytes vanish, the terminating newline survives as whitespace —
+// keeps shape equality aligned with token equality.
 func shapeKey(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
@@ -553,6 +608,17 @@ func shapeKey(sql string) string {
 				}
 			}
 			continue
+		}
+		if c == '-' && i+1 < len(sql) && sql[i+1] == '-' {
+			for i < len(sql) && sql[i] != '\n' {
+				i++
+			}
+			// i now sits on the terminating newline (or end of input); the
+			// whitespace case below records it so adjacent tokens stay split.
+			if i == len(sql) {
+				break
+			}
+			c = sql[i]
 		}
 		switch c {
 		case ' ', '\t', '\n', '\r':

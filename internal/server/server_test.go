@@ -509,3 +509,144 @@ func TestShapeKey(t *testing.T) {
 		t.Error("multi-statement shape must include every statement")
 	}
 }
+
+// TestShapeKeyComments pins comment-aware normalization. Regression: a
+// newline both separates tokens and terminates a `--` line comment, so
+// collapsing it blindly merged "…t --c where a=1" (WHERE swallowed by the
+// comment) with "…t\n--c\nwhere a=1" (WHERE active) into one shape — and a
+// plan-cache hit then executed the wrong plan.
+func TestShapeKeyComments(t *testing.T) {
+	if shapeKey("select a from t --c where a=1") == shapeKey("select a from t\n--c\nwhere a=1") {
+		t.Error("comment-swallowed WHERE must not share a shape with an active WHERE")
+	}
+	if shapeKey("select a from t\n--c\nwhere a=1") != shapeKey("select a from t where a=1") {
+		t.Error("a stripped comment must not distinguish shapes")
+	}
+	if shapeKey("select a from t --c where a=1") != shapeKey("select a from t") {
+		t.Error("a comment running to end of input must vanish from the shape")
+	}
+	if shapeKey("select a--c\nfrom t") != shapeKey("select a from t") {
+		t.Error("a comment adjacent to a token must still separate tokens")
+	}
+	if shapeKey("select '--x' from t") == shapeKey("select '' from t") {
+		t.Error("-- inside a string literal is not a comment")
+	}
+}
+
+// TestBatchKeyUnambiguous pins the length-prefixed combined key: shapes may
+// contain any byte (a NUL inside a literal survives shapeKey verbatim), so
+// no join separator is safe — only framing is.
+func TestBatchKeyUnambiguous(t *testing.T) {
+	keys := map[string]string{
+		`["ab","c"]`:       batchKey([]string{"ab", "c"}),
+		`["a","bc"]`:       batchKey([]string{"a", "bc"}),
+		`["ab\x00c"]`:      batchKey([]string{"ab\x00c"}),
+		`["ab","","c"]`:    batchKey([]string{"ab", "", "c"}),
+		`["ab\x00c",""]`:   batchKey([]string{"ab\x00c", ""}),
+		`["2:ab1:c"]`:      batchKey([]string{"2:ab1:c"}),
+		`["abc"]`:          batchKey([]string{"abc"}),
+		`["ab","c","",""]`: batchKey([]string{"ab", "c", "", ""}),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, ok := seen[k]; ok {
+			t.Errorf("batches %s and %s share key %q", prev, name, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestCanceledRequestHoldsAdmissionSlot pins that a client cancellation does
+// not release the admission slot early: the canceled request still occupies
+// the pending window (or an executing batch), so MaxInflight must keep
+// counting it until its batch delivers — otherwise a cancellation storm
+// admits more concurrent work than the bound intends.
+func TestCanceledRequestHoldsAdmissionSlot(t *testing.T) {
+	s, _ := newTestServer(t, Options{Window: 10 * time.Second, MaxInflight: 1, MaxBatch: 64})
+	sess := mustSession(t, s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Query(ctx, q1)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never became inflight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Query returned %v, want context.Canceled", err)
+	}
+
+	// The canceled request still sits in the open window: its slot must
+	// still count against MaxInflight.
+	if _, err := sess.Query(context.Background(), q2); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v while a canceled request occupies the window, want ErrOverloaded", err)
+	}
+
+	// Close flushes the window and delivers the canceled singleton's
+	// response; only then is the slot released.
+	s.Close()
+	s.mu.Lock()
+	n := s.inflight
+	s.mu.Unlock()
+	if n != 0 {
+		t.Errorf("inflight = %d after Close drained, want 0", n)
+	}
+}
+
+// TestPlanCacheAdmitAfterExecution pins that a plan enters the cache only
+// after a successful execution, and that a cached plan failing execution is
+// evicted instead of serving the shape forever (hit → fail → retry on every
+// future batch). A singleton batch runs under its client's context, so a
+// pre-canceled context is a deterministic execution failure after a
+// successful prepare.
+func TestPlanCacheAdmitAfterExecution(t *testing.T) {
+	s, _ := newTestServer(t, Options{NoCoalesce: true})
+	sess := mustSession(t, s)
+
+	if _, err := sess.Query(context.Background(), q1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.plans.len(); got != 1 {
+		t.Fatalf("plan cache entries = %d after a successful query, want 1", got)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// A fresh shape whose execution fails must not be admitted.
+	if _, err := sess.Query(canceled, q2); err == nil {
+		t.Fatal("query under a canceled context succeeded")
+	}
+	if got := s.plans.len(); got != 1 {
+		t.Errorf("plan cache entries = %d after a new shape failed execution, want 1", got)
+	}
+
+	// A cached shape whose execution fails must be evicted.
+	if _, err := sess.Query(canceled, q1); err == nil {
+		t.Fatal("query under a canceled context succeeded")
+	}
+	if got := s.plans.len(); got != 0 {
+		t.Errorf("plan cache entries = %d after the cached plan failed execution, want 0", got)
+	}
+
+	// The shape still works once the client context is live again.
+	if _, err := sess.Query(context.Background(), q1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.plans.len(); got != 1 {
+		t.Errorf("plan cache entries = %d after re-running the shape, want 1", got)
+	}
+}
